@@ -1,0 +1,22 @@
+"""Report sink for benchmark output.
+
+Every benchmark regenerates one of the paper's tables/figures as text and
+emits it through :func:`emit`: printed to stdout (visible with ``pytest
+-s``) and persisted under ``benchmarks/reports/`` so the series survive
+the run regardless of output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist one experiment's report."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} (saved to {path}) ===")
+    print(text)

@@ -1,0 +1,109 @@
+"""Fig. 7 — monotonic resource reduction vs. end-to-end response.
+
+(a) CDF of the latency change (normalized to the SLO) caused by random
+monotonic reductions, measured with noise: the paper observes latency
+*decreasing* (anti-monotone, attributed to transient anomalies) in only
+10.2% of TrainTicket and 6.1% of SockShop cases.
+
+(b) example monotone-reduction trajectories in the (resource/optimum,
+response/SLO) plane, walking toward the paper's target point (1, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.apps import build_app
+from repro.baselines import OptimumSearch
+from repro.bench import format_series, format_table
+from repro.sim import AnalyticalEngine, Allocation
+
+APPS = {"trainticket": 200.0, "sockshop": 550.0, "hotelreservation": 500.0}
+N_SAMPLES = 400
+
+
+def _sample_cdf(app_name: str, workload: float, seed: int):
+    app = build_app(app_name)
+    engine = AnalyticalEngine(app, seed=seed)
+    base_b = AnalyticalEngine(app).bottleneck_allocation(workload)
+    rng = np.random.default_rng(seed)
+    deltas = []
+    for _ in range(N_SAMPLES):
+        # Random feasible starting point between 1.1x and 2x the knee.
+        start = Allocation(
+            {n: base_b[n] * rng.uniform(1.1, 2.0) for n in base_b}
+        )
+        k = int(rng.integers(2, app.n_services + 1))
+        targets = rng.choice(app.n_services, size=k, replace=False)
+        frac = rng.uniform(0.08, 0.35)
+        reduced = start.reduce(
+            [app.service_names[i] for i in targets], frac
+        )
+        before = engine.observe(start, workload).latency_p95
+        after = engine.observe(reduced, workload).latency_p95
+        deltas.append((after - before) / app.slo)
+    return np.asarray(deltas)
+
+
+def run_fig07():
+    cdf_rows = []
+    anti_fracs = {}
+    for i, (app_name, wl) in enumerate(APPS.items()):
+        deltas = _sample_cdf(app_name, wl, seed=100 + i)
+        anti = float((deltas < 0).mean())
+        anti_fracs[app_name] = anti
+        for q in (5, 25, 50, 75, 95):
+            cdf_rows.append(
+                [app_name, f"p{q}", round(float(np.percentile(deltas, q)), 4)]
+            )
+        cdf_rows.append([app_name, "anti-monotone", f"{anti * 100:.1f}%"])
+
+    # Panel (b): one noiseless monotone trajectory per app.
+    traj_blocks = []
+    for app_name, wl in APPS.items():
+        app = build_app(app_name)
+        engine = AnalyticalEngine(app)
+        opt = OptimumSearch(engine, restarts=1, seed=0).find(wl)
+        alloc = app.generous_allocation(wl)
+        xs, ys = [], []
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            xs.append(alloc.total() / opt.total_cpu)
+            ys.append(engine.noiseless_latency(alloc, wl) / app.slo)
+            k = int(rng.integers(2, app.n_services))
+            targets = rng.choice(app.n_services, size=k, replace=False)
+            trial = alloc.reduce(
+                [app.service_names[i] for i in targets], 0.12
+            )
+            if engine.noiseless_latency(trial, wl) > app.slo:
+                break
+            alloc = trial
+        traj_blocks.append(
+            format_series(
+                f"Fig. 7b trajectory — {app_name}",
+                [round(x, 3) for x in xs],
+                [round(y, 3) for y in ys],
+                "resource/optimum",
+                "response/SLO",
+            )
+        )
+    return cdf_rows, anti_fracs, traj_blocks
+
+
+def test_fig07_monotonic(benchmark):
+    cdf_rows, anti_fracs, traj_blocks = benchmark.pedantic(
+        run_fig07, rounds=1, iterations=1
+    )
+    text = format_table(
+        ["app", "quantile", "latency_change/SLO"],
+        cdf_rows,
+        title="Fig. 7a — CDF of latency change under monotonic reduction "
+        "(paper anti-monotone: 10.2% TT, 6.1% SS)",
+    )
+    emit("fig07_monotonic", text + "\n\n" + "\n\n".join(traj_blocks))
+    # Shape claims: reductions mostly increase latency; the anti-monotone
+    # tail is a small minority, as in the paper.
+    for app_name, anti in anti_fracs.items():
+        assert anti < 0.25, f"{app_name}: too many anti-monotone cases"
+    assert any(anti > 0.0 for anti in anti_fracs.values())

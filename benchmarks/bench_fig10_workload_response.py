@@ -1,0 +1,66 @@
+"""Fig. 10(a) — response time vs. workload at a fixed allocation.
+
+Paper: response grows with workload roughly linearly over the operating
+band, which is what justifies the linear dynamic response target of
+Eqn. (9) and the slope regression PEMA runs at startup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.apps import build_app
+from repro.bench import format_table
+from repro.core.target import learn_slope
+from repro.sim import AnalyticalEngine
+
+BANDS = {"trainticket": (150.0, 320.0), "sockshop": (400.0, 1000.0)}
+
+
+def run_fig10():
+    rows = []
+    fits = {}
+    for app_name, (lo, hi) in BANDS.items():
+        app = build_app(app_name)
+        engine = AnalyticalEngine(app)
+        mid = 0.5 * (lo + hi)
+        alloc = engine.bottleneck_allocation(hi).scale(1.15)
+        workloads = np.linspace(lo, hi, 10)
+        responses = [
+            engine.noiseless_latency(alloc, float(w)) for w in workloads
+        ]
+        slope = learn_slope(workloads, responses)
+        # Linearity: r^2 of the linear fit.
+        pred = np.polyval(np.polyfit(workloads, responses, 1), workloads)
+        ss_res = float(np.sum((np.asarray(responses) - pred) ** 2))
+        ss_tot = float(np.sum((responses - np.mean(responses)) ** 2))
+        r2 = 1.0 - ss_res / ss_tot
+        fits[app_name] = (slope, r2)
+        for w, r in zip(workloads, responses):
+            rows.append(
+                [
+                    app_name,
+                    round(float(w), 0),
+                    round((w - lo) / (hi - lo), 2),
+                    round(r / app.slo, 3),
+                ]
+            )
+        rows.append([app_name, "slope", f"{slope * 1e3:.3f} ms/rps", f"r2={r2:.3f}"])
+    return rows, fits
+
+
+def test_fig10_workload_response(benchmark):
+    rows, fits = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    emit(
+        "fig10_workload_response",
+        format_table(
+            ["app", "workload_rps", "norm_workload", "response/SLO"],
+            rows,
+            title="Fig. 10a — response vs workload at fixed allocation "
+            "(paper: approximately linear growth)",
+        ),
+    )
+    for app_name, (slope, r2) in fits.items():
+        assert slope > 0.0, f"{app_name}: response must grow with workload"
+        assert r2 > 0.90, f"{app_name}: relation should be near-linear (r2={r2})"

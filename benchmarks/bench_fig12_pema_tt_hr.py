@@ -1,0 +1,53 @@
+"""Fig. 12 — PEMA execution on TrainTicket and HotelReservation.
+
+Paper: the same controller, unchanged, finds efficient allocations on the
+41-service TrainTicket (SLO 900 ms) within ~35 iterations and on the
+18-service HotelReservation (SLO 50 ms) within ~30, with a few mitigated
+SLO violations.
+"""
+
+from __future__ import annotations
+
+from benchmarks._report import emit
+from repro.bench import format_table, optimum_total, pema_run
+
+SCENARIOS = {
+    "trainticket": (225.0, 35),
+    "hotelreservation": (500.0, 30),
+}
+
+
+def run_fig12():
+    return {
+        app: pema_run(app, wl, iters, seed=21)
+        for app, (wl, iters) in SCENARIOS.items()
+    }
+
+
+def test_fig12_pema_tt_hr(benchmark):
+    runs = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    blocks = []
+    for app, run in runs.items():
+        wl, iters = SCENARIOS[app]
+        result = run.result
+        rows = [
+            [
+                it,
+                round(float(result.total_cpu[it]), 2),
+                round(float(result.responses[it] * 1000), 1),
+            ]
+            for it in range(0, iters, 3)
+        ]
+        optimum = optimum_total(app, wl)
+        blocks.append(
+            format_table(
+                ["iter", "total_cpu", "response_ms"],
+                rows,
+                title=f"Fig. 12 — PEMA on {app} @ {wl:.0f} rps "
+                f"(SLO {run.app.slo * 1000:.0f} ms, optimum {optimum:.2f})",
+            )
+        )
+        assert result.settled_total() < result.total_cpu[0] * 0.85
+        assert result.settled_total() / optimum < 1.4
+        assert result.violation_rate() < 0.3
+    emit("fig12_pema_tt_hr", "\n\n".join(blocks))

@@ -1,0 +1,69 @@
+"""Fig. 16 — sensitivity to α (β = 0.3).
+
+Paper: small α is too aggressive — many SLO violations force reverts to
+inefficient allocations; large α slows PEMA down prematurely with few
+violations but sub-optimal resource.  Both extremes yield worse resource
+efficiency than the middle; violations decrease monotonically-ish with α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.bench import format_table, optimum_total, pema_run
+from repro.core import PEMAConfig
+
+ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+SCENARIOS = {"trainticket": 225.0, "sockshop": 700.0}
+ITERS = 50
+RUNS = 3
+
+
+def run_fig16():
+    rows = []
+    curves: dict[str, dict[str, list[float]]] = {}
+    for app_name, wl in SCENARIOS.items():
+        opt = optimum_total(app_name, wl)
+        res_norm, viols = [], []
+        for alpha in ALPHAS:
+            config = PEMAConfig(alpha=alpha, beta=0.3)
+            totals, violations = [], []
+            for r in range(RUNS):
+                run = pema_run(
+                    app_name, wl, ITERS, config=config, seed=700 + r
+                )
+                totals.append(run.result.settled_total())
+                violations.append(run.result.violation_rate() * 100)
+            res_norm.append(float(np.mean(totals)) / opt)
+            viols.append(float(np.mean(violations)))
+            rows.append(
+                [
+                    app_name,
+                    alpha,
+                    round(res_norm[-1], 2),
+                    round(viols[-1], 1),
+                ]
+            )
+        curves[app_name] = {"resource": res_norm, "violations": viols}
+    return rows, curves
+
+
+def test_fig16_alpha_sensitivity(benchmark):
+    rows, curves = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    emit(
+        "fig16_alpha_sensitivity",
+        format_table(
+            ["app", "alpha", "resource/optimum", "slo_violations_%"],
+            rows,
+            title="Fig. 16 — α sweep at β=0.3 (paper: extremes are "
+            "sub-optimal; violations fall as α grows)",
+        ),
+    )
+    for app_name, c in curves.items():
+        res = c["resource"]
+        vio = c["violations"]
+        # Aggressive extreme (α=0.1) violates far more than conservative.
+        assert vio[0] > vio[-1], app_name
+        # The middle does at least as well as the aggressive extreme.
+        assert min(res[1:4]) <= res[0] + 0.05, app_name

@@ -1,0 +1,59 @@
+"""Fig. 17 — sensitivity to β (α = 0.5).
+
+Paper: large β (big per-step reductions) overshoots — many violations and
+sub-optimal settled resource; small β is gentle and safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.bench import format_table, optimum_total, pema_run
+from repro.core import PEMAConfig
+
+BETAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+SCENARIOS = {"trainticket": 225.0, "sockshop": 700.0}
+ITERS = 50
+RUNS = 3
+
+
+def run_fig17():
+    rows = []
+    curves: dict[str, dict[str, list[float]]] = {}
+    for app_name, wl in SCENARIOS.items():
+        opt = optimum_total(app_name, wl)
+        res_norm, viols = [], []
+        for beta in BETAS:
+            config = PEMAConfig(alpha=0.5, beta=beta)
+            totals, violations = [], []
+            for r in range(RUNS):
+                run = pema_run(
+                    app_name, wl, ITERS, config=config, seed=800 + r
+                )
+                totals.append(run.result.settled_total())
+                violations.append(run.result.violation_rate() * 100)
+            res_norm.append(float(np.mean(totals)) / opt)
+            viols.append(float(np.mean(violations)))
+            rows.append(
+                [app_name, beta, round(res_norm[-1], 2), round(viols[-1], 1)]
+            )
+        curves[app_name] = {"resource": res_norm, "violations": viols}
+    return rows, curves
+
+
+def test_fig17_beta_sensitivity(benchmark):
+    rows, curves = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    emit(
+        "fig17_beta_sensitivity",
+        format_table(
+            ["app", "beta", "resource/optimum", "slo_violations_%"],
+            rows,
+            title="Fig. 17 — β sweep at α=0.5 (paper: aggressive β causes "
+            "violations and sub-optimal allocations)",
+        ),
+    )
+    for app_name, c in curves.items():
+        vio = c["violations"]
+        # Violations grow with β (compare the gentle and aggressive ends).
+        assert np.mean(vio[3:]) >= np.mean(vio[:2]) - 1.0, app_name

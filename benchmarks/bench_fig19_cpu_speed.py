@@ -1,0 +1,76 @@
+"""Fig. 19 — adaptability to CPU clock-speed changes (SockShop).
+
+Paper: the cluster's clock switches 1.8 → 1.6 → 2.0 GHz mid-run (a stand-in
+for hardware/software changes that alter resource demand); PEMA re-converges
+each time — more CPU at 1.6 GHz, less at 2.0 GHz — while keeping the SLO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.apps import build_app
+from repro.bench import format_table
+from repro.cluster import NOMINAL_FREQUENCY_GHZ, Cluster
+from repro.core import ControlLoop, PEMAController
+from repro.sim import AnalyticalEngine
+from repro.workload import ConstantWorkload
+
+WORKLOAD = 700.0
+ITERS = 60
+SWITCH_1 = 25  # -> 1.6 GHz
+SWITCH_2 = 42  # -> 2.0 GHz
+
+
+def run_fig19():
+    app = build_app("sockshop")
+    engine = AnalyticalEngine(app, seed=61)
+    cluster = Cluster()
+    pema = PEMAController(
+        app.service_names, app.slo, app.generous_allocation(WORKLOAD), seed=62
+    )
+    loop = ControlLoop(
+        engine, pema, ConstantWorkload(WORKLOAD), cluster=cluster
+    )
+
+    def change_clock(step, lp):
+        if step == SWITCH_1:
+            cluster.set_frequency(1.6)
+            lp.environment.set_cpu_speed(cluster.speed_factor)
+        elif step == SWITCH_2:
+            cluster.set_frequency(2.0)
+            lp.environment.set_cpu_speed(cluster.speed_factor)
+
+    result = loop.run(ITERS, on_step=change_clock)
+    return result
+
+
+def test_fig19_cpu_speed(benchmark):
+    result = benchmark.pedantic(run_fig19, rounds=1, iterations=1)
+    rows = [
+        [
+            it,
+            1.8 if it < SWITCH_1 else (1.6 if it < SWITCH_2 else 2.0),
+            round(float(result.total_cpu[it]), 2),
+            round(float(result.responses[it] * 1000), 0),
+        ]
+        for it in range(0, ITERS, 3)
+    ]
+    emit(
+        "fig19_cpu_speed",
+        format_table(
+            ["iter", "clock_ghz", "total_cpu", "response_ms"],
+            rows,
+            title="Fig. 19 — clock changes 1.8→1.6→2.0 GHz @ iters "
+            f"{SWITCH_1}/{SWITCH_2} (paper: PEMA re-converges each time)",
+        ),
+    )
+    at_18 = result.total_cpu[SWITCH_1 - 5 : SWITCH_1].mean()
+    at_16 = result.total_cpu[SWITCH_2 - 5 : SWITCH_2].mean()
+    at_20 = result.total_cpu[-4:].mean()
+    assert at_16 > at_18  # slower clock needs more CPU
+    assert at_20 < at_16  # faster clock releases it again
+    # QoS recovered after each switch.
+    tail = result.records[-6:]
+    assert sum(r.violated for r in tail) <= 2

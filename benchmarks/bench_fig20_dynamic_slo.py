@@ -1,0 +1,69 @@
+"""Fig. 20 — adaptability to SLO changes (SockShop).
+
+Paper: the SLO moves 250 → 200 → 300 ms mid-run; PEMA re-navigates without
+retraining — more CPU for the tighter SLO, less for the looser one —
+demonstrating dynamic SLO as a performance/cost trade-off knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._report import emit
+from repro.apps import build_app
+from repro.bench import format_table
+from repro.core import ControlLoop, PEMAController
+from repro.sim import AnalyticalEngine
+from repro.workload import ConstantWorkload
+
+WORKLOAD = 700.0
+ITERS = 60
+SWITCH_1 = 22  # -> 200 ms
+SWITCH_2 = 42  # -> 300 ms
+
+
+def run_fig20():
+    app = build_app("sockshop")
+    engine = AnalyticalEngine(app, seed=71)
+    pema = PEMAController(
+        app.service_names, app.slo, app.generous_allocation(WORKLOAD), seed=72
+    )
+    loop = ControlLoop(engine, pema, ConstantWorkload(WORKLOAD))
+
+    def change_slo(step, lp):
+        if step == SWITCH_1:
+            lp.autoscaler.set_slo(0.200)
+        elif step == SWITCH_2:
+            lp.autoscaler.set_slo(0.300)
+
+    result = loop.run(ITERS, on_step=change_slo)
+    return result
+
+
+def test_fig20_dynamic_slo(benchmark):
+    result = benchmark.pedantic(run_fig20, rounds=1, iterations=1)
+    rows = [
+        [
+            it,
+            round(result.records[it].slo * 1000),
+            round(float(result.total_cpu[it]), 2),
+            round(float(result.responses[it] * 1000), 0),
+        ]
+        for it in range(0, ITERS, 3)
+    ]
+    emit(
+        "fig20_dynamic_slo",
+        format_table(
+            ["iter", "slo_ms", "total_cpu", "response_ms"],
+            rows,
+            title="Fig. 20 — SLO changes 250→200→300 ms @ iters "
+            f"{SWITCH_1}/{SWITCH_2} (paper: PEMA adapts without retraining)",
+        ),
+    )
+    at_250 = result.total_cpu[SWITCH_1 - 5 : SWITCH_1].mean()
+    at_200 = result.total_cpu[SWITCH_2 - 5 : SWITCH_2].mean()
+    at_300 = result.total_cpu[-4:].mean()
+    assert at_200 > at_250 * 0.98  # tighter SLO cannot need less CPU
+    assert at_300 < at_200  # looser SLO releases resources
+    tail = result.records[-6:]
+    assert sum(r.violated for r in tail) <= 2

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `benchmarks._report` importable when pytest is invoked from the
+# repository root with `pytest benchmarks/`.
+sys.path.insert(0, str(Path(__file__).parent.parent))

@@ -1,0 +1,10 @@
+"""Setup shim for environments whose setuptools lacks PEP-517 wheel support.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation --config-settings editable_mode=compat``
+style legacy installs where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of PEMA (HPDC '22).
+
+*Practical Efficient Microservice Autoscaling with QoS Assurance*,
+Hossen, Islam, Ahmed — a lightweight feedback-driven microservice resource
+manager, reproduced end to end: the controller (Algorithm 1), workload-aware
+dynamic ranging, the three prototype applications, a simulated
+Kubernetes/Prometheus substrate, the OPTM/RULE baselines, and the full
+evaluation harness.
+
+Quickstart::
+
+    from repro import build_app, AnalyticalEngine, PEMAController, ControlLoop
+    from repro.workload import ConstantWorkload
+
+    app = build_app("sockshop")
+    engine = AnalyticalEngine(app, seed=1)
+    pema = PEMAController(
+        app.service_names, app.slo, app.generous_allocation(700.0), seed=1
+    )
+    result = ControlLoop(engine, pema, ConstantWorkload(700.0)).run(70)
+    print(result.settled_total(), result.violation_rate())
+"""
+
+from repro.apps import AppSpec, app_names, build_app
+from repro.baselines import OptimumSearch, RuleBasedAutoscaler, StaticAllocator
+from repro.core import (
+    ControlLoop,
+    LoopResult,
+    PEMAConfig,
+    PEMAController,
+    StepAction,
+    WorkloadAwarePEMA,
+)
+from repro.metrics import MetricsCollector, MetricsStore
+from repro.sim import Allocation, AnalyticalEngine, IntervalMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppSpec",
+    "build_app",
+    "app_names",
+    "Allocation",
+    "IntervalMetrics",
+    "AnalyticalEngine",
+    "PEMAConfig",
+    "PEMAController",
+    "StepAction",
+    "WorkloadAwarePEMA",
+    "ControlLoop",
+    "LoopResult",
+    "MetricsStore",
+    "MetricsCollector",
+    "OptimumSearch",
+    "RuleBasedAutoscaler",
+    "StaticAllocator",
+    "__version__",
+]

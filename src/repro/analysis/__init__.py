@@ -1,0 +1,31 @@
+"""Bottleneck-classification analysis (paper §3.2 and Table 1)."""
+
+from repro.analysis.bottleneck import (
+    TABLE1_SCENARIOS,
+    ScenarioResult,
+    run_scenario,
+    table1,
+)
+from repro.analysis.dataset import (
+    BottleneckDataset,
+    generate_dataset,
+    generate_dataset_des,
+)
+from repro.analysis.features import FEATURE_NAMES, FEATURE_SUBSETS, service_features
+from repro.analysis.logistic import LogisticRegression
+from repro.analysis.tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "LogisticRegression",
+    "BottleneckDataset",
+    "generate_dataset",
+    "generate_dataset_des",
+    "FEATURE_NAMES",
+    "FEATURE_SUBSETS",
+    "service_features",
+    "TABLE1_SCENARIOS",
+    "ScenarioResult",
+    "run_scenario",
+    "table1",
+]

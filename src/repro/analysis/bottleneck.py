@@ -1,0 +1,83 @@
+"""Table 1 driver: classification accuracy per (app, bottleneck set).
+
+Reproduces the paper's Table 1 rows and the feature-subset comparison that
+justified choosing CPU utilization + CPU throttling time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dataset import generate_dataset
+from repro.analysis.features import FEATURE_SUBSETS
+from repro.analysis.tree import DecisionTreeClassifier
+from repro.apps import build_app
+
+__all__ = ["TABLE1_SCENARIOS", "ScenarioResult", "run_scenario", "table1"]
+
+TABLE1_SCENARIOS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("trainticket", ("seat",)),
+    ("trainticket", ("seat", "ticketinfo")),
+    ("sockshop", ("carts",)),
+    ("sockshop", ("carts", "orders")),
+    ("hotelreservation", ("frontend",)),
+    ("hotelreservation", ("frontend", "search")),
+)
+"""The six rows of the paper's Table 1."""
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    app_name: str
+    bottleneck_services: tuple[str, ...]
+    accuracy: float
+    subset_accuracies: dict[str, float]
+
+
+def run_scenario(
+    app_name: str,
+    bottleneck_services: tuple[str, ...],
+    *,
+    n_intervals: int = 120,
+    seed: int = 0,
+    feature_subset: str = "util+throttle",
+    compare_subsets: bool = False,
+) -> ScenarioResult:
+    """Train/test a tree on one Table 1 scenario."""
+    if feature_subset not in FEATURE_SUBSETS:
+        raise KeyError(f"unknown feature subset {feature_subset!r}")
+    app = build_app(app_name)
+    data = generate_dataset(
+        app, bottleneck_services, n_intervals=n_intervals, seed=seed
+    )
+    X_train, y_train, X_test, y_test = data.split(seed=seed + 1)
+
+    def accuracy_for(cols: tuple[int, ...]) -> float:
+        tree = DecisionTreeClassifier(max_depth=4)
+        tree.fit(X_train[:, cols], y_train)
+        return tree.score(X_test[:, cols], y_test)
+
+    main = accuracy_for(FEATURE_SUBSETS[feature_subset])
+    subsets: dict[str, float] = {}
+    if compare_subsets:
+        subsets = {
+            name: accuracy_for(cols) for name, cols in FEATURE_SUBSETS.items()
+        }
+    return ScenarioResult(
+        app_name=app_name,
+        bottleneck_services=bottleneck_services,
+        accuracy=main,
+        subset_accuracies=subsets,
+    )
+
+
+def table1(
+    *, n_intervals: int = 120, seed: int = 0
+) -> list[ScenarioResult]:
+    """All six Table 1 rows with util+throttle features."""
+    return [
+        run_scenario(app, services, n_intervals=n_intervals, seed=seed + i)
+        for i, (app, services) in enumerate(TABLE1_SCENARIOS)
+    ]

@@ -1,0 +1,184 @@
+"""Labelled bottleneck datasets (the paper's §3.2 design study).
+
+The paper intentionally drives chosen microservices into their bottleneck
+(squeezing their CPU while everything else stays ample) and records
+per-service metrics.  Each (interval, service) pair becomes one sample:
+label 1 if that service was squeezed into its bottleneck that interval,
+else 0.
+
+Two generators: :func:`generate_dataset` uses the analytical engine with
+synthesized tracing features (fast, used by the Table 1 bench);
+:func:`generate_dataset_des` runs the request-level simulator with tracing
+enabled, so the Jaeger-style ``self_time``/``duration`` features come from
+actual recorded spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.features import service_features
+from repro.apps.spec import AppSpec
+from repro.sim.engine import AnalyticalEngine
+
+__all__ = ["BottleneckDataset", "generate_dataset", "generate_dataset_des"]
+
+
+@dataclass(frozen=True)
+class BottleneckDataset:
+    """Feature matrix + labels + provenance."""
+
+    X: np.ndarray
+    y: np.ndarray
+    app_name: str
+    bottleneck_services: tuple[str, ...]
+
+    def split(
+        self, test_fraction: float = 0.3, seed: int = 0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Shuffled train/test split: (X_train, y_train, X_test, y_test)."""
+        if not 0 < test_fraction < 1:
+            raise ValueError("test_fraction must be in (0, 1)")
+        n = self.y.size
+        order = np.random.default_rng(seed).permutation(n)
+        cut = int(round(n * (1.0 - test_fraction)))
+        train, test = order[:cut], order[cut:]
+        return self.X[train], self.y[train], self.X[test], self.y[test]
+
+
+def generate_dataset(
+    app: AppSpec,
+    bottleneck_services: tuple[str, ...],
+    *,
+    workload_rps: float | None = None,
+    n_intervals: int = 120,
+    squeeze_range: tuple[float, float] = (0.55, 0.9),
+    ample_headroom: float = 2.0,
+    seed: int = 0,
+) -> BottleneckDataset:
+    """Generate one (app, bottleneck set) study.
+
+    Each interval randomly bottlenecks a subset of the designated services
+    (possibly none — negative-only intervals keep the classes balanced);
+    squeezed services get ``squeeze_range``-fraction of their bottleneck
+    allocation, everything else twice its bottleneck.
+    """
+    unknown = set(bottleneck_services) - set(app.service_names)
+    if unknown:
+        raise ValueError(f"unknown services: {sorted(unknown)}")
+    if not bottleneck_services:
+        raise ValueError("need at least one bottleneck service")
+    rng = np.random.default_rng(seed)
+    workload = workload_rps if workload_rps is not None else app.reference_workload
+    engine = AnalyticalEngine(app, seed=seed + 13)
+    ample = engine.bottleneck_allocation(workload).scale(ample_headroom)
+    bottleneck = engine.bottleneck_allocation(workload)
+
+    rows: list[np.ndarray] = []
+    labels: list[int] = []
+    for _ in range(n_intervals):
+        squeezed = tuple(
+            name for name in bottleneck_services if rng.random() < 0.5
+        )
+        alloc = ample
+        for name in squeezed:
+            factor = rng.uniform(*squeeze_range)
+            alloc = alloc.with_value(name, max(bottleneck[name] * factor, 0.05))
+        metrics = engine.observe(alloc, workload)
+        for name in app.service_names:
+            rows.append(service_features(app, metrics, name, rng))
+            labels.append(1 if name in squeezed else 0)
+    return BottleneckDataset(
+        X=np.asarray(rows),
+        y=np.asarray(labels, dtype=np.int64),
+        app_name=app.name,
+        bottleneck_services=bottleneck_services,
+    )
+
+
+def generate_dataset_des(
+    app: AppSpec,
+    bottleneck_services: tuple[str, ...],
+    *,
+    workload_rps: float | None = None,
+    n_intervals: int = 24,
+    sim_seconds: float = 4.0,
+    squeeze_range: tuple[float, float] = (0.15, 0.4),
+    ample_headroom: float = 2.0,
+    seed: int = 0,
+) -> BottleneckDataset:
+    """DES-backed study: tracing features from real recorded spans.
+
+    Event-driven simulation is orders of magnitude slower than the closed
+    forms, so the defaults are small; the squeeze range sits below the
+    DES's own (burstiness-dependent) knee so that labels are observable.
+    """
+    from repro.sim.des.engine import DESEngine
+    from repro.sim.des.simulator import SimConfig
+
+    unknown = set(bottleneck_services) - set(app.service_names)
+    if unknown:
+        raise ValueError(f"unknown services: {sorted(unknown)}")
+    if not bottleneck_services:
+        raise ValueError("need at least one bottleneck service")
+    rng = np.random.default_rng(seed)
+    workload = workload_rps if workload_rps is not None else (
+        app.reference_workload * 0.4
+    )
+    reference = AnalyticalEngine(app, seed=seed + 13)
+    knee = reference.bottleneck_allocation(workload)
+    ample = knee.scale(ample_headroom)
+    des = DESEngine(
+        app,
+        config=SimConfig(trace=True),
+        sim_seconds=sim_seconds,
+        warmup_seconds=1.0,
+        seed=seed + 29,
+    )
+
+    rows: list[np.ndarray] = []
+    labels: list[int] = []
+    for _ in range(n_intervals):
+        squeezed = tuple(
+            name for name in bottleneck_services if rng.random() < 0.5
+        )
+        alloc = ample
+        for name in squeezed:
+            factor = rng.uniform(*squeeze_range)
+            alloc = alloc.with_value(name, max(knee[name] * factor, 0.02))
+        metrics = des.observe(alloc, workload)
+        spans = des.last_traces.spans if des.last_traces is not None else []
+        by_service: dict[str, list] = {}
+        for span in spans:
+            by_service.setdefault(span.service, []).append(span)
+        for name in app.service_names:
+            svc = metrics.services[name]
+            spec = app.service(name)
+            mine = by_service.get(name, ())
+            if mine:
+                self_time = float(np.mean([s.cpu_time for s in mine]))
+                duration = float(np.mean([s.duration for s in mine]))
+            else:
+                self_time = spec.cpu_demand
+                duration = spec.latency_floor
+            mem = spec.memory_mb * (0.55 + 0.25 * svc.utilization)
+            rows.append(
+                np.asarray(
+                    [
+                        svc.utilization,
+                        svc.throttle_seconds,
+                        mem,
+                        self_time,
+                        duration,
+                    ]
+                )
+            )
+            labels.append(1 if name in squeezed else 0)
+    return BottleneckDataset(
+        X=np.asarray(rows),
+        y=np.asarray(labels, dtype=np.int64),
+        app_name=app.name,
+        bottleneck_services=bottleneck_services,
+    )

@@ -1,0 +1,80 @@
+"""Logistic regression from scratch (gradient descent + L2).
+
+Second classifier for the Table 1 feature study; linear decision
+boundaries make it a useful contrast to the tree on these 2-5 feature
+problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression with feature standardization."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iter: int = 500,
+        l2: float = 1e-3,
+    ) -> None:
+        if learning_rate <= 0 or n_iter < 1 or l2 < 0:
+            raise ValueError("invalid hyperparameters")
+        self.learning_rate = learning_rate
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError("bad shapes")
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise ValueError("labels must be binary {0, 1}")
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma < 1e-12] = 1.0
+        Z = (X - self._mu) / self._sigma
+        n, d = Z.shape
+        w = np.zeros(d)
+        b = 0.0
+        for _ in range(self.n_iter):
+            p = _sigmoid(Z @ w + b)
+            err = p - y
+            grad_w = Z.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("fit() before predict_proba()")
+        X = np.asarray(X, dtype=np.float64)
+        Z = (X - self._mu) / self._sigma
+        return _sigmoid(Z @ self.weights_ + self.bias_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y)
+        return float((self.predict(X) == y).mean())

@@ -1,0 +1,178 @@
+"""CART decision tree classifier, implemented from scratch.
+
+Binary classification with Gini impurity and axis-aligned threshold
+splits — the standard tool for the paper's Table 1 study (which metrics
+identify bottleneck services).  No external ML dependency is available in
+this environment, and the task is small, so the plain O(n·d·log n)
+exact-split implementation is more than enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    prediction: int = 0
+    probability: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier:
+    """Greedy CART tree for binary labels {0, 1}."""
+
+    def __init__(
+        self,
+        max_depth: int = 4,
+        min_samples_leaf: int = 3,
+        min_impurity_decrease: float = 1e-7,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    # -- fitting ------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (samples x features)")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must align with X rows")
+        if not np.isin(y, (0, 1)).all():
+            raise ValueError("labels must be binary {0, 1}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        positives = int(y.sum())
+        node = _Node(
+            prediction=int(positives * 2 >= y.size),
+            probability=positives / y.size,
+        )
+        if (
+            depth >= self.max_depth
+            or y.size < 2 * self.min_samples_leaf
+            or positives == 0
+            or positives == y.size
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n = y.size
+        parent_counts = np.asarray([n - y.sum(), y.sum()], dtype=np.float64)
+        parent_gini = _gini(parent_counts)
+        best: tuple[float, int, float] | None = None
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y[order]
+            # Cumulative label counts left of each candidate boundary.
+            ones_left = np.cumsum(ys)[:-1]
+            counts_left = np.arange(1, n)
+            valid = xs[1:] > xs[:-1] + 1e-12  # only between distinct values
+            valid &= counts_left >= self.min_samples_leaf
+            valid &= (n - counts_left) >= self.min_samples_leaf
+            if not valid.any():
+                continue
+            zeros_left = counts_left - ones_left
+            ones_right = ys.sum() - ones_left
+            zeros_right = (n - counts_left) - ones_right
+            with np.errstate(invalid="ignore", divide="ignore"):
+                gini_left = 1.0 - (
+                    (zeros_left / counts_left) ** 2 + (ones_left / counts_left) ** 2
+                )
+                right_n = n - counts_left
+                gini_right = 1.0 - (
+                    (zeros_right / right_n) ** 2 + (ones_right / right_n) ** 2
+                )
+            weighted = (counts_left * gini_left + right_n * gini_right) / n
+            weighted = np.where(valid, weighted, np.inf)
+            idx = int(np.argmin(weighted))
+            decrease = parent_gini - weighted[idx]
+            if decrease < self.min_impurity_decrease:
+                continue
+            threshold = 0.5 * (xs[idx] + xs[idx + 1])
+            if best is None or weighted[idx] < best[0]:
+                best = (float(weighted[idx]), feature, float(threshold))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- inference -----------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() before predict()")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("X shape does not match the fitted tree")
+        return np.asarray([self._walk(row).prediction for row in X], dtype=np.int64)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() before predict_proba()")
+        X = np.asarray(X, dtype=np.float64)
+        return np.asarray([self._walk(row).probability for row in X])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y)
+        return float((self.predict(X) == y).mean())
+
+    def _walk(self, row: np.ndarray) -> _Node:
+        node = self._root
+        assert node is not None
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node
+
+    def depth(self) -> int:
+        def _d(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        if self._root is None:
+            raise RuntimeError("fit() before depth()")
+        return _d(self._root)

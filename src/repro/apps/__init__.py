@@ -1,0 +1,26 @@
+"""Application topologies: the paper's three microservice prototypes."""
+
+from repro.apps.calibration import CALIBRATIONS, AppCalibration
+from repro.apps.describe import describe_app, describe_plan
+from repro.apps.hotelreservation import hotelreservation
+from repro.apps.registry import APP_BUILDERS, app_names, build_app
+from repro.apps.sockshop import sockshop
+from repro.apps.spec import AppSpec, RequestClass, ServiceSpec, Stage
+from repro.apps.trainticket import trainticket
+
+__all__ = [
+    "AppSpec",
+    "ServiceSpec",
+    "RequestClass",
+    "Stage",
+    "sockshop",
+    "trainticket",
+    "hotelreservation",
+    "build_app",
+    "app_names",
+    "APP_BUILDERS",
+    "CALIBRATIONS",
+    "AppCalibration",
+    "describe_app",
+    "describe_plan",
+]

@@ -1,0 +1,59 @@
+"""Human-readable application descriptions (the Figs. 2-4 views as text)."""
+
+from __future__ import annotations
+
+from repro.apps.spec import AppSpec
+
+__all__ = ["describe_app", "describe_plan"]
+
+_TIER_ORDER = ("frontend", "logic", "queue", "cache", "db")
+
+
+def describe_app(app: AppSpec) -> str:
+    """A tiered service inventory like the paper's architecture figures."""
+    lines = [
+        f"{app.name}: {app.n_services} services, "
+        f"SLO {app.slo * 1000:g} ms, "
+        f"reference workload {app.reference_workload:g} rps",
+    ]
+    if app.description:
+        lines.append(app.description)
+    visit_rates = app.visit_rates
+    for tier in _TIER_ORDER:
+        members = [s for s in app.services if s.tier == tier]
+        if not members:
+            continue
+        lines.append(f"\n[{tier}]")
+        for svc in members:
+            lines.append(
+                f"  {svc.name:22s} {svc.language:10s} "
+                f"demand {svc.cpu_demand * 1000:6.3f} ms/visit  "
+                f"floor {svc.latency_floor * 1000:6.1f} ms  "
+                f"visits/req {visit_rates[svc.name]:5.2f}"
+            )
+    lines.append(f"\nrequest classes ({len(app.request_classes)}):")
+    for rc in app.request_classes:
+        lines.append(f"  {rc.name:12s} weight {rc.weight:.2f}  "
+                     f"{len(rc.stages)} stages")
+    return "\n".join(lines)
+
+
+def describe_plan(app: AppSpec, class_name: str) -> str:
+    """One request class's execution plan, stage by stage."""
+    for rc in app.request_classes:
+        if rc.name == class_name:
+            break
+    else:
+        raise KeyError(
+            f"unknown request class {class_name!r}; available: "
+            f"{', '.join(c.name for c in app.request_classes)}"
+        )
+    lines = [f"{app.name}/{rc.name} (weight {rc.weight:.2f}):"]
+    for i, stage in enumerate(rc.stages, start=1):
+        calls = ", ".join(
+            name if visits == 1.0 else f"{name} x{visits:g}"
+            for name, visits in stage.parallel
+        )
+        marker = "->" if len(stage.parallel) == 1 else "=>"
+        lines.append(f"  stage {i:2d} {marker} {calls}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""HotelReservation — 18-microservice DeathStarBench app (paper Fig. 4).
+
+All business logic in Go communicating over gRPC; Memcached for hot paths,
+MongoDB for persistence, Consul for service discovery.  Pre-populated with
+80 hotels and 500 users in the original benchmark.  SLO: p95 end-to-end
+response of **50 ms** (paper §2.1) — the tightest of the three prototypes,
+which is why throttling-induced tail latency dominates here.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import AppSpec, RequestClass, ServiceSpec, Stage
+
+__all__ = ["hotelreservation"]
+
+SLO_SECONDS = 0.050
+
+_SERVICES: tuple[tuple[str, float, float, float, str, str], ...] = (
+    ("frontend", 1.4, 3.2, 6.0, "frontend", "go"),
+    ("search", 1.1, 2.6, 5.0, "logic", "go"),
+    ("geo", 0.7, 1.8, 3.0, "logic", "go"),
+    ("rate", 0.8, 2.0, 3.5, "logic", "go"),
+    ("reserve", 0.9, 2.2, 3.5, "logic", "go"),
+    ("profile", 0.8, 2.0, 3.0, "logic", "go"),
+    ("recommend", 0.7, 1.8, 3.0, "logic", "go"),
+    ("user", 0.5, 1.5, 2.5, "logic", "go"),
+    ("consul", 0.2, 1.0, 2.0, "logic", "go"),
+    ("rate-memc", 0.3, 1.0, 2.0, "cache", "memcached"),
+    ("reserve-memc", 0.3, 1.0, 2.0, "cache", "memcached"),
+    ("profile-memc", 0.3, 1.0, 2.0, "cache", "memcached"),
+    ("geo-mongo", 0.5, 1.6, 3.0, "db", "mongodb"),
+    ("rate-mongo", 0.5, 1.6, 3.0, "db", "mongodb"),
+    ("profile-mongo", 0.5, 1.6, 3.0, "db", "mongodb"),
+    ("recommend-mongo", 0.5, 1.6, 3.0, "db", "mongodb"),
+    ("reserve-mongo", 0.5, 1.6, 3.0, "db", "mongodb"),
+    ("user-mongo", 0.4, 1.4, 3.0, "db", "mongodb"),
+)
+
+
+def _classes() -> tuple[RequestClass, ...]:
+    search = RequestClass(
+        name="search",
+        weight=0.60,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.fanout("search", ("consul", 0.2)),
+            Stage.fanout("geo", "rate"),
+            Stage.fanout(("geo-mongo", 0.5), "rate-memc", ("rate-mongo", 0.3)),
+            Stage.seq("profile"),
+            Stage.fanout("profile-memc", ("profile-mongo", 0.3)),
+        ),
+    )
+    recommend = RequestClass(
+        name="recommend",
+        weight=0.25,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.seq("recommend"),
+            Stage.seq("recommend-mongo"),
+            Stage.seq("profile"),
+            Stage.fanout("profile-memc", ("profile-mongo", 0.3)),
+        ),
+    )
+    reserve = RequestClass(
+        name="reserve",
+        weight=0.10,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.fanout("user", "reserve"),
+            Stage.fanout("user-mongo", "reserve-memc", ("reserve-mongo", 0.8)),
+        ),
+    )
+    login = RequestClass(
+        name="login",
+        weight=0.05,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.seq("user"),
+            Stage.seq("user-mongo"),
+        ),
+    )
+    return (search, recommend, reserve, login)
+
+
+# Go binaries and caches idle cheaply; Mongo instances carry a bit more.
+_BASELINE_BY_LANGUAGE = {
+    "go": 0.030,
+    "memcached": 0.012,
+    "mongodb": 0.042,
+}
+
+
+def hotelreservation(demand_scale: float = 1.0, floor_scale: float = 1.0) -> AppSpec:
+    """Build the HotelReservation application spec."""
+    services = tuple(
+        ServiceSpec(
+            name=name,
+            cpu_demand=demand_ms * 1e-3 * demand_scale,
+            latency_floor=floor_ms * 1e-3 * floor_scale,
+            burstiness=burst,
+            baseline_cores=_BASELINE_BY_LANGUAGE[lang],
+            tier=tier,
+            language=lang,
+        )
+        for name, demand_ms, floor_ms, burst, tier, lang in _SERVICES
+    )
+    return AppSpec(
+        name="hotelreservation",
+        services=services,
+        request_classes=_classes(),
+        slo=SLO_SECONDS,
+        hop_latency=0.0004,
+        reference_workload=500.0,
+        description="DeathStarBench hotel search/recommend/reserve over gRPC.",
+    )

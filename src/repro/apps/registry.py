@@ -1,0 +1,48 @@
+"""Registry of the paper's three prototype applications."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.calibration import CALIBRATIONS
+from repro.apps.hotelreservation import hotelreservation
+from repro.apps.sockshop import sockshop
+from repro.apps.spec import AppSpec
+from repro.apps.trainticket import trainticket
+
+__all__ = ["APP_BUILDERS", "build_app", "app_names"]
+
+APP_BUILDERS: dict[str, Callable[..., AppSpec]] = {
+    "sockshop": sockshop,
+    "trainticket": trainticket,
+    "hotelreservation": hotelreservation,
+}
+
+
+def app_names() -> tuple[str, ...]:
+    """Names of all registered applications."""
+    return tuple(sorted(APP_BUILDERS))
+
+
+def build_app(
+    name: str,
+    *,
+    demand_scale: float | None = None,
+    floor_scale: float | None = None,
+) -> AppSpec:
+    """Build an application spec with calibrated scales.
+
+    Passing explicit scales overrides the calibration (used by the
+    calibration fitting itself and by what-if experiments).
+    """
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; available: {', '.join(app_names())}"
+        ) from None
+    cal = CALIBRATIONS[name]
+    return builder(
+        demand_scale=cal.demand_scale if demand_scale is None else demand_scale,
+        floor_scale=cal.floor_scale if floor_scale is None else floor_scale,
+    )

@@ -1,0 +1,123 @@
+"""SockShop — 13-microservice e-commerce prototype (paper Fig. 2).
+
+Front-end in NodeJS, ``orders``/``carts``/``queue-master`` in Java, the rest
+in Go; MySQL behind the catalogue and MongoDB behind user/orders/carts;
+RabbitMQ connects shipping to queue-master.  SLO: p95 end-to-end response
+of **250 ms** (paper §2.1).
+
+Demand/floor scales are calibrated in :mod:`repro.apps.calibration` so that
+the optimum total CPU lands near the paper's reported values (≈8.8 CPU at
+700 rps, Fig. 11; 6.3/7.7/14.1 at 250/550/950 rps, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import AppSpec, RequestClass, ServiceSpec, Stage
+
+__all__ = ["sockshop"]
+
+SLO_SECONDS = 0.250
+
+# (name, cpu_demand_ms, floor_ms, burstiness, tier, language)
+_SERVICES: tuple[tuple[str, float, float, float, str, str], ...] = (
+    ("frontend", 3.0, 16.0, 7.0, "frontend", "nodejs"),
+    ("catalogue", 1.2, 8.0, 3.0, "logic", "go"),
+    ("catalogue-db", 1.5, 10.0, 4.0, "db", "mysql"),
+    ("user", 0.8, 6.0, 3.0, "logic", "go"),
+    ("user-db", 1.0, 8.0, 4.0, "db", "mongodb"),
+    ("carts", 2.2, 12.0, 6.0, "logic", "java"),
+    ("carts-db", 1.2, 8.0, 4.0, "db", "mongodb"),
+    ("orders", 2.5, 14.0, 6.0, "logic", "java"),
+    ("orders-db", 1.2, 8.0, 4.0, "db", "mongodb"),
+    ("payment", 0.5, 5.0, 2.5, "logic", "go"),
+    ("shipping", 0.6, 5.0, 2.5, "logic", "go"),
+    ("queue", 0.4, 4.0, 2.0, "queue", "rabbitmq"),
+    ("queue-master", 0.8, 6.0, 3.0, "logic", "java"),
+)
+
+
+def _classes() -> tuple[RequestClass, ...]:
+    browse = RequestClass(
+        name="browse",
+        weight=0.45,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.seq("catalogue"),
+            Stage.seq("catalogue-db", 2.0),
+        ),
+    )
+    login = RequestClass(
+        name="login",
+        weight=0.20,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.seq("user"),
+            Stage.seq("user-db"),
+        ),
+    )
+    cart = RequestClass(
+        name="cart",
+        weight=0.20,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.fanout("carts", ("user", 0.5)),
+            Stage.seq("carts-db"),
+        ),
+    )
+    checkout = RequestClass(
+        name="checkout",
+        weight=0.15,
+        stages=(
+            Stage.seq("frontend"),
+            Stage.seq("orders"),
+            Stage.fanout("carts", "user", "payment"),
+            Stage.seq("orders-db"),
+            Stage.seq("shipping"),
+            Stage.seq("queue"),
+            Stage.seq("queue-master"),
+        ),
+    )
+    return (browse, login, cart, checkout)
+
+
+# Fixed runtime overhead per service (smaller stack than TrainTicket's
+# JVM fleet, but the Java services still idle-burn CPU).
+_BASELINE_BY_LANGUAGE = {
+    "nodejs": 0.10,
+    "java": 0.12,
+    "go": 0.03,
+    "mysql": 0.06,
+    "mongodb": 0.05,
+    "rabbitmq": 0.04,
+}
+
+
+def sockshop(demand_scale: float = 1.0, floor_scale: float = 1.0) -> AppSpec:
+    """Build the SockShop application spec.
+
+    ``demand_scale``/``floor_scale`` multiply every service's CPU demand and
+    latency floor; callers normally leave them at 1.0 and rely on
+    :func:`repro.apps.registry.build_app`, which applies the calibrated
+    values.
+    """
+    services = tuple(
+        ServiceSpec(
+            name=name,
+            cpu_demand=demand_ms * 1e-3 * demand_scale,
+            latency_floor=floor_ms * 1e-3 * floor_scale,
+            burstiness=burst,
+            baseline_cores=_BASELINE_BY_LANGUAGE[lang],
+            tier=tier,
+            language=lang,
+        )
+        for name, demand_ms, floor_ms, burst, tier, lang in _SERVICES
+    )
+    return AppSpec(
+        name="sockshop",
+        services=services,
+        request_classes=_classes(),
+        slo=SLO_SECONDS,
+        hop_latency=0.001,
+        reference_workload=700.0,
+        description="E-commerce demo: catalogue browsing, carts, checkout.",
+    )

@@ -1,0 +1,181 @@
+"""TrainTicket — 41-microservice train-booking system (paper Fig. 3).
+
+The largest of the three prototypes: a gateway, 24 business-logic services
+arranged in five dependency layers (upper layers call lower ones, with some
+intra-layer calls), and 16 MySQL/MongoDB stores.  Implemented in the
+original system with Java/NodeJS/Python/Go; covers synchronous and
+asynchronous invocation and message queues.  SLO: p95 end-to-end response
+of **900 ms** (paper §2.1).
+
+``seat``, ``basic`` and ``ticketinfo`` are the services the paper probes in
+Fig. 8 and Table 1; their burstiness values are set so their bottleneck
+utilizations spread over ≈15 %–25 % as measured there.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import AppSpec, RequestClass, ServiceSpec, Stage
+
+__all__ = ["trainticket"]
+
+SLO_SECONDS = 0.900
+
+# (name, cpu_demand_ms, floor_ms, burstiness, tier, language)
+_SERVICES: tuple[tuple[str, float, float, float, str, str], ...] = (
+    ("gateway", 2.8, 40.0, 5.0, "frontend", "nodejs"),
+    # --- single sign-on layer
+    ("sso", 1.2, 30.0, 3.5, "logic", "java"),
+    ("login", 1.0, 28.0, 3.0, "logic", "java"),
+    ("verify-code", 0.8, 22.0, 3.0, "logic", "python"),
+    ("register", 0.6, 24.0, 2.5, "logic", "java"),
+    # --- travel / search layer
+    ("travel", 2.4, 90.0, 4.5, "logic", "java"),
+    ("travel2", 1.8, 80.0, 4.0, "logic", "java"),
+    # seat/basic/ticketinfo burstiness chosen so their bottleneck
+    # utilizations land near the paper's Fig. 8(a): ~15% / ~20% / ~25%.
+    ("ticketinfo", 4.0, 70.0, 0.40, "logic", "java"),
+    ("basic", 2.0, 60.0, 0.48, "logic", "java"),
+    ("seat", 1.6, 70.0, 1.07, "logic", "java"),
+    # --- supporting info layer
+    ("station", 0.9, 20.0, 2.5, "logic", "java"),
+    ("train", 0.8, 18.0, 2.5, "logic", "java"),
+    ("config", 0.6, 15.0, 2.0, "logic", "java"),
+    ("price", 0.8, 18.0, 2.5, "logic", "java"),
+    ("contacts", 0.7, 20.0, 2.5, "logic", "java"),
+    # --- ordering layer
+    ("order", 2.2, 55.0, 4.5, "logic", "java"),
+    ("order-other", 1.4, 45.0, 3.5, "logic", "java"),
+    ("preserve", 2.0, 65.0, 4.5, "logic", "java"),
+    ("cancel", 1.0, 40.0, 3.0, "logic", "java"),
+    ("rebook", 1.0, 42.0, 3.0, "logic", "java"),
+    ("execute", 0.9, 35.0, 3.0, "logic", "java"),
+    # --- payment & misc layer
+    ("pay", 1.2, 38.0, 3.5, "logic", "java"),
+    ("inside-pay", 1.1, 36.0, 3.5, "logic", "java"),
+    ("security", 0.9, 30.0, 3.0, "logic", "java"),
+    ("notify", 0.6, 25.0, 2.5, "logic", "go"),
+    # --- data stores
+    ("auth-db", 0.8, 16.0, 3.5, "db", "mysql"),
+    ("user-db", 0.8, 16.0, 3.5, "db", "mongodb"),
+    ("verify-db", 0.4, 10.0, 2.5, "db", "redis"),
+    ("station-db", 0.6, 14.0, 3.0, "db", "mongodb"),
+    ("train-db", 0.5, 13.0, 3.0, "db", "mongodb"),
+    ("config-db", 0.4, 12.0, 2.5, "db", "mongodb"),
+    ("price-db", 0.5, 13.0, 3.0, "db", "mongodb"),
+    ("contacts-db", 0.5, 13.0, 3.0, "db", "mongodb"),
+    ("travel-db", 1.0, 18.0, 3.5, "db", "mongodb"),
+    ("travel2-db", 0.8, 16.0, 3.5, "db", "mongodb"),
+    ("order-db", 1.1, 18.0, 4.0, "db", "mysql"),
+    ("order-other-db", 0.7, 15.0, 3.0, "db", "mysql"),
+    ("security-db", 0.4, 12.0, 2.5, "db", "mysql"),
+    ("payment-db", 0.6, 14.0, 3.0, "db", "mysql"),
+    ("inside-payment-db", 0.6, 14.0, 3.0, "db", "mysql"),
+    ("rebook-db", 0.4, 12.0, 2.5, "db", "mysql"),
+)
+
+
+def _classes() -> tuple[RequestClass, ...]:
+    search = RequestClass(
+        name="search",
+        weight=0.40,
+        stages=(
+            Stage.seq("gateway"),
+            Stage.fanout("travel", ("travel2", 0.6)),
+            Stage.fanout("travel-db", ("travel2-db", 0.6)),
+            Stage.seq("ticketinfo"),
+            Stage.seq("basic"),
+            Stage.fanout("station", "train", "config", "price"),
+            Stage.fanout("station-db", "train-db", ("config-db", 0.5), "price-db"),
+            Stage.seq("seat", 2.0),
+            Stage.fanout("order-db", ("config-db", 0.5)),
+        ),
+    )
+    book = RequestClass(
+        name="book",
+        weight=0.25,
+        stages=(
+            Stage.seq("gateway"),
+            Stage.seq("preserve"),
+            Stage.fanout("sso", "contacts", "security"),
+            Stage.fanout("auth-db", "contacts-db", "security-db"),
+            Stage.seq("ticketinfo"),
+            Stage.seq("basic"),
+            Stage.fanout("station", ("price", 0.5)),
+            Stage.seq("station-db"),
+            Stage.seq("seat", 1.0),
+            Stage.seq("order"),
+            Stage.seq("order-db"),
+            Stage.seq("notify"),
+        ),
+    )
+    pay = RequestClass(
+        name="pay",
+        weight=0.15,
+        stages=(
+            Stage.seq("gateway"),
+            Stage.seq("inside-pay"),
+            Stage.fanout("pay", ("order", 0.8)),
+            Stage.fanout("payment-db", "inside-payment-db", ("order-db", 0.8)),
+        ),
+    )
+    manage = RequestClass(
+        name="manage",
+        weight=0.10,
+        stages=(
+            Stage.seq("gateway"),
+            Stage.fanout(("cancel", 0.4), ("rebook", 0.3), ("execute", 0.3)),
+            Stage.fanout("order", ("order-other", 0.5)),
+            Stage.fanout("order-db", ("order-other-db", 0.5), ("rebook-db", 0.3)),
+            Stage.fanout(("inside-pay", 0.4), ("notify", 0.8)),
+            Stage.seq("inside-payment-db", 0.4),
+        ),
+    )
+    login = RequestClass(
+        name="login",
+        weight=0.10,
+        stages=(
+            Stage.seq("gateway"),
+            Stage.seq("sso"),
+            Stage.fanout("login", ("verify-code", 0.7), ("register", 0.1)),
+            Stage.fanout("auth-db", "user-db", ("verify-db", 0.7)),
+        ),
+    )
+    return (search, book, pay, manage, login)
+
+
+# Workload-independent CPU demand by runtime (JVM-heavy stack): this fixed
+# load is why TrainTicket's optimum barely grows with workload (Fig. 5).
+_BASELINE_BY_LANGUAGE = {
+    "java": 0.126,
+    "nodejs": 0.090,
+    "python": 0.045,
+    "go": 0.030,
+    "mysql": 0.054,
+    "mongodb": 0.048,
+    "redis": 0.024,
+}
+
+
+def trainticket(demand_scale: float = 1.0, floor_scale: float = 1.0) -> AppSpec:
+    """Build the TrainTicket application spec."""
+    services = tuple(
+        ServiceSpec(
+            name=name,
+            cpu_demand=demand_ms * 1e-3 * demand_scale,
+            latency_floor=floor_ms * 1e-3 * floor_scale,
+            burstiness=burst,
+            baseline_cores=_BASELINE_BY_LANGUAGE[lang],
+            tier=tier,
+            language=lang,
+        )
+        for name, demand_ms, floor_ms, burst, tier, lang in _SERVICES
+    )
+    return AppSpec(
+        name="trainticket",
+        services=services,
+        request_classes=_classes(),
+        slo=SLO_SECONDS,
+        hop_latency=0.002,
+        reference_workload=200.0,
+        description="Train-ticket booking: search, book, pay, manage, login.",
+    )

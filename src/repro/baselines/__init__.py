@@ -1,0 +1,12 @@
+"""Benchmark resource-allocation strategies: OPTM, RULE, static."""
+
+from repro.baselines.optm import OptimumResult, OptimumSearch
+from repro.baselines.rule import RuleBasedAutoscaler
+from repro.baselines.static import StaticAllocator
+
+__all__ = [
+    "OptimumSearch",
+    "OptimumResult",
+    "RuleBasedAutoscaler",
+    "StaticAllocator",
+]

@@ -1,0 +1,197 @@
+"""OPTM — the paper's optimum-allocation benchmark (§4.2).
+
+The paper finds the optimum by exhaustive trial and error on the live
+system and defines it operationally: *an allocation is optimum when
+reducing any single microservice by 0.1 CPU violates the SLO*.  We
+automate exactly that definition against the (noise-free) performance
+model: greedy coordinate descent from a generous allocation, with random
+service orderings and multiple restarts to avoid order artifacts.
+
+As the paper notes, OPTM is not a practical manager — it causes many
+violations while probing — it is the upper bound on achievable resource
+efficiency that PEMA is measured against (Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.engine import AnalyticalEngine
+from repro.sim.types import Allocation
+
+__all__ = ["OptimumResult", "OptimumSearch"]
+
+
+@dataclass(frozen=True)
+class OptimumResult:
+    """Outcome of one optimum search."""
+
+    allocation: Allocation
+    latency: float
+    workload: float
+    evaluations: int
+
+    @property
+    def total_cpu(self) -> float:
+        return self.allocation.total()
+
+
+class OptimumSearch:
+    """Coordinate-descent minimum-resource search on the noiseless model."""
+
+    def __init__(
+        self,
+        engine: AnalyticalEngine,
+        *,
+        step: float = 0.1,
+        min_cpu: float = 0.05,
+        restarts: int = 3,
+        seed: int = 0,
+        deep: bool = False,
+    ) -> None:
+        """``deep=True`` adds a pairwise-redistribution polish (+1 step on
+        one service, -2 on another) beyond the paper's single-coordinate
+        definition.  The default matches the paper: its optimum was found
+        by manual trial and error and declared optimal when *any single*
+        -0.1 CPU step violated the SLO — coordinated multi-service moves
+        were not part of the search."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if min_cpu <= 0:
+            raise ValueError("min_cpu must be positive")
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        self.engine = engine
+        self.step = step
+        self.min_cpu = min_cpu
+        self.restarts = restarts
+        self.seed = seed
+        self.deep = deep
+
+    def find(
+        self, workload_rps: float, start: Allocation | None = None
+    ) -> OptimumResult:
+        """Best local optimum across restarts (lowest total CPU).
+
+        Each restart: (1) uniformly scale the start down to the SLO
+        boundary — the balanced entry point a careful human searcher would
+        use; (2) greedy per-service coordinate descent in 0.1-CPU steps.
+        With ``deep=True``, a pairwise-redistribution stage (3) escapes
+        boundary points plain descent gets stuck on; either way the result
+        satisfies the paper's local-optimality definition.
+        """
+        app = self.engine.app
+        base = start if start is not None else app.generous_allocation(workload_rps)
+        if self.engine.noiseless_latency(base, workload_rps) > app.slo:
+            raise ValueError(
+                "starting allocation already violates the SLO; "
+                "increase headroom or lower the workload"
+            )
+        best: OptimumResult | None = None
+        evaluations = 0
+        for restart in range(self.restarts):
+            rng = np.random.default_rng((self.seed, restart))
+            # The balanced scale-to-boundary entry dominates raw descent;
+            # keep one raw-descent restart for diversity when available.
+            alloc = (
+                self._scale_to_boundary(base, workload_rps)
+                if restart != 1
+                else base
+            )
+            alloc, evals = self._descend(alloc, workload_rps, rng)
+            evaluations += evals
+            if self.deep:
+                alloc, evals = self._redistribute(alloc, workload_rps, rng)
+                evaluations += evals
+                # Redistribution may open new descent directions.
+                alloc, evals = self._descend(alloc, workload_rps, rng)
+                evaluations += evals
+            latency = self.engine.noiseless_latency(alloc, workload_rps)
+            candidate = OptimumResult(
+                allocation=alloc,
+                latency=latency,
+                workload=workload_rps,
+                evaluations=evaluations,
+            )
+            if best is None or candidate.total_cpu < best.total_cpu:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _scale_to_boundary(self, start: Allocation, workload: float) -> Allocation:
+        """Largest uniform shrink of ``start`` that still satisfies the SLO."""
+        slo = self.engine.app.slo
+        lo, hi = 0.05, 1.0
+        for _ in range(30):
+            mid = 0.5 * (lo + hi)
+            trial = start.scale(mid).clamp(lower=self.min_cpu)
+            if self.engine.noiseless_latency(trial, workload) <= slo:
+                hi = mid
+            else:
+                lo = mid
+        return start.scale(hi).clamp(lower=self.min_cpu)
+
+    def _redistribute(
+        self, alloc: Allocation, workload: float, rng: np.random.Generator
+    ) -> tuple[Allocation, int]:
+        """Net-negative pair moves: grow one service a step, shrink another two."""
+        slo = self.engine.app.slo
+        names = list(self.engine.app.service_names)
+        evals = 0
+        improved = True
+        while improved:
+            improved = False
+            rng.shuffle(names)
+            for grow in names:
+                for shrink in names:
+                    if grow == shrink:
+                        continue
+                    reduced = alloc[shrink] - 2.0 * self.step
+                    if reduced < self.min_cpu - 1e-12:
+                        continue
+                    trial = alloc.with_value(grow, alloc[grow] + self.step)
+                    trial = trial.with_value(shrink, reduced)
+                    evals += 1
+                    if self.engine.noiseless_latency(trial, workload) <= slo:
+                        alloc = trial
+                        improved = True
+        return alloc, evals
+
+    def _descend(
+        self, start: Allocation, workload: float, rng: np.random.Generator
+    ) -> tuple[Allocation, int]:
+        app = self.engine.app
+        slo = app.slo
+        alloc = start
+        evals = 0
+        names = list(app.service_names)
+        improved = True
+        while improved:
+            improved = False
+            rng.shuffle(names)
+            for name in names:
+                # Shrink this service as far as it goes before violating.
+                while alloc[name] - self.step >= self.min_cpu - 1e-12:
+                    trial = alloc.with_value(name, alloc[name] - self.step)
+                    evals += 1
+                    if self.engine.noiseless_latency(trial, workload) > slo:
+                        break
+                    alloc = trial
+                    improved = True
+        return alloc, evals
+
+    def is_local_optimum(self, allocation: Allocation, workload: float) -> bool:
+        """The paper's optimality check: any single -0.1 step violates."""
+        app = self.engine.app
+        if self.engine.noiseless_latency(allocation, workload) > app.slo:
+            return False
+        for name in app.service_names:
+            reduced = allocation[name] - self.step
+            if reduced < self.min_cpu - 1e-12:
+                continue
+            trial = allocation.with_value(name, reduced)
+            if self.engine.noiseless_latency(trial, workload) <= app.slo:
+                return False
+        return True

@@ -1,0 +1,25 @@
+"""Static allocator — holds a fixed allocation forever.
+
+Used as the fixed-allocation probe in several experiments (slope learning,
+good-vs-bad distribution studies) and as a trivial sanity baseline.
+"""
+
+from __future__ import annotations
+
+from repro.sim.types import Allocation, IntervalMetrics
+
+__all__ = ["StaticAllocator"]
+
+
+class StaticAllocator:
+    """An autoscaler that never scales."""
+
+    def __init__(self, allocation: Allocation) -> None:
+        self._allocation = allocation
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    def decide(self, metrics: IntervalMetrics) -> Allocation:  # noqa: ARG002
+        return self._allocation

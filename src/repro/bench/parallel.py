@@ -1,0 +1,95 @@
+"""Parallel experiment execution.
+
+The evaluation repeats many independent, seeded runs (Fig. 15 averages,
+the α/β sweeps, ablation seeds).  These are embarrassingly parallel and
+CPU-bound, so they fan out over processes; results come back in submission
+order for determinism.
+
+Worker payloads are (module-level function, kwargs) pairs so they pickle
+cleanly; pass ``max_workers=1`` to run inline (useful under debuggers and
+coverage).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["run_parallel", "parallel_pema_totals", "default_workers"]
+
+
+def default_workers() -> int:
+    """A conservative worker count: physical-ish cores, at least 1."""
+    cpus = os.cpu_count() or 1
+    return max(1, min(cpus - 1, 8))
+
+
+def run_parallel(
+    fn: Callable[..., Any],
+    kwargs_list: Sequence[dict],
+    *,
+    max_workers: int | None = None,
+) -> list[Any]:
+    """Run ``fn(**kwargs)`` for every kwargs dict, possibly in parallel.
+
+    ``fn`` must be picklable (module-level).  Results are returned in the
+    order of ``kwargs_list``.  Exceptions propagate to the caller.
+    """
+    if not kwargs_list:
+        return []
+    workers = default_workers() if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if workers == 1 or len(kwargs_list) == 1:
+        return [fn(**kw) for kw in kwargs_list]
+    with ProcessPoolExecutor(max_workers=min(workers, len(kwargs_list))) as pool:
+        futures = [pool.submit(fn, **kw) for kw in kwargs_list]
+        return [f.result() for f in futures]
+
+
+def _settled_total(app_name: str, workload: float, n_steps: int, seed: int,
+                   alpha: float, beta: float) -> float:
+    # Module-level worker so it pickles under the spawn start method.
+    from repro.bench.runner import pema_run
+    from repro.core import PEMAConfig
+
+    run = pema_run(
+        app_name,
+        workload,
+        n_steps,
+        config=PEMAConfig(alpha=alpha, beta=beta),
+        seed=seed,
+    )
+    return run.result.settled_total()
+
+
+def parallel_pema_totals(
+    app_name: str,
+    workload: float,
+    *,
+    n_steps: int = 60,
+    runs: int = 4,
+    base_seed: int = 0,
+    alpha: float = 0.5,
+    beta: float = 0.3,
+    max_workers: int | None = None,
+) -> np.ndarray:
+    """Settled PEMA totals across seeds, fanned out over processes."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    kwargs_list = [
+        dict(
+            app_name=app_name,
+            workload=workload,
+            n_steps=n_steps,
+            seed=base_seed + i,
+            alpha=alpha,
+            beta=beta,
+        )
+        for i in range(runs)
+    ]
+    totals = run_parallel(_settled_total, kwargs_list, max_workers=max_workers)
+    return np.asarray(totals, dtype=np.float64)

@@ -1,0 +1,127 @@
+"""Shared experiment drivers for the benchmark suite.
+
+The evaluation figures repeat a few patterns — run PEMA to convergence at a
+fixed workload, find the optimum, run RULE — so they live here with
+deterministic seeding and a per-process OPTM cache (the optimum search is
+deterministic, and several figures reuse the same (app, workload) points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import build_app
+from repro.apps.spec import AppSpec
+from repro.baselines import OptimumSearch, RuleBasedAutoscaler
+from repro.core import ControlLoop, LoopResult, PEMAConfig, PEMAController
+from repro.sim import AnalyticalEngine
+from repro.workload import ConstantWorkload
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "pema_run",
+    "PEMARun",
+    "optimum_total",
+    "rule_total",
+    "average_pema_total",
+    "clear_caches",
+]
+
+_OPTM_CACHE: dict[tuple[str, float], float] = {}
+
+
+@dataclass
+class PEMARun:
+    """A completed PEMA run plus its controller (for state inspection)."""
+
+    result: LoopResult
+    controller: PEMAController
+    engine: AnalyticalEngine
+    app: AppSpec
+
+
+def pema_run(
+    app_name: str,
+    workload: float | WorkloadTrace,
+    n_steps: int,
+    *,
+    config: PEMAConfig | None = None,
+    seed: int = 0,
+    interval: float = 120.0,
+    headroom: float = 2.0,
+    slo: float | None = None,
+    on_step=None,
+) -> PEMARun:
+    """Run plain PEMA on one app from a generous start."""
+    app = build_app(app_name)
+    trace = (
+        ConstantWorkload(workload) if isinstance(workload, (int, float)) else workload
+    )
+    ref = trace.rate(0.0)
+    engine = AnalyticalEngine(app, seed=seed + 1000)
+    controller = PEMAController(
+        app.service_names,
+        slo if slo is not None else app.slo,
+        app.generous_allocation(ref, headroom=headroom),
+        config or PEMAConfig(),
+        seed=seed,
+    )
+    loop = ControlLoop(engine, controller, trace, interval=interval)
+    result = loop.run(n_steps, on_step=on_step)
+    return PEMARun(result=result, controller=controller, engine=engine, app=app)
+
+
+def optimum_total(app_name: str, workload: float, *, restarts: int = 2) -> float:
+    """Cached OPTM total CPU for (app, workload)."""
+    key = (app_name, round(float(workload), 6))
+    if key not in _OPTM_CACHE:
+        app = build_app(app_name)
+        engine = AnalyticalEngine(app)
+        _OPTM_CACHE[key] = OptimumSearch(engine, restarts=restarts).find(
+            workload
+        ).total_cpu
+    return _OPTM_CACHE[key]
+
+
+def rule_total(
+    app_name: str,
+    workload: float,
+    *,
+    n_steps: int = 30,
+    seed: int = 0,
+    mode: str = "utilization",
+) -> float:
+    """Converged RULE total CPU for (app, workload)."""
+    app = build_app(app_name)
+    engine = AnalyticalEngine(app, seed=seed + 2000)
+    rule = RuleBasedAutoscaler(app.generous_allocation(workload), mode=mode)
+    result = ControlLoop(
+        engine, rule, ConstantWorkload(workload), slo=app.slo
+    ).run(n_steps)
+    return result.settled_total()
+
+
+def average_pema_total(
+    app_name: str,
+    workload: float,
+    *,
+    n_steps: int = 60,
+    runs: int = 3,
+    config: PEMAConfig | None = None,
+    base_seed: int = 0,
+) -> float:
+    """Mean settled PEMA total across seeds (Fig. 15 averages repeated runs)."""
+    totals = [
+        pema_run(
+            app_name, workload, n_steps, config=config, seed=base_seed + i
+        ).result.settled_total()
+        for i in range(runs)
+    ]
+    return float(np.mean(totals))
+
+
+def clear_caches() -> None:
+    """Reset the OPTM cache (tests that tweak calibration need this)."""
+    _OPTM_CACHE.clear()

@@ -1,0 +1,59 @@
+"""ASCII table/series formatting for benchmark reports.
+
+Every benchmark prints the rows/series of the figure or table it
+regenerates; these helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A two-column series (what a figure panel plots)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    return format_table([x_label, y_label], list(zip(xs, ys)), title=name)
+
+
+def format_kv(title: str, pairs: Iterable[tuple[str, object]]) -> str:
+    """Key/value summary block."""
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key}: {_cell(value)}")
+    return "\n".join(lines)

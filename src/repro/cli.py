@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``apps``
+    List the registered prototype applications.
+``run``
+    Run PEMA against a simulated deployment and print the trajectory.
+``optimum``
+    Find the OPTM allocation for an app/workload (paper §4.2 definition).
+``compare``
+    PEMA vs OPTM vs RULE at one operating point (a Fig. 15 cell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps import app_names, build_app
+from repro.baselines import OptimumSearch, RuleBasedAutoscaler
+from repro.core import (
+    ControlLoop,
+    FastReactionLoop,
+    PEMAConfig,
+    PEMAController,
+)
+from repro.sim import AnalyticalEngine
+from repro.workload import ConstantWorkload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PEMA (HPDC '22) reproduction: practical efficient "
+        "microservice autoscaling with QoS assurance.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the prototype applications")
+
+    desc = sub.add_parser("describe", help="show one application's topology")
+    desc.add_argument("--app", default="sockshop", choices=app_names())
+    desc.add_argument("--plan", default=None,
+                      help="also show one request class's execution plan")
+
+    run = sub.add_parser("run", help="run PEMA on a simulated deployment")
+    _common_args(run)
+    run.add_argument("--iterations", type=int, default=70)
+    run.add_argument("--alpha", type=float, default=0.5)
+    run.add_argument("--beta", type=float, default=0.3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--every", type=int, default=5,
+                     help="print every Nth interval")
+    run.add_argument("--fast", action="store_true",
+                     help="enable sub-interval violation mitigation (§6)")
+
+    opt = sub.add_parser("optimum", help="search the OPTM allocation")
+    _common_args(opt)
+    opt.add_argument("--restarts", type=int, default=2)
+    opt.add_argument("--deep", action="store_true",
+                     help="enable pairwise redistribution beyond the "
+                     "paper's single-coordinate definition")
+
+    cmp_ = sub.add_parser("compare", help="PEMA vs OPTM vs RULE")
+    _common_args(cmp_)
+    cmp_.add_argument("--iterations", type=int, default=60)
+    cmp_.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _common_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--app", default="sockshop", choices=app_names())
+    sub.add_argument("--workload", type=float, default=None,
+                     help="requests per second (default: the app's "
+                     "reference workload)")
+
+
+def _cmd_apps() -> int:
+    print(f"{'app':20s} {'services':>8s} {'SLO_ms':>7s} {'ref_rps':>8s}")
+    for name in app_names():
+        app = build_app(name)
+        print(f"{name:20s} {app.n_services:8d} {app.slo * 1000:7.0f} "
+              f"{app.reference_workload:8.0f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    app = build_app(args.app)
+    workload = args.workload or app.reference_workload
+    config = PEMAConfig(alpha=args.alpha, beta=args.beta)
+    engine = AnalyticalEngine(app, seed=args.seed + 1000)
+    controller = PEMAController(
+        app.service_names, app.slo, app.generous_allocation(workload),
+        config, seed=args.seed,
+    )
+    trace = ConstantWorkload(workload)
+    if args.fast:
+        loop = FastReactionLoop(engine, controller, trace)
+        result = loop.run(args.iterations)
+    else:
+        result = ControlLoop(engine, controller, trace).run(args.iterations)
+    print(f"# {args.app} @ {workload:.0f} rps, SLO {app.slo * 1000:.0f} ms, "
+          f"alpha={args.alpha} beta={args.beta}"
+          + (" (fast monitor)" if args.fast else ""))
+    print("iter  total_cpu  p95_ms  violated")
+    for record in result.records[:: max(args.every, 1)]:
+        print(f"{record.step:4d}  {record.total_cpu:9.2f}  "
+              f"{record.response * 1000:6.0f}  "
+              f"{'x' if record.violated else ''}")
+    print(f"\nsettled total CPU : {result.settled_total():.2f}")
+    print(f"violations        : {result.violation_count()}"
+          f"/{len(result)} intervals")
+    if args.fast:
+        print(f"violation exposure: {result.violation_exposure() * 100:.1f}% "
+              f"of wall-clock time ({result.mitigations} fast mitigations)")
+    return 0
+
+
+def _cmd_optimum(args: argparse.Namespace) -> int:
+    app = build_app(args.app)
+    workload = args.workload or app.reference_workload
+    engine = AnalyticalEngine(app)
+    search = OptimumSearch(engine, restarts=args.restarts, deep=args.deep)
+    result = search.find(workload)
+    print(f"# OPTM for {args.app} @ {workload:.0f} rps "
+          f"({result.evaluations} evaluations)")
+    for name in app.service_names:
+        print(f"  {name:20s} {result.allocation[name]:6.2f}")
+    print(f"total CPU : {result.total_cpu:.2f}")
+    print(f"latency   : {result.latency * 1000:.1f} ms "
+          f"(SLO {app.slo * 1000:.0f} ms)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    app = build_app(args.app)
+    workload = args.workload or app.reference_workload
+    start = app.generous_allocation(workload)
+    optimum = OptimumSearch(AnalyticalEngine(app), restarts=2).find(workload)
+    pema = PEMAController(
+        app.service_names, app.slo, start, seed=args.seed
+    )
+    pema_total = (
+        ControlLoop(
+            AnalyticalEngine(app, seed=args.seed + 1), pema,
+            ConstantWorkload(workload),
+        )
+        .run(args.iterations)
+        .settled_total()
+    )
+    rule = RuleBasedAutoscaler(start)
+    rule_total = (
+        ControlLoop(
+            AnalyticalEngine(app, seed=args.seed + 2), rule,
+            ConstantWorkload(workload), slo=app.slo,
+        )
+        .run(25)
+        .settled_total()
+    )
+    print(f"# {args.app} @ {workload:.0f} rps")
+    print(f"OPTM : {optimum.total_cpu:7.2f} CPU")
+    print(f"PEMA : {pema_total:7.2f} CPU  "
+          f"({pema_total / optimum.total_cpu:.2f}x optimum)")
+    print(f"RULE : {rule_total:7.2f} CPU  "
+          f"(PEMA saves {(1 - pema_total / rule_total) * 100:.0f}%)")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.apps.describe import describe_app, describe_plan
+
+    app = build_app(args.app)
+    print(describe_app(app))
+    if args.plan is not None:
+        print()
+        print(describe_plan(app, args.plan))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "apps":
+        return _cmd_apps()
+    if args.command == "describe":
+        return _cmd_describe(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "optimum":
+        return _cmd_optimum(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

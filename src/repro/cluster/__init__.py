@@ -1,0 +1,22 @@
+"""Kubernetes-like cluster substrate: nodes, pods, scheduler, resizes."""
+
+from repro.cluster.cluster import NOMINAL_FREQUENCY_GHZ, Cluster
+from repro.cluster.errors import CapacityError, ClusterError, SchedulingError
+from repro.cluster.horizontal import HorizontalRuleAutoscaler, ReplicaAllocator
+from repro.cluster.node import Node, paper_testbed_nodes
+from repro.cluster.pod import Pod
+from repro.cluster.scheduler import Scheduler
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Pod",
+    "Scheduler",
+    "ReplicaAllocator",
+    "HorizontalRuleAutoscaler",
+    "paper_testbed_nodes",
+    "NOMINAL_FREQUENCY_GHZ",
+    "ClusterError",
+    "SchedulingError",
+    "CapacityError",
+]

@@ -1,0 +1,117 @@
+"""Cluster state: nodes + deployed pods + vertical resize path.
+
+This is the actuation surface of the control loop — the equivalent of
+``kubectl patch`` updating CPU limits.  It validates aggregate and per-node
+capacity, reschedules when a resize over-commits a node, and models the
+CPU-frequency knob used in the paper's Fig. 19 adaptability experiment.
+"""
+
+from __future__ import annotations
+
+from repro.apps.spec import AppSpec
+from repro.cluster.errors import CapacityError
+from repro.cluster.node import Node, paper_testbed_nodes
+from repro.cluster.pod import Pod
+from repro.cluster.scheduler import Scheduler
+from repro.sim.types import Allocation
+
+__all__ = ["Cluster"]
+
+NOMINAL_FREQUENCY_GHZ = 1.8
+"""The paper's baseline clock speed (Fig. 19 switches 1.8 -> 1.6 -> 2.0)."""
+
+
+class Cluster:
+    """A small Kubernetes-like cluster hosting one application."""
+
+    def __init__(
+        self,
+        nodes: list[Node] | None = None,
+        frequency_ghz: float = NOMINAL_FREQUENCY_GHZ,
+    ) -> None:
+        self.nodes = nodes if nodes is not None else paper_testbed_nodes()
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+        self.scheduler = Scheduler()
+        self.pods: dict[str, Pod] = {}
+        self._app: AppSpec | None = None
+        self._frequency_ghz = 0.0
+        self.set_frequency(frequency_ghz)
+        self.resize_count = 0
+        self.moves_count = 0
+
+    # -- capacity ---------------------------------------------------------------
+    @property
+    def cpu_capacity(self) -> float:
+        return sum(n.cpu_capacity for n in self.nodes)
+
+    @property
+    def cpu_allocated(self) -> float:
+        return sum(p.cpu_request for p in self.pods.values())
+
+    # -- frequency knob -----------------------------------------------------------
+    @property
+    def frequency_ghz(self) -> float:
+        return self._frequency_ghz
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        self._frequency_ghz = float(frequency_ghz)
+
+    @property
+    def speed_factor(self) -> float:
+        """Relative speed vs. the nominal 1.8 GHz (engine's cpu_speed)."""
+        return self._frequency_ghz / NOMINAL_FREQUENCY_GHZ
+
+    # -- deployment ---------------------------------------------------------------
+    def deploy(self, app: AppSpec, allocation: Allocation) -> None:
+        """Create and schedule one pod per microservice."""
+        if self.pods:
+            raise RuntimeError("an application is already deployed")
+        self._check_aggregate(allocation)
+        self._app = app
+        self.pods = {
+            name: Pod(
+                service=name,
+                cpu_request=allocation[name],
+                memory_mb=app.service(name).memory_mb,
+            )
+            for name in app.service_names
+        }
+        self.scheduler.schedule(list(self.pods.values()), self.nodes)
+
+    def apply(self, allocation: Allocation) -> None:
+        """Vertically resize every pod to the new allocation.
+
+        Shrinks are always in place; grows may trigger rescheduling when a
+        node becomes over-committed.
+        """
+        if not self.pods:
+            raise RuntimeError("no application deployed")
+        unknown = set(allocation) - set(self.pods)
+        if unknown:
+            raise KeyError(f"allocation names unknown services: {sorted(unknown)}")
+        self._check_aggregate(allocation)
+        for name, pod in self.pods.items():
+            pod.cpu_request = allocation[name]
+        self.moves_count += self.scheduler.reschedule_if_needed(
+            list(self.pods.values()), self.nodes
+        )
+        self.resize_count += 1
+
+    def allocation(self) -> Allocation:
+        """The currently applied allocation."""
+        if not self.pods:
+            raise RuntimeError("no application deployed")
+        return Allocation({name: pod.cpu_request for name, pod in self.pods.items()})
+
+    def node_utilizations(self) -> dict[str, float]:
+        return {n.name: n.utilization() for n in self.nodes}
+
+    def _check_aggregate(self, allocation: Allocation) -> None:
+        if allocation.total() > self.cpu_capacity + 1e-9:
+            raise CapacityError(
+                f"allocation total {allocation.total():.1f} exceeds cluster "
+                f"capacity {self.cpu_capacity:.1f}"
+            )

@@ -1,0 +1,17 @@
+"""Cluster-level errors."""
+
+from __future__ import annotations
+
+__all__ = ["ClusterError", "SchedulingError", "CapacityError"]
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster failures."""
+
+
+class SchedulingError(ClusterError):
+    """A pod could not be placed on any node."""
+
+
+class CapacityError(ClusterError):
+    """An allocation exceeds the cluster's aggregate capacity."""

@@ -1,0 +1,139 @@
+"""Horizontal scaling — §6's unaddressed vertical/horizontal trade-off.
+
+The paper scales every microservice *vertically* (one replica, CPU limit
+adjusted) and lists the interplay with *horizontal* scaling (replica
+counts) as future work.  This module supplies the missing piece:
+
+* :class:`ReplicaAllocator` maps a replica vector onto the *effective*
+  CPU available to the service.  Each replica duplicates the service's
+  workload-independent baseline demand (JVM, GC, heartbeats), so
+
+      effective(n) = n * pod_cpu - (n - 1) * baseline
+
+  — the substance of the trade-off: horizontal scale-out buys burst
+  capacity but pays runtime overhead per copy.
+* :class:`HorizontalRuleAutoscaler` is a Kubernetes-HPA-style baseline
+  that adjusts integer replica counts to hold a target utilization,
+  exposing the same ``decide(metrics) -> Allocation`` protocol as every
+  other autoscaler (the returned allocation is the effective one, so any
+  environment can serve it unchanged).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.apps.spec import AppSpec
+from repro.sim.types import Allocation, IntervalMetrics
+
+__all__ = ["ReplicaAllocator", "HorizontalRuleAutoscaler"]
+
+
+class ReplicaAllocator:
+    """Replica-count ↔ effective-CPU translation for one application."""
+
+    def __init__(
+        self,
+        app: AppSpec,
+        pod_cpu: Mapping[str, float] | float,
+        max_replicas: int = 16,
+    ) -> None:
+        if max_replicas < 1:
+            raise ValueError("max_replicas must be >= 1")
+        self.app = app
+        if isinstance(pod_cpu, (int, float)):
+            pod_cpu = {name: float(pod_cpu) for name in app.service_names}
+        missing = set(app.service_names) - set(pod_cpu)
+        if missing:
+            raise ValueError(f"pod_cpu misses services: {sorted(missing)}")
+        for name in app.service_names:
+            svc = app.service(name)
+            if pod_cpu[name] <= svc.baseline_cores:
+                raise ValueError(
+                    f"{name}: pod size {pod_cpu[name]} cannot even cover the "
+                    f"per-replica baseline {svc.baseline_cores}"
+                )
+        self.pod_cpu = {name: float(pod_cpu[name]) for name in app.service_names}
+        self.max_replicas = max_replicas
+
+    def effective_cpu(self, service: str, replicas: int) -> float:
+        """Usable CPU of ``replicas`` pods after per-copy overhead."""
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        baseline = self.app.service(service).baseline_cores
+        return replicas * self.pod_cpu[service] - (replicas - 1) * baseline
+
+    def effective_allocation(self, replicas: Mapping[str, int]) -> Allocation:
+        return Allocation(
+            {
+                name: self.effective_cpu(name, replicas[name])
+                for name in self.app.service_names
+            }
+        )
+
+    def raw_total(self, replicas: Mapping[str, int]) -> float:
+        """Total provisioned CPU (what the cluster bill sees)."""
+        return sum(
+            replicas[name] * self.pod_cpu[name]
+            for name in self.app.service_names
+        )
+
+    def replicas_for(self, service: str, effective_target: float) -> int:
+        """Fewest replicas whose effective CPU covers the target."""
+        if effective_target <= 0:
+            return 1
+        pod = self.pod_cpu[service]
+        baseline = self.app.service(service).baseline_cores
+        # effective(n) = n(pod - baseline) + baseline  >=  target
+        per_extra = pod - baseline
+        n = math.ceil((effective_target - baseline) / per_extra)
+        return max(1, min(n, self.max_replicas))
+
+
+class HorizontalRuleAutoscaler:
+    """HPA-style integer replica scaling on a utilization target."""
+
+    def __init__(
+        self,
+        allocator: ReplicaAllocator,
+        *,
+        target_utilization: float = 0.10,
+        scale_down_limit: int = 1,
+        initial_replicas: Mapping[str, int] | int = 4,
+    ) -> None:
+        if not 0 < target_utilization <= 1:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if scale_down_limit < 1:
+            raise ValueError("scale_down_limit must be >= 1")
+        self.allocator = allocator
+        self.target_utilization = target_utilization
+        self.scale_down_limit = scale_down_limit
+        names = allocator.app.service_names
+        if isinstance(initial_replicas, int):
+            initial_replicas = {name: initial_replicas for name in names}
+        self.replicas = {
+            name: min(max(int(initial_replicas[name]), 1),
+                      allocator.max_replicas)
+            for name in names
+        }
+
+    @property
+    def allocation(self) -> Allocation:
+        return self.allocator.effective_allocation(self.replicas)
+
+    def raw_total(self) -> float:
+        return self.allocator.raw_total(self.replicas)
+
+    def decide(self, metrics: IntervalMetrics) -> Allocation:
+        """HPA rule: desired effective CPU = usage / target utilization."""
+        for name in self.allocator.app.service_names:
+            usage = metrics.services[name].usage_cores
+            desired_effective = usage / self.target_utilization
+            desired_n = self.allocator.replicas_for(name, desired_effective)
+            current = self.replicas[name]
+            if desired_n < current:
+                # HPA stabilization: bounded scale-down per interval.
+                desired_n = max(desired_n, current - self.scale_down_limit)
+            self.replicas[name] = desired_n
+        return self.allocation

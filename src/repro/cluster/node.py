@@ -1,0 +1,57 @@
+"""Worker-node model.
+
+The paper's testbed: five nodes (one master, four workers), each with two
+10-core Xeons and 128 GB RAM.  Only worker nodes host application pods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Node", "paper_testbed_nodes"]
+
+
+@dataclass
+class Node:
+    """One schedulable node with CPU/memory capacity."""
+
+    name: str
+    cpu_capacity: float
+    memory_mb: float
+    pods: list["object"] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cpu_capacity <= 0 or self.memory_mb <= 0:
+            raise ValueError(f"{self.name}: capacities must be positive")
+
+    @property
+    def cpu_used(self) -> float:
+        return sum(p.cpu_request for p in self.pods)
+
+    @property
+    def memory_used(self) -> float:
+        return sum(p.memory_mb for p in self.pods)
+
+    @property
+    def cpu_free(self) -> float:
+        return self.cpu_capacity - self.cpu_used
+
+    @property
+    def memory_free(self) -> float:
+        return self.memory_mb - self.memory_used
+
+    def fits(self, cpu_request: float, memory_mb: float) -> bool:
+        return self.cpu_free >= cpu_request - 1e-9 and (
+            self.memory_free >= memory_mb - 1e-9
+        )
+
+    def utilization(self) -> float:
+        return self.cpu_used / self.cpu_capacity
+
+
+def paper_testbed_nodes() -> list[Node]:
+    """The four worker nodes of the paper's cluster (2x10-core Xeon, 128 GB)."""
+    return [
+        Node(name=f"worker-{i}", cpu_capacity=20.0, memory_mb=128 * 1024.0)
+        for i in range(1, 5)
+    ]

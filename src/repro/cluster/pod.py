@@ -1,0 +1,35 @@
+"""Pod model: one container instance of a microservice."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["Pod"]
+
+
+@dataclass
+class Pod:
+    """A scheduled container with CPU request/limit and memory request.
+
+    Following the paper (§2.2) we use a single replica per microservice and
+    vertical CPU scaling, with request == limit (Guaranteed QoS class).
+    """
+
+    service: str
+    cpu_request: float
+    memory_mb: float
+    node: "Node | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cpu_request <= 0:
+            raise ValueError(f"{self.service}: cpu_request must be > 0")
+        if self.memory_mb <= 0:
+            raise ValueError(f"{self.service}: memory_mb must be > 0")
+
+    @property
+    def scheduled(self) -> bool:
+        return self.node is not None

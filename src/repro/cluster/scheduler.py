@@ -1,0 +1,71 @@
+"""Bin-packing pod scheduler (first-fit decreasing).
+
+A small stand-in for kube-scheduler: place pods by decreasing CPU request
+onto the node with the most free CPU that fits.  FFD is the standard
+approximation for this bin-packing problem and matches the spreading
+behaviour of the default scheduler closely enough for capacity modelling.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.errors import SchedulingError
+from repro.cluster.node import Node
+from repro.cluster.pod import Pod
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Places pods onto nodes, respecting CPU and memory capacity."""
+
+    def schedule(self, pods: list[Pod], nodes: list[Node]) -> None:
+        """Assign every unscheduled pod to a node (mutates pods/nodes).
+
+        Raises :class:`SchedulingError` if any pod cannot be placed; already
+        placed pods are left untouched.
+        """
+        pending = [p for p in pods if not p.scheduled]
+        for pod in sorted(pending, key=lambda p: -p.cpu_request):
+            target = self._pick_node(pod, nodes)
+            if target is None:
+                raise SchedulingError(
+                    f"no node fits pod {pod.service!r} "
+                    f"(cpu={pod.cpu_request:.2f}, mem={pod.memory_mb:.0f} MB)"
+                )
+            self._bind(pod, target)
+
+    def reschedule_if_needed(self, pods: list[Pod], nodes: list[Node]) -> int:
+        """Evict pods from over-committed nodes and re-place them.
+
+        Returns the number of pods moved.  Called after vertical resize
+        (CPU requests grew in place, possibly past node capacity).
+        """
+        moved = 0
+        for node in nodes:
+            while node.cpu_free < -1e-9 or node.memory_free < -1e-9:
+                # Evict the smallest pod first: cheapest to move.
+                victim = min(node.pods, key=lambda p: p.cpu_request)
+                self._unbind(victim)
+                moved += 1
+        to_place = [p for p in pods if not p.scheduled]
+        if to_place:
+            self.schedule(to_place, nodes)
+        return moved
+
+    @staticmethod
+    def _pick_node(pod: Pod, nodes: list[Node]) -> Node | None:
+        candidates = [n for n in nodes if n.fits(pod.cpu_request, pod.memory_mb)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda n: n.cpu_free)
+
+    @staticmethod
+    def _bind(pod: Pod, node: Node) -> None:
+        pod.node = node
+        node.pods.append(pod)
+
+    @staticmethod
+    def _unbind(pod: Pod) -> None:
+        assert pod.node is not None
+        pod.node.pods.remove(pod)
+        pod.node = None

@@ -1,0 +1,105 @@
+"""PEMA configuration: the paper's tunables in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PEMAConfig"]
+
+
+@dataclass(frozen=True)
+class PEMAConfig:
+    """All knobs of Algorithm 1 and the workload-aware extensions.
+
+    Defaults follow the paper's evaluation settings: α=0.5, β=0.3 (the
+    sensitivity sweeps' center, Figs. 16-17), low exploration A=0.05,
+    B=0.005 (Fig. 11), a 5-sample moving average (Fig. 14), a 15%
+    initial utilization threshold and zero initial throttling threshold
+    (§3.3), and a 95% response-time buffer (§3.3, "we can keep a response
+    time buffer by scaling down R, for instance, to 95%").
+    """
+
+    alpha: float = 0.5
+    """Reduction affinity (Eqns. 3-4); smaller = more aggressive."""
+
+    beta: float = 0.3
+    """Maximum per-step resource reduction fraction (Eqn. 4)."""
+
+    explore_a: float = 0.05
+    """Exploration slope A in Eqn. (8) — maximum extra exploration."""
+
+    explore_b: float = 0.005
+    """Exploration floor B in Eqn. (8) — minimum exploration."""
+
+    moving_average_window: int = 5
+    """K in Eqns. (10)-(11): responses averaged for reduction sizing."""
+
+    init_util_threshold: float = 0.15
+    """Initial conservative per-service utilization threshold (15%)."""
+
+    init_throttle_threshold: float = 0.0
+    """Initial CPU-throttling-time threshold (zero: no throttling)."""
+
+    response_buffer: float = 0.95
+    """R is scaled by this in Eqns. (3)/(4)/(8) to absorb transients."""
+
+    min_cpu: float = 0.05
+    """Per-service CPU floor (Kubernetes minimum request)."""
+
+    use_bottleneck_filter: bool = True
+    """Ablation switch: disable the throttle filter + Eqn. (5) guidance
+    (selection becomes uniform over all services)."""
+
+    use_dynamic_thresholds: bool = True
+    """Ablation switch: freeze U_th/H_th at their initial values
+    (Eqns. 6-7 disabled)."""
+
+    rollback_severity_gain: float = 0.0
+    """§6 extension: severity-aware rollback.
+
+    The paper's controller rolls back to the minimum-CPU non-violating
+    record regardless of how bad the violation was and flags this as a
+    limitation ("a response time significantly higher than the SLO
+    indicates that PEMA should roll back farther into the past").  With
+    gain g > 0, a violation overshooting the SLO by fraction v targets
+    records whose response was at most ``SLO * (1 - min(0.5, g*v))`` —
+    deeper violations jump back to safer allocations.  0 disables (paper
+    behaviour)."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {self.alpha}")
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1]: {self.beta}")
+        if not 0.0 <= self.explore_b <= self.explore_a <= 1.0:
+            raise ValueError(
+                f"need 0 <= B <= A <= 1: A={self.explore_a}, B={self.explore_b}"
+            )
+        if self.explore_a + self.explore_b > 1.0:
+            raise ValueError("need A + B <= 1")
+        if self.moving_average_window < 1:
+            raise ValueError("moving_average_window must be >= 1")
+        if not 0.0 <= self.init_util_threshold <= 1.0:
+            raise ValueError("init_util_threshold must be in [0, 1]")
+        if self.init_throttle_threshold < 0:
+            raise ValueError("init_throttle_threshold must be >= 0")
+        if not 0.0 < self.response_buffer <= 1.0:
+            raise ValueError("response_buffer must be in (0, 1]")
+        if self.min_cpu <= 0:
+            raise ValueError("min_cpu must be positive")
+        if self.rollback_severity_gain < 0:
+            raise ValueError("rollback_severity_gain must be >= 0")
+
+    def with_(self, **changes) -> "PEMAConfig":
+        """A modified copy (sweeps over α, β, A, B, ...)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def high_exploration(cls) -> "PEMAConfig":
+        """The paper's Fig. 11 'high exploration' setting."""
+        return cls(explore_a=0.10, explore_b=0.01)
+
+    @classmethod
+    def low_exploration(cls) -> "PEMAConfig":
+        """The paper's Fig. 11 'low exploration' setting."""
+        return cls(explore_a=0.05, explore_b=0.005)

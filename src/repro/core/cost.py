@@ -1,0 +1,73 @@
+"""Cost-aware resource objective — the paper's §3 generalization.
+
+"Instead of minimizing the total resource allocation, ORA can also adopt
+cost minimization as its goal by replacing x_i in Eqn. (1) with C(x_i)."
+
+:class:`CostModel` prices each service's CPU (heterogeneous node pools,
+spot vs on-demand, licensed databases, ...).  PEMA becomes cost-aware by
+tilting the Eqn. (5) inclusion probabilities toward expensive services, so
+reduction effort concentrates where each core saved is worth most; the
+feedback loop and QoS machinery are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.sim.types import Allocation
+
+__all__ = ["CostModel", "cost_weighted_probabilities"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-service CPU prices (arbitrary currency per core-interval)."""
+
+    prices: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.prices:
+            raise ValueError("need at least one price")
+        for name, price in self.prices.items():
+            if price <= 0:
+                raise ValueError(f"{name}: price must be positive")
+
+    @classmethod
+    def uniform(cls, services: Iterable[str], price: float = 1.0) -> "CostModel":
+        """Uniform pricing — cost minimization degenerates to Eqn. (1)."""
+        return cls({name: price for name in services})
+
+    def price(self, service: str) -> float:
+        return self.prices[service]
+
+    def cost(self, allocation: Allocation) -> float:
+        """C(x) = sum_i price_i * x_i."""
+        missing = set(allocation) - set(self.prices)
+        if missing:
+            raise KeyError(f"no price for services: {sorted(missing)}")
+        return sum(self.prices[name] * allocation[name] for name in allocation)
+
+
+def cost_weighted_probabilities(
+    probabilities: dict[str, float],
+    cost_model: CostModel,
+    strength: float = 0.75,
+) -> dict[str, float]:
+    """Tilt Eqn. (5) inclusion probabilities toward expensive services.
+
+    Each probability is scaled by ``(1 - strength) + strength * w_i`` where
+    ``w_i`` is the service's price normalized by the maximum price, so the
+    cheapest services keep a floor of ``1 - strength`` of their original
+    probability and the priciest keep all of it.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError(f"strength must be in [0, 1]: {strength}")
+    if not probabilities:
+        return {}
+    max_price = max(cost_model.price(name) for name in probabilities)
+    out = {}
+    for name, p in probabilities.items():
+        weight = cost_model.price(name) / max_price
+        out[name] = p * ((1.0 - strength) + strength * weight)
+    return out

@@ -1,0 +1,180 @@
+"""Control loop: autoscaler × environment × workload trace.
+
+Discrete-time execution matching the paper's deployment: the allocation
+chosen at the start of interval *t* serves the whole interval; at the end
+of the interval the autoscaler sees the metrics and chooses the allocation
+for *t+1* (2-minute intervals in the paper's runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.metrics.collector import MetricsCollector
+from repro.sim.environment import Environment
+from repro.sim.types import Allocation, IntervalMetrics
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["Autoscaler", "ControlLoop", "LoopRecord", "LoopResult"]
+
+
+@runtime_checkable
+class Autoscaler(Protocol):
+    """Anything that turns interval metrics into the next allocation."""
+
+    @property
+    def allocation(self) -> Allocation: ...
+
+    def decide(self, metrics: IntervalMetrics) -> Allocation: ...
+
+
+@dataclass(frozen=True)
+class LoopRecord:
+    """One interval of a run."""
+
+    step: int
+    time: float
+    workload: float
+    response: float
+    total_cpu: float
+    violated: bool
+    slo: float
+    allocation: Allocation
+
+
+@dataclass
+class LoopResult:
+    """Full run history plus the summary statistics the paper reports."""
+
+    records: list[LoopRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- series (aligned arrays for figures) ------------------------------------
+    @property
+    def steps(self) -> np.ndarray:
+        return np.asarray([r.step for r in self.records])
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray([r.time for r in self.records])
+
+    @property
+    def workloads(self) -> np.ndarray:
+        return np.asarray([r.workload for r in self.records])
+
+    @property
+    def responses(self) -> np.ndarray:
+        return np.asarray([r.response for r in self.records])
+
+    @property
+    def total_cpu(self) -> np.ndarray:
+        return np.asarray([r.total_cpu for r in self.records])
+
+    # -- summaries --------------------------------------------------------------
+    def violation_count(self) -> int:
+        return sum(r.violated for r in self.records)
+
+    def violation_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.violation_count() / len(self.records)
+
+    def final_allocation(self) -> Allocation:
+        if not self.records:
+            raise LookupError("empty run")
+        return self.records[-1].allocation
+
+    def best_satisfying_total(self) -> float:
+        """Minimum total CPU over intervals that satisfied the SLO."""
+        totals = [r.total_cpu for r in self.records if not r.violated]
+        if not totals:
+            raise LookupError("no SLO-satisfying interval in the run")
+        return min(totals)
+
+    def settled_total(self, tail: int = 5) -> float:
+        """Mean total CPU over the last ``tail`` SLO-satisfying intervals."""
+        totals = [r.total_cpu for r in self.records if not r.violated][-tail:]
+        if not totals:
+            raise LookupError("no SLO-satisfying interval in the run")
+        return float(np.mean(totals))
+
+
+class ControlLoop:
+    """Drives one autoscaler against one environment and workload trace."""
+
+    def __init__(
+        self,
+        environment: Environment,
+        autoscaler: Autoscaler,
+        workload: WorkloadTrace,
+        *,
+        interval: float = 120.0,
+        slo: float | None = None,
+        collector: MetricsCollector | None = None,
+        cluster: Cluster | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.environment = environment
+        self.autoscaler = autoscaler
+        self.workload = workload
+        self.interval = interval
+        self.collector = collector
+        self.cluster = cluster
+        explicit = slo if slo is not None else getattr(autoscaler, "slo", None)
+        if explicit is None:
+            raise ValueError("pass slo= when the autoscaler has no .slo")
+        self._slo_getter: Callable[[], float] = (
+            (lambda: float(self.autoscaler.slo))  # live — tracks dynamic SLO
+            if slo is None and hasattr(autoscaler, "slo")
+            else (lambda: float(explicit))
+        )
+        if cluster is not None and not cluster.pods:
+            cluster.deploy(environment.app, autoscaler.allocation)
+
+    def run(
+        self,
+        n_steps: int,
+        on_step: Callable[[int, "ControlLoop"], None] | None = None,
+    ) -> LoopResult:
+        """Execute ``n_steps`` control intervals.
+
+        ``on_step(step_index, loop)`` runs before each interval — the hook
+        used by the adaptability experiments to change CPU frequency
+        (Fig. 19) or the SLO (Fig. 20) mid-run.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        result = LoopResult()
+        allocation = self.autoscaler.allocation
+        for step in range(n_steps):
+            if on_step is not None:
+                on_step(step, self)
+            t = step * self.interval
+            rps = self.workload.rate(t)
+            if self.cluster is not None:
+                self.cluster.apply(allocation)
+            metrics = self.environment.observe(allocation, rps, self.interval)
+            if self.collector is not None:
+                self.collector.collect(t, allocation, metrics)
+            slo_now = self._slo_getter()
+            result.records.append(
+                LoopRecord(
+                    step=step,
+                    time=t,
+                    workload=rps,
+                    response=metrics.latency_p95,
+                    total_cpu=allocation.total(),
+                    violated=metrics.latency_p95 > slo_now,
+                    slo=slo_now,
+                    allocation=allocation,
+                )
+            )
+            allocation = self.autoscaler.decide(metrics)
+        return result

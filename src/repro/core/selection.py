@@ -1,0 +1,88 @@
+"""Bottleneck-avoiding candidate selection — Eqn. (5) and Alg. 1 lines 8-10.
+
+Three stages per control step:
+
+1. **Throttle filter** (Alg. 1 line 8): only services whose CPU throttling
+   time is within their learned threshold are eligible —
+   ``I_t = {i : h_i <= H_th_i}``.
+2. **Utilization-guided inclusion** (Eqn. 5 / line 9): each eligible
+   service enters the candidate set ``I*_t`` with probability
+
+       p_i = 1 - (u*_i - min(u*)) / (1 - min(u*)),   u*_i = u_i / U_th_i
+
+   so the coolest service is included with probability 1 and a service at
+   its threshold with probability 0.
+3. **Uniform cut** (line 10): if more than ``n_t`` candidates were
+   included, pick ``n_t`` uniformly at random; otherwise take them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.thresholds import ThresholdTracker
+from repro.sim.types import IntervalMetrics
+
+__all__ = ["eligible_services", "inclusion_probabilities", "select_targets"]
+
+_EPS = 1e-9
+
+
+def eligible_services(
+    metrics: IntervalMetrics, thresholds: ThresholdTracker
+) -> tuple[str, ...]:
+    """I_t: services whose throttling time is within their threshold."""
+    return tuple(
+        name
+        for name, svc in metrics.services.items()
+        if svc.throttle_seconds <= thresholds.throttle_threshold(name) + _EPS
+    )
+
+
+def inclusion_probabilities(
+    metrics: IntervalMetrics,
+    thresholds: ThresholdTracker,
+    eligible: tuple[str, ...],
+) -> dict[str, float]:
+    """Eqn. (5): inclusion probability per eligible service.
+
+    Normalized utilizations ``u*`` are guaranteed <= 1 because the
+    thresholds were ratcheted (Eqn. 6) before selection.  When every
+    eligible service sits exactly at its threshold the probabilities all
+    collapse to zero (nothing is safe to reduce).
+    """
+    if not eligible:
+        return {}
+    u_star = {}
+    for name in eligible:
+        u_th = thresholds.util_threshold(name)
+        u = metrics.services[name].utilization
+        u_star[name] = min(u / max(u_th, _EPS), 1.0)
+    u_min = min(u_star.values())
+    denom = 1.0 - u_min
+    if denom <= _EPS:
+        # Everyone is at their threshold: no service is a safe target.
+        return {name: 0.0 for name in eligible}
+    return {
+        name: float(np.clip(1.0 - (u_star[name] - u_min) / denom, 0.0, 1.0))
+        for name in eligible
+    }
+
+
+def select_targets(
+    probabilities: dict[str, float],
+    n_targets: int,
+    rng: np.random.Generator,
+) -> tuple[str, ...]:
+    """Build I*_t by Bernoulli inclusion, then cut uniformly to n_t."""
+    if n_targets < 0:
+        raise ValueError("n_targets must be >= 0")
+    if n_targets == 0 or not probabilities:
+        return ()
+    names = list(probabilities)
+    draws = rng.random(len(names))
+    included = [n for n, d in zip(names, draws) if d < probabilities[n]]
+    if len(included) <= n_targets:
+        return tuple(included)
+    picked = rng.choice(len(included), size=n_targets, replace=False)
+    return tuple(included[i] for i in sorted(picked))

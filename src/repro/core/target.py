@@ -1,0 +1,67 @@
+"""Dynamic response-time target — Eqn. (9) and slope learning (§3.4).
+
+Within a (possibly wide) workload range, PEMA sets a workload-dependent
+latency target
+
+    R(λ) = m · (λ - λ_max) + R_SLO
+
+so low-workload intervals aim *below* the SLO, leaving headroom for the
+top of the range.  The slope ``m`` (latency per unit workload) is learned
+once at startup by holding the allocation fixed while the workload varies
+and regressing response on workload (Fig. 10a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DynamicTarget", "learn_slope"]
+
+
+@dataclass(frozen=True)
+class DynamicTarget:
+    """Workload-aware latency target for one application."""
+
+    slo: float
+    slope: float
+    floor_fraction: float = 0.3
+    """Lower clamp on the target, as a fraction of the SLO.
+
+    Keeps very wide ranges from demanding impossible latencies.
+    """
+
+    def __post_init__(self) -> None:
+        if self.slo <= 0:
+            raise ValueError("slo must be positive")
+        if self.slope < 0:
+            raise ValueError("slope must be >= 0 (latency grows with load)")
+        if not 0 < self.floor_fraction <= 1:
+            raise ValueError("floor_fraction must be in (0, 1]")
+
+    def target(self, workload: float, lambda_max: float) -> float:
+        """Eqn. (9): the reduction target for ``workload`` within a range."""
+        if workload < 0 or lambda_max <= 0:
+            raise ValueError("workload must be >= 0 and lambda_max > 0")
+        raw = self.slope * (min(workload, lambda_max) - lambda_max) + self.slo
+        return float(max(raw, self.floor_fraction * self.slo))
+
+
+def learn_slope(
+    workloads: Sequence[float], responses: Sequence[float]
+) -> float:
+    """Least-squares slope of response vs. workload, clamped at >= 0.
+
+    Needs at least two distinct workload levels; with degenerate input the
+    slope is 0 (the dynamic target then collapses to the plain SLO).
+    """
+    workloads = np.asarray(workloads, dtype=np.float64)
+    responses = np.asarray(responses, dtype=np.float64)
+    if workloads.shape != responses.shape:
+        raise ValueError("workloads and responses must align")
+    if workloads.size < 2 or np.ptp(workloads) < 1e-9:
+        return 0.0
+    slope, _intercept = np.polyfit(workloads, responses, deg=1)
+    return float(max(slope, 0.0))

@@ -1,0 +1,75 @@
+"""Dynamic per-service bottleneck thresholds — Eqns. (6) and (7).
+
+PEMA cannot know each microservice's bottleneck utilization/throttling
+levels a priori (they differ per service, Fig. 8).  It starts from
+conservative values — 15% utilization, zero throttling — and ratchets them
+up to the highest levels *observed while the SLO held*::
+
+    U_th_i = max(U_th_i, u_i)        (6)
+    H_th_i = max(H_th_i, h_i)        (7)
+
+Ratcheting only happens on SLO-satisfying intervals (the controller skips
+the update when rolling back), so the thresholds converge toward each
+service's safe operating ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.types import IntervalMetrics
+
+__all__ = ["ThresholdTracker"]
+
+
+class ThresholdTracker:
+    """Tracks U_th and H_th for every microservice."""
+
+    def __init__(
+        self,
+        services: Iterable[str],
+        init_util: float = 0.15,
+        init_throttle: float = 0.0,
+    ) -> None:
+        names = tuple(services)
+        if not names:
+            raise ValueError("need at least one service")
+        if not 0 <= init_util <= 1:
+            raise ValueError(f"init_util must be in [0, 1]: {init_util}")
+        if init_throttle < 0:
+            raise ValueError(f"init_throttle must be >= 0: {init_throttle}")
+        self._util: dict[str, float] = {n: init_util for n in names}
+        self._throttle: dict[str, float] = {n: init_throttle for n in names}
+
+    @property
+    def services(self) -> tuple[str, ...]:
+        return tuple(self._util)
+
+    def util_threshold(self, name: str) -> float:
+        return self._util[name]
+
+    def throttle_threshold(self, name: str) -> float:
+        return self._throttle[name]
+
+    def update(self, metrics: IntervalMetrics) -> None:
+        """Apply Eqns. (6)-(7) with the latest interval's observations."""
+        for name, svc in metrics.services.items():
+            if name not in self._util:
+                raise KeyError(f"unknown service in metrics: {name!r}")
+            if svc.utilization > self._util[name]:
+                self._util[name] = float(svc.utilization)
+            if svc.throttle_seconds > self._throttle[name]:
+                self._throttle[name] = float(svc.throttle_seconds)
+
+    def snapshot(self) -> tuple[Mapping[str, float], Mapping[str, float]]:
+        """(utilization thresholds, throttling thresholds) copies."""
+        return dict(self._util), dict(self._throttle)
+
+    def restore(
+        self, util: Mapping[str, float], throttle: Mapping[str, float]
+    ) -> None:
+        """Overwrite thresholds (used when bootstrapping a child range)."""
+        if set(util) != set(self._util) or set(throttle) != set(self._throttle):
+            raise ValueError("threshold snapshot covers different services")
+        self._util = {k: float(v) for k, v in util.items()}
+        self._throttle = {k: float(v) for k, v in throttle.items()}

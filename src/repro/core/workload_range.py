@@ -1,0 +1,160 @@
+"""Dynamic workload ranges — §3.4 and Fig. 10(b) of the paper.
+
+Workload is partitioned into ranges, each owned by one PEMA process
+(controller).  Learning starts with one wide range and *splits* ranges in
+half once their controller has had enough iterations:
+
+* the parent's controller stays attached to the **upper** child (a
+  resource allocation that satisfies the SLO at high workload also
+  satisfies it below);
+* the **lower** child gets a fork of the parent's controller (allocation,
+  thresholds and RHDb are inherited), so it starts from an already good
+  allocation and converges in a few iterations.
+
+Splitting stops at ``min_width`` (e.g. 25 rps for TrainTicket, §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import PEMAController
+
+__all__ = ["WorkloadRange", "SplitEvent", "RangeTree"]
+
+
+@dataclass
+class WorkloadRange:
+    """A leaf workload range and its attached PEMA process."""
+
+    low: float
+    high: float
+    controller: PEMAController
+    pema_id: int
+    iterations: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low < self.high:
+            raise ValueError(f"invalid range [{self.low}, {self.high})")
+
+    def contains(self, rps: float) -> bool:
+        return self.low <= rps < self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def label(self) -> str:
+        return f"{self.low:g}~{self.high:g}"
+
+
+@dataclass(frozen=True)
+class SplitEvent:
+    """A recorded range split (for the Fig. 13 style reporting)."""
+
+    step: int
+    parent: tuple[float, float]
+    lower: tuple[float, float]
+    upper: tuple[float, float]
+    lower_pema_id: int
+    upper_pema_id: int
+
+
+@dataclass
+class RangeTree:
+    """The set of leaf ranges plus the split policy."""
+
+    min_width: float
+    split_after: int
+    leaves: list[WorkloadRange] = field(default_factory=list)
+    splits: list[SplitEvent] = field(default_factory=list)
+    _next_id: int = 1
+    _steps_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_width <= 0:
+            raise ValueError("min_width must be positive")
+        if self.split_after < 1:
+            raise ValueError("split_after must be >= 1")
+
+    @classmethod
+    def initial(
+        cls,
+        low: float,
+        high: float,
+        controller: PEMAController,
+        *,
+        min_width: float,
+        split_after: int = 15,
+    ) -> "RangeTree":
+        """One wide root range owned by PEMA process #1."""
+        tree = cls(min_width=min_width, split_after=split_after)
+        tree.leaves.append(
+            WorkloadRange(low=low, high=high, controller=controller, pema_id=1)
+        )
+        tree._next_id = 2
+        return tree
+
+    def find(self, rps: float) -> WorkloadRange:
+        """The leaf covering ``rps`` (clamped to the outermost ranges)."""
+        if not self.leaves:
+            raise LookupError("empty range tree")
+        ordered = sorted(self.leaves, key=lambda r: r.low)
+        if rps < ordered[0].low:
+            return ordered[0]
+        for leaf in ordered:
+            if leaf.contains(rps):
+                return leaf
+        return ordered[-1]
+
+    def note_step(
+        self, leaf: WorkloadRange, rng: np.random.Generator
+    ) -> SplitEvent | None:
+        """Count a controller step in ``leaf``; split when due.
+
+        Returns the split event if a split happened, else None.
+        """
+        if leaf not in self.leaves:
+            raise ValueError("leaf does not belong to this tree")
+        self._steps_seen += 1
+        leaf.iterations += 1
+        if leaf.iterations < self.split_after or leaf.width <= self.min_width + 1e-9:
+            return None
+        return self._split(leaf, rng)
+
+    def _split(
+        self, leaf: WorkloadRange, rng: np.random.Generator
+    ) -> SplitEvent:
+        mid = 0.5 * (leaf.low + leaf.high)
+        child_seed = int(rng.integers(2**31 - 1))
+        lower = WorkloadRange(
+            low=leaf.low,
+            high=mid,
+            controller=leaf.controller.fork(seed=child_seed),
+            pema_id=self._next_id,
+        )
+        self._next_id += 1
+        upper = WorkloadRange(
+            low=mid,
+            high=leaf.high,
+            controller=leaf.controller,  # parent keeps the upper child
+            pema_id=leaf.pema_id,
+        )
+        self.leaves.remove(leaf)
+        self.leaves.extend((lower, upper))
+        event = SplitEvent(
+            step=self._steps_seen,
+            parent=(leaf.low, leaf.high),
+            lower=(lower.low, lower.high),
+            upper=(upper.low, upper.high),
+            lower_pema_id=lower.pema_id,
+            upper_pema_id=upper.pema_id,
+        )
+        self.splits.append(event)
+        return event
+
+    def n_processes(self) -> int:
+        """Number of distinct PEMA processes across the leaves."""
+        return len({leaf.pema_id for leaf in self.leaves})

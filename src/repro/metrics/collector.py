@@ -1,0 +1,47 @@
+"""Scrape-style collector: environment observations → metrics store.
+
+Metric names follow the sources the paper uses:
+
+* ``latency_p95`` / ``latency_mean`` / ``workload_rps`` — Linkerd service
+  mesh telemetry;
+* ``cpu_utilization`` / ``cpu_usage_cores`` / ``cpu_throttle_seconds`` —
+  Prometheus + cAdvisor container metrics (labelled per service);
+* ``cpu_allocation`` — the applied Kubernetes CPU limit per service;
+* ``total_cpu`` — aggregate allocation (the paper's objective).
+"""
+
+from __future__ import annotations
+
+from repro.metrics.store import MetricsStore
+from repro.sim.types import Allocation, IntervalMetrics
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Writes one interval's observation into a :class:`MetricsStore`."""
+
+    def __init__(self, store: MetricsStore | None = None) -> None:
+        self.store = store if store is not None else MetricsStore()
+
+    def collect(
+        self,
+        t: float,
+        allocation: Allocation,
+        observation: IntervalMetrics,
+    ) -> None:
+        """Record everything PEMA (and the baselines) may query later."""
+        store = self.store
+        store.record("latency_p95", observation.latency_p95, t)
+        store.record("latency_mean", observation.latency_mean, t)
+        store.record("workload_rps", observation.workload_rps, t)
+        store.record("total_cpu", allocation.total(), t)
+        for name, svc in observation.services.items():
+            store.record("cpu_utilization", svc.utilization, t, service=name)
+            store.record("cpu_usage_cores", svc.usage_cores, t, service=name)
+            store.record(
+                "cpu_throttle_seconds", svc.throttle_seconds, t, service=name
+            )
+            store.record("cpu_usage_p90_cores", svc.usage_p90_cores, t, service=name)
+        for name in allocation:
+            store.record("cpu_allocation", allocation[name], t, service=name)

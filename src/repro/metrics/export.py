@@ -1,0 +1,70 @@
+"""Export utilities: metrics store and run histories to CSV.
+
+Downstream users want the raw series (for plotting in their own stack);
+these writers keep the on-disk format trivial — plain CSV, one header row.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.metrics.store import MetricsStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.loop import LoopResult
+
+__all__ = ["store_to_csv", "loop_result_to_csv"]
+
+
+def store_to_csv(store: MetricsStore, path: str | Path) -> int:
+    """Dump every series as long-form CSV: metric,labels,time,value.
+
+    Returns the number of data rows written.
+    """
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "labels", "time", "value"])
+        for metric in store.metrics():
+            for labels in store.label_sets(metric):
+                label_str = ";".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                )
+                series = store.series(metric, **labels)
+                for t, v in series:
+                    writer.writerow([metric, label_str, f"{t:.6g}", f"{v:.9g}"])
+                    rows += 1
+    return rows
+
+
+def loop_result_to_csv(result: "LoopResult", path: str | Path) -> int:
+    """Dump a run history: one row per control interval plus per-service
+    allocations (wide format)."""
+    path = Path(path)
+    if not result.records:
+        raise ValueError("empty run")
+    service_names = list(result.records[0].allocation.names)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["step", "time", "workload_rps", "response_s", "total_cpu",
+             "violated", "slo_s"]
+            + [f"cpu[{name}]" for name in service_names]
+        )
+        for rec in result.records:
+            writer.writerow(
+                [
+                    rec.step,
+                    f"{rec.time:.6g}",
+                    f"{rec.workload:.6g}",
+                    f"{rec.response:.9g}",
+                    f"{rec.total_cpu:.6g}",
+                    int(rec.violated),
+                    f"{rec.slo:.6g}",
+                ]
+                + [f"{rec.allocation[name]:.6g}" for name in service_names]
+            )
+    return len(result.records)

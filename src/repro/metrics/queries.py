@@ -1,0 +1,56 @@
+"""Query helpers over time series (PromQL-style reductions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.series import TimeSeries
+
+__all__ = [
+    "percentile_over_window",
+    "moving_average",
+    "rate",
+    "max_over_window",
+]
+
+
+def percentile_over_window(
+    series: TimeSeries, start: float, end: float, q: float
+) -> float:
+    """q-th percentile (0-100) of samples within [start, end]."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    values = series.window(start, end)
+    if values.size == 0:
+        raise LookupError(f"no samples in window [{start}, {end}]")
+    return float(np.percentile(values, q))
+
+
+def max_over_window(series: TimeSeries, start: float, end: float) -> float:
+    values = series.window(start, end)
+    if values.size == 0:
+        raise LookupError(f"no samples in window [{start}, {end}]")
+    return float(values.max())
+
+
+def moving_average(series: TimeSeries, count: int) -> float:
+    """Mean of the most recent ``count`` samples (fewer if short).
+
+    This is the K-sample moving average the paper applies to the response
+    time in Eqns. (10)-(11).
+    """
+    values = series.tail(count)
+    if values.size == 0:
+        raise LookupError("empty series")
+    return float(values.mean())
+
+
+def rate(series: TimeSeries, start: float, end: float) -> float:
+    """Per-second increase of a counter over a window (Prometheus rate())."""
+    times, values = series.window_pairs(start, end)
+    if times.size < 2:
+        raise LookupError("rate() needs at least two samples in the window")
+    dt = times[-1] - times[0]
+    if dt <= 0:
+        raise LookupError("rate() window has zero duration")
+    return float((values[-1] - values[0]) / dt)

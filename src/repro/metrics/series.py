@@ -1,0 +1,78 @@
+"""Append-only time series, the primitive of the metrics store."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """A single labelled metric stream: (timestamp, value) pairs.
+
+    Timestamps must be appended in non-decreasing order (scrapes are
+    ordered), which keeps window queries O(log n).
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def append(self, timestamp: float, value: float) -> None:
+        if self._times and timestamp < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {timestamp} < {self._times[-1]}"
+            )
+        if not np.isfinite(value):
+            raise ValueError(f"non-finite metric value: {value}")
+        self._times.append(float(timestamp))
+        self._values.append(float(value))
+
+    @property
+    def last_value(self) -> float:
+        if not self._values:
+            raise LookupError("empty series")
+        return self._values[-1]
+
+    @property
+    def last_time(self) -> float:
+        if not self._times:
+            raise LookupError("empty series")
+        return self._times[-1]
+
+    def window(self, start: float, end: float) -> np.ndarray:
+        """Values with timestamp in ``[start, end]`` (inclusive)."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return np.asarray(self._values[lo:hi], dtype=np.float64)
+
+    def window_pairs(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return (
+            np.asarray(self._times[lo:hi], dtype=np.float64),
+            np.asarray(self._values[lo:hi], dtype=np.float64),
+        )
+
+    def tail(self, count: int) -> np.ndarray:
+        """The most recent ``count`` values (fewer if the series is short)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return np.asarray(self._values[-count:], dtype=np.float64)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=np.float64)

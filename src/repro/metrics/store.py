@@ -1,0 +1,62 @@
+"""Labelled metrics store — the Prometheus stand-in.
+
+Series are keyed by metric name plus a frozen label set, e.g.::
+
+    store.record("cpu_utilization", 0.35, t=120.0, service="frontend")
+    store.series("cpu_utilization", service="frontend").last_value
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.metrics.series import TimeSeries
+
+__all__ = ["MetricsStore"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsStore:
+    """In-memory multi-series metric database."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, LabelKey], TimeSeries] = {}
+
+    def record(self, metric: str, value: float, t: float, **labels: str) -> None:
+        """Append one sample to the (metric, labels) series."""
+        key = (metric, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TimeSeries()
+        series.append(t, value)
+
+    def series(self, metric: str, **labels: str) -> TimeSeries:
+        """The series for exact (metric, labels); raises KeyError if absent."""
+        return self._series[(metric, _label_key(labels))]
+
+    def has(self, metric: str, **labels: str) -> bool:
+        return (metric, _label_key(labels)) in self._series
+
+    def metrics(self) -> tuple[str, ...]:
+        return tuple(sorted({name for name, _ in self._series}))
+
+    def label_sets(self, metric: str) -> tuple[dict[str, str], ...]:
+        """All label combinations recorded for a metric."""
+        return tuple(
+            dict(labels) for name, labels in self._series if name == metric
+        )
+
+    def latest(self, metric: str, **labels: str) -> float:
+        return self.series(metric, **labels).last_value
+
+    def sum_over(self, metric: str, label: str, names: Iterable[str], **fixed) -> float:
+        """Sum the latest values of a metric across label values."""
+        total = 0.0
+        for name in names:
+            total += self.latest(metric, **{label: name}, **fixed)
+        return total

@@ -1,0 +1,24 @@
+"""Performance-model substrate: analytical engine, DES, shared types."""
+
+from repro.sim.cfs import CFSModel, DEFAULT_PERIOD
+from repro.sim.concurrency import ConcurrencyModel
+from repro.sim.engine import AnalyticalEngine
+from repro.sim.environment import Environment
+from repro.sim.latency import LatencyParams, end_to_end_latency, visit_latency
+from repro.sim.noise import NoiseModel
+from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
+
+__all__ = [
+    "Allocation",
+    "IntervalMetrics",
+    "ServiceMetrics",
+    "Environment",
+    "AnalyticalEngine",
+    "ConcurrencyModel",
+    "CFSModel",
+    "DEFAULT_PERIOD",
+    "LatencyParams",
+    "NoiseModel",
+    "visit_latency",
+    "end_to_end_latency",
+]

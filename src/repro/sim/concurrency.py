@@ -1,0 +1,188 @@
+"""Stochastic CPU-concurrency model for microservices.
+
+The analytical engine models each microservice's *instantaneous CPU
+concurrency* (cores' worth of runnable threads) as a Gamma random variable
+
+    N_i ~ Gamma(mean = rho_i, var = c_i * rho_i)
+
+where ``rho_i = workload * visits_i * cpu_demand_i`` is the mean CPU demand
+in cores and ``c_i >= 1`` is the service's *burstiness index* (variance
+inflation relative to a Poisson-like process).  Bursty services (NodeJS
+front-ends, fan-out aggregators) have large ``c_i``; smooth Go backends have
+small ``c_i``.
+
+This single distribution yields every signal PEMA observes:
+
+* mean utilization ``rho_i / x_i`` — low (15-25%) at the bottleneck for
+  bursty services, reproducing Fig. 8(a) of the paper;
+* CFS throttling onset: periods where ``N_i > x_i`` are throttled, so the
+  throttled fraction is the Gamma survival function at the allocation —
+  the sharp knee of Fig. 8(b);
+* queueing pressure: the tail expectation ``E[(N_i - x_i)+] / x_i`` drives
+  latency inflation (Section 4 of DESIGN.md).
+
+All functions are vectorized over services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special as _sc
+
+__all__ = [
+    "gamma_sf",
+    "gamma_cdf",
+    "gamma_quantile",
+    "tail_expectation",
+    "ConcurrencyModel",
+]
+
+_EPS = 1e-12
+
+
+def _as_arrays(*values: object) -> tuple[np.ndarray, ...]:
+    return tuple(np.asarray(v, dtype=np.float64) for v in values)
+
+
+def gamma_cdf(x: np.ndarray, shape: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """P(N <= x) for N ~ Gamma(shape, scale), vectorized, safe at shape=0."""
+    x, shape, scale = _as_arrays(x, shape, scale)
+    out = np.ones(np.broadcast_shapes(x.shape, shape.shape, scale.shape))
+    valid = (shape > _EPS) & (scale > _EPS)
+    xs = np.broadcast_to(x, out.shape)
+    ss = np.broadcast_to(shape, out.shape)
+    cs = np.broadcast_to(scale, out.shape)
+    out[valid] = _sc.gammainc(ss[valid], np.maximum(xs[valid], 0.0) / cs[valid])
+    # A zero-demand service never exceeds any allocation.
+    out[~valid] = 1.0
+    return out
+
+
+def gamma_sf(x: np.ndarray, shape: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """P(N > x), the throttled-period fraction at allocation ``x``."""
+    x, shape, scale = _as_arrays(x, shape, scale)
+    out = np.zeros(np.broadcast_shapes(x.shape, shape.shape, scale.shape))
+    valid = (shape > _EPS) & (scale > _EPS)
+    xs = np.broadcast_to(x, out.shape)
+    ss = np.broadcast_to(shape, out.shape)
+    cs = np.broadcast_to(scale, out.shape)
+    out[valid] = _sc.gammaincc(ss[valid], np.maximum(xs[valid], 0.0) / cs[valid])
+    return out
+
+
+def gamma_quantile(
+    p: float | np.ndarray, shape: np.ndarray, scale: np.ndarray
+) -> np.ndarray:
+    """Inverse CDF; returns 0 where the distribution is degenerate.
+
+    ``p`` may be a scalar or an array of per-element quantile levels.
+    """
+    shape, scale = _as_arrays(shape, scale)
+    p = np.asarray(p, dtype=np.float64)
+    if np.any(p <= 0.0) or np.any(p >= 1.0):
+        raise ValueError(f"quantile levels must be in (0, 1): {p}")
+    out = np.zeros(np.broadcast_shapes(p.shape, shape.shape, scale.shape))
+    valid = (shape > _EPS) & (scale > _EPS)
+    valid = np.broadcast_to(valid, out.shape)
+    ps = np.broadcast_to(p, out.shape)
+    ss = np.broadcast_to(shape, out.shape)
+    cs = np.broadcast_to(scale, out.shape)
+    out[valid] = _sc.gammaincinv(ss[valid], ps[valid]) * cs[valid]
+    return out
+
+
+def tail_expectation(
+    x: np.ndarray, mean: np.ndarray, shape: np.ndarray, scale: np.ndarray
+) -> np.ndarray:
+    """E[(N - x)+] — expected excess concurrency above the allocation.
+
+    Uses the Gamma identity ``E[N * 1{N > x}] = mean * SF(x; shape+1, scale)``
+    so the whole computation stays in regularized incomplete gammas.
+    """
+    x, mean, shape, scale = _as_arrays(x, mean, shape, scale)
+    out = np.zeros(np.broadcast_shapes(x.shape, mean.shape, shape.shape, scale.shape))
+    valid = (shape > _EPS) & (scale > _EPS) & (mean > _EPS)
+    xs = np.broadcast_to(x, out.shape)
+    ms = np.broadcast_to(mean, out.shape)
+    ss = np.broadcast_to(shape, out.shape)
+    cs = np.broadcast_to(scale, out.shape)
+    xv = np.maximum(xs[valid], 0.0)
+    upper = ms[valid] * _sc.gammaincc(ss[valid] + 1.0, xv / cs[valid])
+    out[valid] = np.maximum(upper - xv * _sc.gammaincc(ss[valid], xv / cs[valid]), 0.0)
+    return out
+
+
+@dataclass(frozen=True)
+class ConcurrencyModel:
+    """Gamma concurrency model for a set of services at one workload level.
+
+    Parameters are arrays aligned on the app's service order:
+
+    * ``mean`` — mean CPU concurrency ``rho_i`` (cores);
+    * ``burstiness`` — variance inflation ``c_i`` (var = c_i * rho_i).
+    """
+
+    mean: np.ndarray
+    burstiness: np.ndarray
+
+    def __post_init__(self) -> None:
+        mean = np.asarray(self.mean, dtype=np.float64)
+        burst = np.asarray(self.burstiness, dtype=np.float64)
+        if mean.shape != burst.shape:
+            raise ValueError("mean and burstiness must align")
+        if np.any(mean < 0):
+            raise ValueError("mean concurrency must be non-negative")
+        if np.any(burst <= 0.0):
+            raise ValueError("burstiness index must be > 0")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "burstiness", burst)
+
+    @property
+    def shape(self) -> np.ndarray:
+        """Gamma shape k = mean / c (0 where demand is 0)."""
+        return np.where(self.mean > _EPS, self.mean / self.burstiness, 0.0)
+
+    @property
+    def scale(self) -> np.ndarray:
+        """Gamma scale theta = c."""
+        return self.burstiness.copy()
+
+    def exceed_probability(self, alloc: np.ndarray) -> np.ndarray:
+        """Fraction of CFS periods where demand exceeds the allocation."""
+        return gamma_sf(alloc, self.shape, self.scale)
+
+    def overload(self, alloc: np.ndarray) -> np.ndarray:
+        """Dimensionless queueing pressure E[(N - x)+] / x."""
+        alloc = np.asarray(alloc, dtype=np.float64)
+        excess = tail_expectation(alloc, self.mean, self.shape, self.scale)
+        return excess / np.maximum(alloc, _EPS)
+
+    def bottleneck(self, p_crit: float = 0.97) -> np.ndarray:
+        """Allocation below which > ``1 - p_crit`` of periods throttle.
+
+        This is the paper's per-service "bottleneck resource": the knee of
+        the throttling curve in Fig. 8(b).
+        """
+        if not 0 < p_crit < 1:
+            raise ValueError(f"p_crit must be in (0, 1): {p_crit}")
+        return gamma_quantile(p_crit, self.shape, self.scale)
+
+    def activity(self, eps: float = 0.02) -> np.ndarray:
+        """P(N > eps): the fraction of time the service is actively using CPU.
+
+        Used to condition the latency-relevant throttle probability: a
+        request visiting a mostly-idle service still experiences that
+        service's *active-time* throttle behaviour — its own arrival is
+        what creates the concurrency.
+        """
+        return gamma_sf(np.full_like(self.mean, eps), self.shape, self.scale)
+
+    def usage_p90(self, alloc: np.ndarray) -> np.ndarray:
+        """90th percentile of fine-grained usage samples, capped at the limit.
+
+        This is what a Kubernetes-VPA-style recommender observes.
+        """
+        alloc = np.asarray(alloc, dtype=np.float64)
+        return np.minimum(alloc, gamma_quantile(0.90, self.shape, self.scale))

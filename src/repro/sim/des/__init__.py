@@ -1,0 +1,29 @@
+"""Discrete-event microservice simulator with explicit CFS throttling."""
+
+from repro.sim.des.arrivals import MMPPArrivals, PoissonArrivals
+from repro.sim.des.engine import DESEngine
+from repro.sim.des.events import Event, EventKind, EventQueue
+from repro.sim.des.metrics import MeasurementWindow
+from repro.sim.des.request import CompiledPlan, RequestState, compile_plans
+from repro.sim.des.server import CpuJob, ServiceServer
+from repro.sim.des.simulator import MicroserviceSimulator, SimConfig
+from repro.sim.des.tracing import Span, TraceLog
+
+__all__ = [
+    "DESEngine",
+    "MicroserviceSimulator",
+    "SimConfig",
+    "ServiceServer",
+    "CpuJob",
+    "EventQueue",
+    "Event",
+    "EventKind",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "MeasurementWindow",
+    "RequestState",
+    "CompiledPlan",
+    "compile_plans",
+    "Span",
+    "TraceLog",
+]

@@ -1,0 +1,81 @@
+"""Arrival processes: Poisson and Markov-modulated Poisson (MMPP).
+
+Real user traffic is burstier than Poisson; the paper's latency tails come
+from exactly that burstiness interacting with CFS quotas.  The 2-state MMPP
+alternates between a quiet and a burst state with exponential dwell times,
+preserving the requested mean rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PoissonArrivals", "MMPPArrivals"]
+
+
+class PoissonArrivals:
+    """Exponential inter-arrival times at a fixed mean rate."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        self.rate = rate
+        self.rng = rng
+
+    def next_gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.rate))
+
+
+class MMPPArrivals:
+    """2-state Markov-modulated Poisson process with mean rate ``rate``.
+
+    In the burst state the instantaneous rate is ``burst_factor`` times the
+    quiet state's; ``burst_fraction`` of time is spent bursting.  Dwell
+    times are exponential with mean ``dwell`` seconds in the burst state —
+    sub-second by default, the time scale at which bursts interact with
+    100 ms CFS periods (and short enough that multi-second measurement
+    windows average the modulation out).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: np.random.Generator,
+        *,
+        burst_factor: float = 4.0,
+        burst_fraction: float = 0.2,
+        dwell: float = 0.25,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        if burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0 < burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if dwell <= 0:
+            raise ValueError("dwell must be positive")
+        self.rng = rng
+        self.dwell_burst = dwell
+        self.dwell_quiet = dwell * (1.0 - burst_fraction) / burst_fraction
+        # Solve rates so the time-average equals `rate`.
+        quiet_weight = (1.0 - burst_fraction) + burst_fraction * burst_factor
+        self.rate_quiet = rate / quiet_weight
+        self.rate_burst = self.rate_quiet * burst_factor
+        self._bursting = False
+        self._state_left = float(rng.exponential(self.dwell_quiet))
+
+    def next_gap(self) -> float:
+        """Inter-arrival gap, stepping the modulating chain as time passes."""
+        gap = 0.0
+        while True:
+            rate = self.rate_burst if self._bursting else self.rate_quiet
+            candidate = float(self.rng.exponential(1.0 / rate))
+            if candidate <= self._state_left:
+                self._state_left -= candidate
+                return gap + candidate
+            # State flips before the candidate arrival: discard and redraw
+            # in the new state (memorylessness makes this exact).
+            gap += self._state_left
+            self._bursting = not self._bursting
+            mean_dwell = self.dwell_burst if self._bursting else self.dwell_quiet
+            self._state_left = float(self.rng.exponential(mean_dwell))

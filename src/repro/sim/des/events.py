@@ -1,0 +1,66 @@
+"""Event heap for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    ARRIVAL = "arrival"
+    CPU_DONE = "cpu_done"
+    WAIT_DONE = "wait_done"
+    QUOTA_EXHAUST = "quota_exhaust"
+    PERIOD_END = "period_end"
+    STAGE_START = "stage_start"
+    BACKGROUND = "background"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    epoch: int = field(compare=False, default=-1)
+    """Staleness guard: events carrying an epoch are dropped when the
+    target's epoch has advanced since scheduling."""
+
+
+class EventQueue:
+    """Min-heap of events with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self, time: float, kind: EventKind, payload: Any = None, epoch: int = -1
+    ) -> None:
+        if time < self.now - 1e-9:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        heapq.heappush(
+            self._heap,
+            Event(time=max(time, self.now), seq=next(self._seq), kind=kind,
+                  payload=payload, epoch=epoch),
+        )
+
+    def pop(self) -> Event:
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        return event
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event (raises IndexError when empty)."""
+        return self._heap[0].time

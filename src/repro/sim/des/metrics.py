@@ -1,0 +1,72 @@
+"""Measurement window for the DES: latencies + per-service counters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.des.server import ServiceServer
+from repro.sim.types import IntervalMetrics, ServiceMetrics
+
+__all__ = ["MeasurementWindow"]
+
+
+class MeasurementWindow:
+    """Accumulates one observation interval's samples."""
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.started = 0
+        self.completed = 0
+
+    def record_completion(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("negative latency")
+        self.latencies.append(latency)
+        self.completed += 1
+
+    def build(
+        self,
+        servers: dict[str, ServiceServer],
+        duration: float,
+        workload_rps: float,
+        *,
+        scale_to_interval: float | None = None,
+    ) -> IntervalMetrics:
+        """Summarize the window into :class:`IntervalMetrics`.
+
+        ``scale_to_interval`` rescales throttle seconds from the simulated
+        duration to a nominal monitoring interval so DES output is unit-
+        compatible with the analytical engine.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        scale = 1.0 if scale_to_interval is None else scale_to_interval / duration
+        services: dict[str, ServiceMetrics] = {}
+        total_periods = max(int(round(duration / next(iter(servers.values())).period)), 1) if servers else 1
+        for name, server in servers.items():
+            usage_cores = server.usage_seconds / duration
+            samples = list(server.period_samples)
+            # Idle periods produce no sample events; pad with zeros so
+            # percentiles reflect the full interval.
+            if len(samples) < total_periods:
+                samples.extend([0.0] * (total_periods - len(samples)))
+            p90 = float(np.percentile(samples, 90)) if samples else 0.0
+            services[name] = ServiceMetrics(
+                utilization=min(usage_cores / server.alloc, 1.0),
+                throttle_seconds=server.throttle_seconds * scale,
+                usage_cores=usage_cores,
+                usage_p90_cores=min(p90, server.alloc),
+            )
+        if self.latencies:
+            arr = np.asarray(self.latencies)
+            p95 = float(np.percentile(arr, 95))
+            mean = float(arr.mean())
+        else:
+            p95 = mean = 0.0
+        return IntervalMetrics(
+            latency_p95=p95,
+            workload_rps=workload_rps,
+            services=services,
+            latency_mean=mean,
+            completed_requests=self.completed,
+        )

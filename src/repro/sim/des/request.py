@@ -1,0 +1,79 @@
+"""Request execution state: compiled plans walked by the simulator.
+
+An in-flight request executes its class's stages sequentially.  Each stage
+fans out entries in parallel; an entry performs an integer number of
+sequential visits to one service (fractional plan visits are sampled
+per-request).  A visit is a CPU burst followed by a non-CPU wait (I/O,
+downstream blocking), so CPU concurrency stays bursty even when many
+requests are in flight — the regime the paper's throttling observations
+live in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.spec import AppSpec, RequestClass
+
+__all__ = ["CompiledPlan", "compile_plans", "RequestState", "EntryState"]
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A request class reduced to arrays for fast sampling."""
+
+    name: str
+    weight: float
+    stages: tuple[tuple[tuple[str, float], ...], ...]
+
+
+def compile_plans(app: AppSpec) -> tuple[CompiledPlan, ...]:
+    return tuple(
+        CompiledPlan(
+            name=rc.name,
+            weight=rc.weight,
+            stages=tuple(stage.parallel for stage in rc.stages),
+        )
+        for rc in app.request_classes
+    )
+
+
+@dataclass
+class EntryState:
+    """One parallel entry of the active stage."""
+
+    service: str
+    visits_left: int
+
+
+@dataclass
+class RequestState:
+    """One in-flight request."""
+
+    request_id: int
+    plan: CompiledPlan
+    arrived_at: float
+    stage_index: int = -1
+    entries_pending: int = 0
+    spans: list = field(default_factory=list)
+
+    def sample_stage_entries(
+        self, rng: np.random.Generator
+    ) -> list[EntryState]:
+        """Materialize the next stage's entries with sampled visit counts."""
+        self.stage_index += 1
+        entries: list[EntryState] = []
+        for service, visits in self.plan.stages[self.stage_index]:
+            whole = int(np.floor(visits))
+            frac = visits - whole
+            count = whole + (1 if rng.random() < frac else 0)
+            if count > 0:
+                entries.append(EntryState(service=service, visits_left=count))
+        self.entries_pending = len(entries)
+        return entries
+
+    @property
+    def finished_stages(self) -> bool:
+        return self.stage_index >= len(self.plan.stages) - 1

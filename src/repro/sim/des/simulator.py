@@ -1,0 +1,396 @@
+"""Event-driven microservice simulator.
+
+Executes an application's request plans against CFS-quota servers:
+
+* open-loop arrivals (Poisson or MMPP) pick a request class by weight;
+* requests walk their stages; stage entries fan out in parallel; each
+  visit is a CPU burst (runs at 1 core while the container's quota lasts)
+  followed by a non-CPU wait;
+* quota exhaustion freezes a service until the 100 ms period boundary,
+  accumulating the throttle time PEMA observes.
+
+The simulator is single-allocation/single-rate per run; the
+:class:`~repro.sim.des.engine.DESEngine` wraps runs into the
+``Environment`` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.spec import AppSpec
+from repro.sim.des.arrivals import MMPPArrivals, PoissonArrivals
+from repro.sim.des.events import EventKind, EventQueue
+from repro.sim.des.metrics import MeasurementWindow
+from repro.sim.des.request import RequestState, compile_plans
+from repro.sim.des.server import CpuJob, ServiceServer
+from repro.sim.des.tracing import Span, TraceLog
+from repro.sim.types import Allocation, IntervalMetrics
+
+__all__ = ["SimConfig", "MicroserviceSimulator"]
+
+_DONE_EPS = 1e-7
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator tunables."""
+
+    period: float = 0.1
+    """CFS bandwidth period (Linux default 100 ms)."""
+
+    arrivals: str = "mmpp"
+    """"poisson" or "mmpp" (burstier, the realistic default)."""
+
+    burst_factor: float = 4.0
+    burst_fraction: float = 0.2
+    demand_cv: float = 0.5
+    """Coefficient of variation of per-visit CPU demand (Gamma)."""
+
+    wait_jitter: float = 0.10
+    """Lognormal sigma on the non-CPU wait part of each visit."""
+
+    cpu_speed: float = 1.0
+    """Relative clock speed (1.0 = nominal)."""
+
+    background: bool = True
+    """Simulate each service's workload-independent baseline CPU demand
+    (runtime/GC overhead) as Poisson background jobs."""
+
+    background_interval: float = 0.05
+    """Mean gap between background jobs per service (seconds)."""
+
+    trace: bool = False
+    """Record Jaeger-like spans (needed only by the analysis package)."""
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.arrivals not in ("poisson", "mmpp"):
+            raise ValueError(f"unknown arrival process {self.arrivals!r}")
+        if self.demand_cv < 0 or self.wait_jitter < 0:
+            raise ValueError("dispersion parameters must be >= 0")
+        if self.background_interval <= 0:
+            raise ValueError("background_interval must be positive")
+        if self.cpu_speed <= 0:
+            raise ValueError("cpu_speed must be positive")
+
+
+@dataclass
+class _Visit:
+    """Payload threading one visit through CPU_DONE / WAIT_DONE."""
+
+    request: RequestState
+    service: str
+    visits_left: int
+    span_start: float = 0.0
+    cpu_time: float = 0.0
+
+
+class MicroserviceSimulator:
+    """One simulation run of one application at one allocation and rate."""
+
+    def __init__(
+        self,
+        app: AppSpec,
+        allocation: Allocation,
+        workload_rps: float,
+        *,
+        config: SimConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if workload_rps <= 0:
+            raise ValueError("workload must be positive")
+        self.app = app
+        self.config = config or SimConfig()
+        self.rng = np.random.default_rng(seed)
+        self.servers = {
+            name: ServiceServer(
+                name, max(allocation[name], 1e-3), period=self.config.period
+            )
+            for name in app.service_names
+        }
+        self.plans = compile_plans(app)
+        self._weights = np.asarray([p.weight for p in self.plans])
+        self._weights = self._weights / self._weights.sum()
+        self.workload_rps = float(workload_rps)
+        if self.config.arrivals == "poisson":
+            self.arrivals = PoissonArrivals(self.workload_rps, self.rng)
+        else:
+            self.arrivals = MMPPArrivals(
+                self.workload_rps,
+                self.rng,
+                burst_factor=self.config.burst_factor,
+                burst_fraction=self.config.burst_fraction,
+            )
+        self.queue = EventQueue()
+        self.window = MeasurementWindow()
+        self.traces = TraceLog() if self.config.trace else None
+        self._next_request_id = 0
+        self._next_job_id = 0
+        self.in_flight = 0
+        self._demand_shape = (
+            1.0 / self.config.demand_cv**2 if self.config.demand_cv > 0 else 0.0
+        )
+
+    # -- demand sampling ---------------------------------------------------------
+    def _sample_cpu_demand(self, service: str) -> float:
+        mean = self.app.service(service).cpu_demand / self.config.cpu_speed
+        if mean <= 0:
+            return 0.0
+        if self._demand_shape <= 0:
+            return mean
+        return float(
+            self.rng.gamma(self._demand_shape, mean / self._demand_shape)
+        )
+
+    def _sample_wait(self, service: str, cpu_time: float) -> float:
+        floor = self.app.service(service).latency_floor / self.config.cpu_speed
+        base = max(floor - cpu_time, 0.0)
+        if base == 0.0 or self.config.wait_jitter == 0:
+            return base
+        return base * float(np.exp(self.rng.normal(0.0, self.config.wait_jitter)))
+
+    # -- event scheduling ----------------------------------------------------------
+    def _resched(self, server: ServiceServer) -> None:
+        """Re-arm completion and quota events after any server change."""
+        now = self.queue.now
+        completion = server.next_completion()
+        if completion is not None:
+            job_id, dt = completion
+            self.queue.push(
+                now + dt,
+                EventKind.CPU_DONE,
+                payload=(server.name, job_id),
+                epoch=server.epoch,
+            )
+        quota_dt = server.time_to_quota_exhaust()
+        if quota_dt is not None:
+            self.queue.push(
+                now + quota_dt,
+                EventKind.QUOTA_EXHAUST,
+                payload=server.name,
+                epoch=server.epoch,
+            )
+
+    def _schedule_period_end(self, server: ServiceServer) -> None:
+        if server.period_event_armed:
+            return
+        boundary = (
+            int(self.queue.now / self.config.period + 1e-9) + 1
+        ) * self.config.period
+        self.queue.push(boundary, EventKind.PERIOD_END, payload=server.name)
+        server.period_event_armed = True
+
+    # -- visit lifecycle -------------------------------------------------------------
+    def _start_visit(self, visit: _Visit) -> None:
+        now = self.queue.now
+        server = self.servers[visit.service]
+        server.advance(now)
+        demand = self._sample_cpu_demand(visit.service)
+        visit.span_start = now
+        visit.cpu_time = demand
+        if demand <= 0:
+            self._finish_cpu_phase(visit)
+            return
+        job = CpuJob(
+            job_id=self._next_job_id,
+            remaining=demand,
+            visit_ref=visit,
+            started_at=now,
+        )
+        self._next_job_id += 1
+        was_idle = not server.jobs
+        server.add_job(job, now)
+        if was_idle:
+            self._schedule_period_end(server)
+        self._resched(server)
+
+    def _finish_cpu_phase(self, visit: _Visit) -> None:
+        wait = self._sample_wait(visit.service, visit.cpu_time)
+        self.queue.push(self.queue.now + wait, EventKind.WAIT_DONE, payload=visit)
+
+    def _finish_visit(self, visit: _Visit) -> None:
+        now = self.queue.now
+        if self.traces is not None:
+            self.traces.record(
+                Span(
+                    request_id=visit.request.request_id,
+                    service=visit.service,
+                    start=visit.span_start,
+                    end=now,
+                    cpu_time=visit.cpu_time,
+                )
+            )
+        visit.visits_left -= 1
+        if visit.visits_left > 0:
+            self._start_visit(visit)
+            return
+        request = visit.request
+        request.entries_pending -= 1
+        if request.entries_pending > 0:
+            return
+        if request.finished_stages:
+            self._complete_request(request)
+        else:
+            self.queue.push(
+                now + self.app.hop_latency, EventKind.STAGE_START, payload=request
+            )
+
+    def _complete_request(self, request: RequestState) -> None:
+        self.in_flight -= 1
+        self.window.record_completion(self.queue.now - request.arrived_at)
+
+    def _start_stage(self, request: RequestState) -> None:
+        entries = request.sample_stage_entries(self.rng)
+        if not entries:
+            # Every call in the stage sampled to zero visits.
+            if request.finished_stages:
+                self._complete_request(request)
+            else:
+                self.queue.push(
+                    self.queue.now, EventKind.STAGE_START, payload=request
+                )
+            return
+        for entry in entries:
+            self._start_visit(
+                _Visit(
+                    request=request,
+                    service=entry.service,
+                    visits_left=entry.visits_left,
+                )
+            )
+
+    # -- event handlers ------------------------------------------------------------
+    def _on_arrival(self, horizon: float) -> None:
+        now = self.queue.now
+        plan = self.plans[
+            int(self.rng.choice(len(self.plans), p=self._weights))
+        ]
+        request = RequestState(
+            request_id=self._next_request_id, plan=plan, arrived_at=now
+        )
+        self._next_request_id += 1
+        self.in_flight += 1
+        self.window.started += 1
+        self.queue.push(now, EventKind.STAGE_START, payload=request)
+        gap = self.arrivals.next_gap()
+        if now + gap <= horizon:
+            self.queue.push(now + gap, EventKind.ARRIVAL, payload=horizon)
+
+    def _on_cpu_done(self, service: str, job_id: int, epoch: int) -> None:
+        server = self.servers[service]
+        if epoch != server.epoch or job_id not in server.jobs:
+            return  # stale
+        server.advance(self.queue.now)
+        job = server.jobs[job_id]
+        if job.remaining > _DONE_EPS:
+            # Numerical drift; re-arm from current state.
+            self._resched(server)
+            return
+        server.remove_job(job_id)
+        self._resched(server)
+        if job.visit_ref is not None:
+            self._finish_cpu_phase(job.visit_ref)
+        # Background jobs (visit_ref None) just end.
+
+    def _on_background(self, service: str, horizon: float) -> None:
+        """One baseline-demand CPU burst (runtime/GC overhead)."""
+        now = self.queue.now
+        server = self.servers[service]
+        baseline = self.app.service(service).baseline_cores / self.config.cpu_speed
+        work = float(
+            self.rng.exponential(baseline * self.config.background_interval)
+        )
+        if work > 0:
+            server.advance(now)
+            job = CpuJob(job_id=self._next_job_id, remaining=work, visit_ref=None)
+            self._next_job_id += 1
+            was_idle = not server.jobs
+            server.add_job(job, now)
+            if was_idle:
+                self._schedule_period_end(server)
+            self._resched(server)
+        gap = float(self.rng.exponential(self.config.background_interval))
+        if now + gap <= horizon:
+            self.queue.push(
+                now + gap, EventKind.BACKGROUND, payload=(service, horizon)
+            )
+
+    def _on_quota_exhaust(self, service: str, epoch: int) -> None:
+        server = self.servers[service]
+        if epoch != server.epoch:
+            return  # stale
+        server.advance(self.queue.now)
+        if not server.jobs or server.quota_left > _DONE_EPS:
+            self._resched(server)
+            return
+        server.set_throttled()
+        # PERIOD_END is always armed while the server is busy; the freeze
+        # lasts until the next boundary.
+
+    def _on_period_end(self, service: str) -> None:
+        server = self.servers[service]
+        server.period_event_armed = False
+        server.advance(self.queue.now)
+        server.new_period(self.queue.now)
+        if server.jobs:
+            self._schedule_period_end(server)
+            self._resched(server)
+
+    # -- run -----------------------------------------------------------------------
+    def run(self, duration: float, warmup: float = 0.0) -> IntervalMetrics:
+        """Simulate ``warmup + duration`` seconds; measure the last part."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        horizon = warmup + duration
+        self.queue.push(self.arrivals.next_gap(), EventKind.ARRIVAL, payload=horizon)
+        if self.config.background:
+            for name in self.app.service_names:
+                if self.app.service(name).baseline_cores > 0:
+                    first = float(
+                        self.rng.exponential(self.config.background_interval)
+                    )
+                    self.queue.push(
+                        first, EventKind.BACKGROUND, payload=(name, horizon)
+                    )
+        warmup_done = warmup == 0.0
+        while len(self.queue) and self.queue.peek_time() <= horizon:
+            event = self.queue.pop()
+            if not warmup_done and event.time >= warmup:
+                self._reset_measurement(warmup)
+                warmup_done = True
+            if event.kind is EventKind.ARRIVAL:
+                self._on_arrival(event.payload)
+            elif event.kind is EventKind.STAGE_START:
+                self._start_stage(event.payload)
+            elif event.kind is EventKind.CPU_DONE:
+                service, job_id = event.payload
+                self._on_cpu_done(service, job_id, event.epoch)
+            elif event.kind is EventKind.WAIT_DONE:
+                self._finish_visit(event.payload)
+            elif event.kind is EventKind.QUOTA_EXHAUST:
+                self._on_quota_exhaust(event.payload, event.epoch)
+            elif event.kind is EventKind.PERIOD_END:
+                self._on_period_end(event.payload)
+            elif event.kind is EventKind.BACKGROUND:
+                service, bg_horizon = event.payload
+                self._on_background(service, bg_horizon)
+        for server in self.servers.values():
+            server.advance(horizon)
+        measured = duration if warmup_done else horizon
+        return self.window.build(
+            self.servers, measured, self.workload_rps
+        )
+
+    def _reset_measurement(self, at: float) -> None:
+        for server in self.servers.values():
+            server.advance(at)
+            server.reset_accumulators()
+        self.window = MeasurementWindow()
+        if self.traces is not None:
+            self.traces.clear()

@@ -1,0 +1,58 @@
+"""Jaeger-like tracing: per-visit spans.
+
+The paper collects ``self_time`` and ``duration`` from Jaeger for its
+bottleneck-classification study (Table 1) while stressing that PEMA itself
+never consumes traces.  The DES mirrors that: tracing is opt-in and feeds
+only the analysis package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One service visit inside one request."""
+
+    request_id: int
+    service: str
+    start: float
+    end: float
+    cpu_time: float
+    """Pure CPU execution time (Jaeger's self_time analogue)."""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def queue_wait(self) -> float:
+        """Time not spent executing: throttle stalls + I/O waits."""
+        return max(self.duration - self.cpu_time, 0.0)
+
+
+class TraceLog:
+    """Bounded in-memory span sink."""
+
+    def __init__(self, max_spans: int = 500_000) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def by_service(self, service: str) -> list[Span]:
+        return [s for s in self.spans if s.service == service]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0

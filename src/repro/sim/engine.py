@@ -1,0 +1,174 @@
+"""Analytical performance engine.
+
+Evaluates an allocation + workload into interval metrics using closed forms
+(Gamma concurrency → throttling and overload → visit latency → end-to-end
+aggregation).  Fast enough for tens of thousands of controller iterations,
+which is what the parameter sweeps and 36-hour replays need.
+
+The discrete-event engine (:mod:`repro.sim.des`) produces the same metric
+signatures from first principles and is used for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.cfs import CFSModel
+from repro.sim.concurrency import ConcurrencyModel
+from repro.sim.latency import LatencyParams, end_to_end_latency, visit_latency
+from repro.sim.noise import NoiseModel
+from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.apps.spec import AppSpec
+
+__all__ = ["AnalyticalEngine"]
+
+
+class AnalyticalEngine:
+    """Closed-form implementation of the :class:`Environment` protocol.
+
+    Parameters
+    ----------
+    app:
+        The application specification.
+    latency_params, cfs, noise:
+        Model tunables; defaults reproduce the paper's phenomenology.
+    p_crit:
+        Concurrency quantile that defines each service's bottleneck
+        allocation (DESIGN.md §4).
+    seed:
+        Seed for the measurement-noise stream.  Two engines with the same
+        seed observe identical noise — sweeps reuse seeds for paired
+        comparisons.
+    """
+
+    def __init__(
+        self,
+        app: AppSpec,
+        *,
+        latency_params: LatencyParams | None = None,
+        cfs: CFSModel | None = None,
+        noise: NoiseModel | None = None,
+        p_crit: float = 0.97,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < p_crit < 1:
+            raise ValueError(f"p_crit must be in (0, 1): {p_crit}")
+        self._app = app
+        self.latency_params = latency_params or LatencyParams()
+        self.cfs = cfs or CFSModel()
+        self.noise = noise if noise is not None else NoiseModel()
+        self.p_crit = p_crit
+        self._rng = np.random.default_rng(seed)
+        self._cpu_speed = 1.0
+        self._visits = app.visit_array()
+        self._demands = app.demand_array()
+        self._burst = app.burstiness_array()
+        self._floors = app.floor_array()
+        self._baselines = app.baseline_array()
+        self._cache: dict[tuple[float, float], ConcurrencyModel] = {}
+
+    # -- Environment protocol --------------------------------------------------
+    @property
+    def app(self) -> AppSpec:
+        return self._app
+
+    def observe(
+        self,
+        allocation: Allocation,
+        workload_rps: float,
+        interval: float = 120.0,
+    ) -> IntervalMetrics:
+        """One monitoring interval's metrics, with measurement noise."""
+        alloc = allocation.as_array(self._app.service_names)
+        model = self._concurrency(workload_rps)
+        exceed = model.exceed_probability(alloc)
+        excess_arr = model.overload(alloc) * np.maximum(alloc, 1e-12)
+        overload = model.overload(alloc)
+        thr_seconds = self.cfs.throttle_seconds(exceed, excess_arr, alloc, interval)
+
+        # p95 latency is driven by how often a request's CFS period freezes
+        # (the exceed probability), not by the average frozen time.
+        latency = self._latency_from(model, alloc, overload, exceed)
+        latency *= self.noise.sample(self._rng)
+
+        usage = np.minimum(model.mean, alloc)
+        svc_noise = np.exp(self._rng.normal(0.0, 0.03, size=usage.shape))
+        usage_noisy = usage * svc_noise
+        util = np.clip(usage_noisy / np.maximum(alloc, 1e-12), 0.0, 1.0)
+        p90 = model.usage_p90(alloc)
+
+        services = {
+            name: ServiceMetrics(
+                utilization=float(util[i]),
+                throttle_seconds=float(thr_seconds[i]),
+                usage_cores=float(usage_noisy[i]),
+                usage_p90_cores=float(p90[i]),
+            )
+            for i, name in enumerate(self._app.service_names)
+        }
+        return IntervalMetrics(
+            latency_p95=float(latency),
+            workload_rps=float(workload_rps),
+            services=services,
+            latency_mean=float(latency / 1.6),
+        )
+
+    # -- noise-free evaluation (search / tests) ---------------------------------
+    def noiseless_latency(self, allocation: Allocation, workload_rps: float) -> float:
+        """Deterministic p95 latency — what OPTM's trial-and-error measures."""
+        alloc = allocation.as_array(self._app.service_names)
+        model = self._concurrency(workload_rps)
+        exceed = model.exceed_probability(alloc)
+        overload = model.overload(alloc)
+        return self._latency_from(model, alloc, overload, exceed)
+
+    def bottleneck_allocation(self, workload_rps: float) -> Allocation:
+        """Per-service bottleneck resources at this workload (Fig. 8 knee)."""
+        model = self._concurrency(workload_rps)
+        return Allocation.from_array(
+            self._app.service_names, np.maximum(model.bottleneck(self.p_crit), 0.05)
+        )
+
+    # -- operating conditions ----------------------------------------------------
+    @property
+    def cpu_speed(self) -> float:
+        """Relative CPU clock speed (1.0 = nominal, e.g. 1.8 GHz)."""
+        return self._cpu_speed
+
+    def set_cpu_speed(self, speed: float) -> None:
+        """Change the hardware speed (Fig. 19's 1.8→1.6/2.0 GHz experiment)."""
+        if speed <= 0:
+            raise ValueError(f"speed must be positive: {speed}")
+        self._cpu_speed = float(speed)
+        self._cache.clear()
+
+    # -- internals ------------------------------------------------------------------
+    def _concurrency(self, workload_rps: float) -> ConcurrencyModel:
+        if workload_rps < 0:
+            raise ValueError(f"workload must be >= 0: {workload_rps}")
+        key = (round(float(workload_rps), 9), self._cpu_speed)
+        model = self._cache.get(key)
+        if model is None:
+            mean = (
+                workload_rps * self._visits * self._demands + self._baselines
+            ) / self._cpu_speed
+            model = ConcurrencyModel(mean=mean, burstiness=self._burst)
+            if len(self._cache) > 4096:
+                self._cache.clear()
+            self._cache[key] = model
+        return model
+
+    def _latency_from(
+        self,
+        model: ConcurrencyModel,
+        alloc: np.ndarray,
+        overload: np.ndarray,
+        exceed_frac: np.ndarray,
+    ) -> float:
+        floors = self._floors / self._cpu_speed
+        per_visit = visit_latency(floors, overload, exceed_frac, self.latency_params)
+        return end_to_end_latency(self._app, per_visit)

@@ -1,0 +1,42 @@
+"""Environment protocol: what a resource manager can do to an application.
+
+PEMA, the rule-based baseline, and the optimum search all interact with a
+deployed application the same way: apply an allocation, offer a workload,
+observe an interval of metrics.  Both the analytical engine and the
+discrete-event engine implement this protocol, so every experiment can run
+against either.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.sim.types import Allocation, IntervalMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.apps.spec import AppSpec
+
+__all__ = ["Environment"]
+
+
+@runtime_checkable
+class Environment(Protocol):
+    """A (simulated) deployment of one microservice application."""
+
+    @property
+    def app(self) -> AppSpec:
+        """The application specification being served."""
+        ...
+
+    def observe(
+        self,
+        allocation: Allocation,
+        workload_rps: float,
+        interval: float = 120.0,
+    ) -> IntervalMetrics:
+        """Serve ``workload_rps`` for ``interval`` seconds under ``allocation``.
+
+        Returns the end-of-interval metrics a Prometheus/Linkerd stack would
+        report: p95 latency, per-service utilization and throttle seconds.
+        """
+        ...

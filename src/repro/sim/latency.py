@@ -1,0 +1,120 @@
+"""Per-visit latency model and end-to-end aggregation.
+
+Latency of one visit to service *i* decomposes into:
+
+* a latency floor ``l0_i`` — service time with ample CPU;
+* queueing inflation proportional to the overload pressure
+  ``E[(N_i - x_i)+] / x_i`` (work that could not run immediately);
+* a throttle penalty that kicks in once the throttled-period fraction
+  crosses the tail-critical level (≈5% of periods, at which point the p95
+  request is hit by a frozen period).
+
+Both penalty terms scale with the service's own latency floor so that the
+model is self-consistent across applications whose SLOs span 50 ms to
+900 ms (see DESIGN.md §4: the DES realizes the absolute CFS period; the
+analytical engine works in relative latency units).
+
+End-to-end latency aggregates per-visit latencies over a request class's
+execution plan: stages are sequential, entries within a stage run in
+parallel (the max governs), repeated visits to a service within an entry
+are sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.apps.spec import AppSpec
+
+__all__ = ["LatencyParams", "visit_latency", "end_to_end_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Tunables of the visit-latency model (shared across apps)."""
+
+    queue_gain: float = 3.0
+    """Latency floors multiplied by ``1 + queue_gain * overload``."""
+
+    throttle_gain: float = 5.0
+    """Scale of the throttle penalty once past the critical fraction."""
+
+    frac_critical: float = 0.05
+    """Throttled-period fraction at which the p95 request is affected."""
+
+    throttle_power: float = 3.0
+    """Exponent of the normalized throttle ratio.  Cubic makes operating
+    *below* the bottleneck knee rapidly catastrophic (every extra frozen
+    period compounds through queue growth on a real system) while leaving
+    the above-knee region, where the controllers live, gentle."""
+
+    saturation: float = 20.0
+    """Cap on the normalized throttle ratio, keeping latency finite.
+
+    High enough that starving any service far below its bottleneck is
+    catastrophic for end-to-end latency (as on a real system, where a
+    fully-throttled service's queue grows without bound) while still
+    keeping the search landscape finite."""
+
+    def __post_init__(self) -> None:
+        if self.queue_gain < 0 or self.throttle_gain < 0:
+            raise ValueError("gains must be non-negative")
+        if self.throttle_power < 1:
+            raise ValueError("throttle_power must be >= 1")
+        if not 0 < self.frac_critical < 1:
+            raise ValueError("frac_critical must be in (0, 1)")
+        if self.saturation <= 0:
+            raise ValueError("saturation must be positive")
+
+
+def visit_latency(
+    floors: np.ndarray,
+    overload: np.ndarray,
+    throttled_frac: np.ndarray,
+    params: LatencyParams,
+) -> np.ndarray:
+    """p95-scale latency of one visit to each service (vectorized).
+
+    Monotonicity: both ``overload`` and ``throttled_frac`` are non-increasing
+    in the allocation, so visit latency is non-increasing in the allocation —
+    the property behind the paper's monotone-reduction navigation (Fig. 7).
+    """
+    floors = np.asarray(floors, dtype=np.float64)
+    overload = np.asarray(overload, dtype=np.float64)
+    throttled_frac = np.asarray(throttled_frac, dtype=np.float64)
+    ratio = np.minimum(throttled_frac / params.frac_critical, params.saturation)
+    inflation = (
+        1.0
+        + params.queue_gain * overload
+        + params.throttle_gain * ratio**params.throttle_power
+    )
+    return floors * inflation
+
+
+def end_to_end_latency(
+    app: "AppSpec", per_visit: Mapping[str, float] | np.ndarray
+) -> float:
+    """Aggregate per-visit latencies into application p95 latency (seconds).
+
+    ``per_visit`` is either a mapping ``service -> latency`` or an array in
+    the app's service order.  Traffic classes are mixed by weight; each
+    class walks its stages sequentially, taking the max across parallel
+    entries and adding the per-hop network latency.
+    """
+    if isinstance(per_visit, np.ndarray):
+        lat = {name: float(v) for name, v in zip(app.service_names, per_visit)}
+    else:
+        lat = {name: float(per_visit[name]) for name in app.service_names}
+
+    total = 0.0
+    for rc in app.request_classes:
+        class_latency = 0.0
+        for stage in rc.stages:
+            branch = max(visits * lat[svc] for svc, visits in stage.parallel)
+            class_latency += branch + app.hop_latency
+        total += rc.weight * class_latency
+    return total

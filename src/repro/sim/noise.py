@@ -1,0 +1,56 @@
+"""Measurement noise for interval-level latency observations.
+
+Real p95 latencies fluctuate between monitoring intervals even at a fixed
+allocation and workload; the paper attributes its handful of anti-monotone
+observations (Fig. 7a: 10.2% TrainTicket, 6.1% SockShop) to such transient
+anomalies, and devotes §3.5 to defending against transient *dips* that bait
+the controller into over-reduction.
+
+The model: multiplicative lognormal jitter plus a rare anomaly that scales
+the observation by a uniform factor drawn from a dip/spike band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative noise applied to each interval's p95 latency."""
+
+    sigma: float = 0.028
+    """Lognormal sigma of the per-interval jitter."""
+
+    anomaly_prob: float = 0.05
+    """Probability of a transient anomaly in any interval."""
+
+    anomaly_low: float = 0.84
+    """Lower bound of the anomaly scale factor (dips)."""
+
+    anomaly_high: float = 1.14
+    """Upper bound of the anomaly scale factor (spikes)."""
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not 0.0 <= self.anomaly_prob <= 1.0:
+            raise ValueError("anomaly_prob must be a probability")
+        if not 0 < self.anomaly_low <= self.anomaly_high:
+            raise ValueError("anomaly band must satisfy 0 < low <= high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one multiplicative noise factor."""
+        factor = float(np.exp(rng.normal(0.0, self.sigma))) if self.sigma else 1.0
+        if self.anomaly_prob and rng.random() < self.anomaly_prob:
+            factor *= float(rng.uniform(self.anomaly_low, self.anomaly_high))
+        return factor
+
+    @classmethod
+    def none(cls) -> "NoiseModel":
+        """A noise-free model (for OPTM search and deterministic tests)."""
+        return cls(sigma=0.0, anomaly_prob=0.0)

@@ -1,0 +1,24 @@
+"""Workload generation: constant/step/burst/diurnal request-rate traces."""
+
+from repro.workload.generators import (
+    BurstWorkload,
+    ConstantWorkload,
+    RampWorkload,
+    SinusoidalWorkload,
+    StepWorkload,
+)
+from repro.workload.trace import NoisyTrace, ScaledTrace, WorkloadTrace, sample_range
+from repro.workload.wikipedia import WikipediaTrace
+
+__all__ = [
+    "WorkloadTrace",
+    "NoisyTrace",
+    "ScaledTrace",
+    "sample_range",
+    "ConstantWorkload",
+    "StepWorkload",
+    "RampWorkload",
+    "SinusoidalWorkload",
+    "BurstWorkload",
+    "WikipediaTrace",
+]

@@ -1,0 +1,114 @@
+"""Deterministic workload generators used across the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConstantWorkload",
+    "StepWorkload",
+    "RampWorkload",
+    "SinusoidalWorkload",
+    "BurstWorkload",
+]
+
+
+@dataclass(frozen=True)
+class ConstantWorkload:
+    """Fixed offered load (the single-workload experiments, Figs. 11-12)."""
+
+    rps: float
+
+    def __post_init__(self) -> None:
+        if self.rps < 0:
+            raise ValueError("rps must be >= 0")
+
+    def rate(self, t: float) -> float:
+        return self.rps
+
+
+class StepWorkload:
+    """Piecewise-constant load: ``[(t_start, rps), ...]`` sorted by time."""
+
+    def __init__(self, steps: list[tuple[float, float]]):
+        if not steps:
+            raise ValueError("need at least one step")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ValueError("steps must be sorted by time")
+        if any(r < 0 for _, r in steps):
+            raise ValueError("rates must be >= 0")
+        self._times = np.asarray(times, dtype=np.float64)
+        self._rates = [r for _, r in steps]
+
+    def rate(self, t: float) -> float:
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        if idx < 0:
+            return self._rates[0]
+        return self._rates[idx]
+
+
+@dataclass(frozen=True)
+class RampWorkload:
+    """Linear ramp from ``start_rps`` to ``end_rps`` over ``duration``."""
+
+    start_rps: float
+    end_rps: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.start_rps < 0 or self.end_rps < 0:
+            raise ValueError("rates must be >= 0")
+
+    def rate(self, t: float) -> float:
+        frac = min(max(t / self.duration, 0.0), 1.0)
+        return self.start_rps + (self.end_rps - self.start_rps) * frac
+
+
+@dataclass(frozen=True)
+class SinusoidalWorkload:
+    """Sinusoid between ``low`` and ``high`` with the given period."""
+
+    low: float
+    high: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+        if self.period <= 0:
+            raise ValueError("period must be > 0")
+
+    def rate(self, t: float) -> float:
+        mid = 0.5 * (self.low + self.high)
+        amp = 0.5 * (self.high - self.low)
+        return mid + amp * float(np.sin(2.0 * np.pi * t / self.period + self.phase))
+
+
+class BurstWorkload:
+    """Base load with rectangular bursts (the Fig. 18 experiment).
+
+    ``bursts`` is a list of ``(start, duration, rps)`` tuples; overlapping
+    bursts take the maximum level.
+    """
+
+    def __init__(self, base_rps: float, bursts: list[tuple[float, float, float]]):
+        if base_rps < 0:
+            raise ValueError("base_rps must be >= 0")
+        for start, duration, rps in bursts:
+            if duration <= 0 or rps < 0:
+                raise ValueError("bursts need positive duration and rps >= 0")
+        self.base_rps = base_rps
+        self.bursts = list(bursts)
+
+    def rate(self, t: float) -> float:
+        level = self.base_rps
+        for start, duration, rps in self.bursts:
+            if start <= t < start + duration:
+                level = max(level, rps)
+        return level

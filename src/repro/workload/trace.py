@@ -1,0 +1,79 @@
+"""Workload trace protocol and composition helpers.
+
+A workload trace maps wall-clock time (seconds) to offered load (requests
+per second).  Traces are deterministic given their construction arguments;
+stochastic jitter is layered on with :class:`NoisyTrace` and an explicit
+seed, so experiments replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["WorkloadTrace", "NoisyTrace", "ScaledTrace", "sample_range"]
+
+
+@runtime_checkable
+class WorkloadTrace(Protocol):
+    """Offered load as a function of time."""
+
+    def rate(self, t: float) -> float:
+        """Requests per second at time ``t`` (seconds)."""
+        ...
+
+
+class NoisyTrace:
+    """Multiplicative jitter around a base trace.
+
+    The jitter is a deterministic function of ``floor(t / period)`` and the
+    seed, so repeated queries at the same time return the same rate.
+    """
+
+    def __init__(
+        self, base: WorkloadTrace, sigma: float = 0.03, seed: int = 0, period: float = 60.0
+    ) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        self.base = base
+        self.sigma = sigma
+        self.seed = seed
+        self.period = period
+
+    def rate(self, t: float) -> float:
+        base = self.base.rate(t)
+        if self.sigma == 0:
+            return base
+        bucket = int(np.floor(t / self.period))
+        rng = np.random.default_rng((self.seed, bucket))
+        return max(0.0, base * float(np.exp(rng.normal(0.0, self.sigma))))
+
+
+class ScaledTrace:
+    """Affine transform of a base trace: ``rate = base * scale + offset``."""
+
+    def __init__(
+        self, base: WorkloadTrace, scale: float = 1.0, offset: float = 0.0
+    ) -> None:
+        self.base = base
+        self.scale = scale
+        self.offset = offset
+
+    def rate(self, t: float) -> float:
+        return max(0.0, self.base.rate(t) * self.scale + self.offset)
+
+
+def sample_range(
+    trace: WorkloadTrace, start: float, end: float, step: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a trace on a regular grid — convenient for plots and tests."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    if step <= 0:
+        raise ValueError("step must be positive")
+    times = np.arange(start, end, step, dtype=np.float64)
+    rates = np.asarray([trace.rate(float(t)) for t in times])
+    return times, rates

@@ -1,0 +1,117 @@
+"""Shared fixtures: a small synthetic app plus the paper's prototypes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import build_app
+from repro.apps.spec import AppSpec, RequestClass, ServiceSpec, Stage
+from repro.sim import AnalyticalEngine, Allocation
+from repro.sim.types import IntervalMetrics, ServiceMetrics
+
+
+def build_tiny_app() -> AppSpec:
+    """A 4-service app small enough to reason about by hand.
+
+    Exposed as a plain function so hypothesis tests can construct it
+    per-example without function-scoped-fixture health checks.
+    """
+    services = (
+        ServiceSpec("front", cpu_demand=0.002, latency_floor=0.010,
+                    burstiness=4.0, tier="frontend", language="nodejs"),
+        ServiceSpec("logic", cpu_demand=0.001, latency_floor=0.008,
+                    burstiness=2.0, tier="logic", language="go"),
+        ServiceSpec("db", cpu_demand=0.0015, latency_floor=0.006,
+                    burstiness=3.0, tier="db", language="mysql"),
+        ServiceSpec("cache", cpu_demand=0.0005, latency_floor=0.002,
+                    burstiness=1.5, tier="cache", language="memcached"),
+    )
+    classes = (
+        RequestClass(
+            name="read",
+            weight=0.7,
+            stages=(
+                Stage.seq("front"),
+                Stage.fanout("logic", ("cache", 0.8)),
+                Stage.seq("db"),
+            ),
+        ),
+        RequestClass(
+            name="write",
+            weight=0.3,
+            stages=(
+                Stage.seq("front"),
+                Stage.seq("logic"),
+                Stage.seq("db", 2.0),
+            ),
+        ),
+    )
+    return AppSpec(
+        name="tiny",
+        services=services,
+        request_classes=classes,
+        slo=0.100,
+        hop_latency=0.0005,
+        reference_workload=100.0,
+    )
+
+
+@pytest.fixture
+def tiny_app() -> AppSpec:
+    return build_tiny_app()
+
+
+@pytest.fixture
+def tiny_engine(tiny_app) -> AnalyticalEngine:
+    return AnalyticalEngine(tiny_app, seed=42)
+
+
+@pytest.fixture
+def sockshop_app() -> AppSpec:
+    return build_app("sockshop")
+
+
+@pytest.fixture
+def sockshop_engine(sockshop_app) -> AnalyticalEngine:
+    return AnalyticalEngine(sockshop_app, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_metrics(
+    latency: float,
+    workload: float = 100.0,
+    utils: dict[str, float] | None = None,
+    throttles: dict[str, float] | None = None,
+    services: tuple[str, ...] = ("front", "logic", "db", "cache"),
+) -> IntervalMetrics:
+    """Hand-built IntervalMetrics for controller unit tests."""
+    utils = utils or {}
+    throttles = throttles or {}
+    return IntervalMetrics(
+        latency_p95=latency,
+        workload_rps=workload,
+        services={
+            name: ServiceMetrics(
+                utilization=utils.get(name, 0.10),
+                throttle_seconds=throttles.get(name, 0.0),
+                usage_cores=utils.get(name, 0.10),
+                usage_p90_cores=utils.get(name, 0.10) * 1.5,
+            )
+            for name in services
+        },
+    )
+
+
+@pytest.fixture
+def metrics_factory():
+    return make_metrics
+
+
+@pytest.fixture
+def tiny_allocation() -> Allocation:
+    return Allocation({"front": 1.0, "logic": 0.8, "db": 0.9, "cache": 0.3})

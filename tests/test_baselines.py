@@ -1,0 +1,140 @@
+"""OPTM search, RULE autoscaler, static allocator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OptimumSearch, RuleBasedAutoscaler, StaticAllocator
+from repro.sim import AnalyticalEngine, Allocation, NoiseModel
+from tests.conftest import make_metrics
+
+
+class TestOptimumSearch:
+    @pytest.fixture
+    def search(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, noise=NoiseModel.none())
+        return OptimumSearch(engine, restarts=2, seed=0)
+
+    def test_result_satisfies_slo(self, tiny_app, search):
+        result = search.find(100.0)
+        assert result.latency <= tiny_app.slo + 1e-12
+        assert result.total_cpu > 0
+
+    def test_result_is_local_optimum(self, search):
+        """The paper's definition: any single -0.1 CPU step violates."""
+        result = search.find(100.0)
+        assert search.is_local_optimum(result.allocation, 100.0)
+
+    def test_beats_generous_start(self, tiny_app, search):
+        gen = tiny_app.generous_allocation(100.0)
+        result = search.find(100.0)
+        assert result.total_cpu < gen.total()
+
+    def test_monotone_in_workload(self, search):
+        low = search.find(50.0).total_cpu
+        high = search.find(300.0).total_cpu
+        assert high > low
+
+    def test_violating_start_rejected(self, tiny_app, search):
+        starved = tiny_app.uniform_allocation(0.05)
+        with pytest.raises(ValueError):
+            search.find(300.0, start=starved)
+
+    def test_is_local_optimum_rejects_violating(self, tiny_app, search):
+        starved = tiny_app.uniform_allocation(0.05)
+        assert not search.is_local_optimum(starved, 300.0)
+
+    def test_is_local_optimum_rejects_slack(self, tiny_app, search):
+        gen = tiny_app.generous_allocation(100.0)
+        assert not search.is_local_optimum(gen, 100.0)
+
+    def test_deterministic(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, noise=NoiseModel.none())
+        a = OptimumSearch(engine, restarts=1, seed=5).find(100.0)
+        b = OptimumSearch(engine, restarts=1, seed=5).find(100.0)
+        assert a.allocation == b.allocation
+
+    def test_validation(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app)
+        with pytest.raises(ValueError):
+            OptimumSearch(engine, step=0.0)
+        with pytest.raises(ValueError):
+            OptimumSearch(engine, restarts=0)
+        with pytest.raises(ValueError):
+            OptimumSearch(engine, min_cpu=0.0)
+
+
+class TestRuleBasedAutoscaler:
+    def alloc(self):
+        return Allocation({s: 2.0 for s in ("front", "logic", "db", "cache")})
+
+    def test_utilization_mode_targets_ratio(self):
+        rule = RuleBasedAutoscaler(
+            self.alloc(), target_utilization=0.10, overprovision=0.0,
+            scale_down_limit=1.0,
+        )
+        m = make_metrics(0.1, utils={"front": 0.05})  # usage 0.05 cores
+        out = rule.decide(m)
+        assert out["front"] == pytest.approx(0.05 / 0.10)
+
+    def test_vpa_mode_uses_p90(self):
+        rule = RuleBasedAutoscaler(
+            self.alloc(), mode="vpa", overprovision=0.15, scale_down_limit=1.0
+        )
+        m = make_metrics(0.1, utils={"front": 0.5})  # p90 = 0.75 in factory
+        out = rule.decide(m)
+        assert out["front"] == pytest.approx(0.75 * 1.15)
+
+    def test_scale_down_damped(self):
+        rule = RuleBasedAutoscaler(
+            self.alloc(), target_utilization=0.5, scale_down_limit=0.15
+        )
+        m = make_metrics(0.1, utils={s: 0.01 for s in self.alloc()})
+        out = rule.decide(m)
+        # Desired would be tiny; damping limits the drop to 15% per step.
+        assert out["front"] == pytest.approx(2.0 * 0.85)
+
+    def test_scale_up_immediate(self):
+        rule = RuleBasedAutoscaler(self.alloc(), target_utilization=0.10,
+                                   overprovision=0.0)
+        m = make_metrics(0.1, utils={"front": 1.0})  # usage 1.0 cores
+        out = rule.decide(m)
+        assert out["front"] == pytest.approx(10.0)
+
+    def test_bounds_respected(self):
+        rule = RuleBasedAutoscaler(
+            self.alloc(), target_utilization=0.01, max_cpu=4.0, min_cpu=0.5,
+            scale_down_limit=1.0,
+        )
+        m = make_metrics(0.1, utils={"front": 1.0, "logic": 0.0})
+        out = rule.decide(m)
+        assert out["front"] == 4.0
+        assert out["logic"] == 0.5
+
+    def test_converges_to_fixed_point(self):
+        rule = RuleBasedAutoscaler(self.alloc(), target_utilization=0.10,
+                                   overprovision=0.0, scale_down_limit=0.5)
+        usage = 0.08
+        alloc = rule.allocation
+        for _ in range(30):
+            m = make_metrics(0.1, utils={s: usage / alloc[s] for s in alloc})
+            alloc = rule.decide(m)
+        assert alloc["front"] == pytest.approx(usage / 0.10, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuleBasedAutoscaler(self.alloc(), mode="zzz")
+        with pytest.raises(ValueError):
+            RuleBasedAutoscaler(self.alloc(), target_utilization=0.0)
+        with pytest.raises(ValueError):
+            RuleBasedAutoscaler(self.alloc(), overprovision=-0.1)
+        with pytest.raises(ValueError):
+            RuleBasedAutoscaler(self.alloc(), min_cpu=5.0, max_cpu=1.0)
+
+
+class TestStaticAllocator:
+    def test_never_changes(self):
+        a = Allocation({"x": 1.0})
+        s = StaticAllocator(a)
+        m = make_metrics(0.5, services=("x",))
+        assert s.decide(m) == a
+        assert s.allocation == a

@@ -1,0 +1,58 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "sockshop"
+        assert args.workload is None
+        assert not args.fast
+
+
+class TestCommands:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sockshop", "trainticket", "hotelreservation"):
+            assert name in out
+
+    def test_run(self, capsys):
+        assert main(
+            ["run", "--app", "sockshop", "--iterations", "8", "--every", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "settled total CPU" in out
+        assert "violations" in out
+
+    def test_run_fast(self, capsys):
+        assert main(
+            ["run", "--app", "sockshop", "--iterations", "6", "--fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "violation exposure" in out
+
+    def test_optimum(self, capsys):
+        assert main(["optimum", "--app", "hotelreservation"]) == 0
+        out = capsys.readouterr().out
+        assert "total CPU" in out
+        assert "frontend" in out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "--app", "sockshop", "--iterations", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "OPTM" in out and "PEMA" in out and "RULE" in out
+        assert "saves" in out

@@ -1,0 +1,140 @@
+"""Kubernetes-like cluster substrate."""
+
+import pytest
+
+from repro.cluster import (
+    CapacityError,
+    Cluster,
+    Node,
+    Pod,
+    Scheduler,
+    SchedulingError,
+    paper_testbed_nodes,
+)
+from repro.sim.types import Allocation
+
+
+class TestNode:
+    def test_capacity_accounting(self):
+        node = Node("n", cpu_capacity=10.0, memory_mb=1024.0)
+        pod = Pod("svc", cpu_request=4.0, memory_mb=256.0)
+        node.pods.append(pod)
+        assert node.cpu_used == 4.0
+        assert node.cpu_free == 6.0
+        assert node.memory_free == 768.0
+        assert node.utilization() == pytest.approx(0.4)
+
+    def test_fits(self):
+        node = Node("n", cpu_capacity=2.0, memory_mb=512.0)
+        assert node.fits(2.0, 512.0)
+        assert not node.fits(2.1, 100.0)
+        assert not node.fits(1.0, 600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Node("n", cpu_capacity=0.0, memory_mb=10.0)
+
+    def test_paper_testbed(self):
+        nodes = paper_testbed_nodes()
+        assert len(nodes) == 4
+        assert all(n.cpu_capacity == 20.0 for n in nodes)
+
+
+class TestPod:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pod("svc", cpu_request=0.0, memory_mb=100.0)
+        with pytest.raises(ValueError):
+            Pod("svc", cpu_request=1.0, memory_mb=0.0)
+
+    def test_scheduled_flag(self):
+        pod = Pod("svc", cpu_request=1.0, memory_mb=100.0)
+        assert not pod.scheduled
+
+
+class TestScheduler:
+    def test_places_all_pods(self):
+        nodes = [Node(f"n{i}", 10.0, 10_000.0) for i in range(2)]
+        pods = [Pod(f"s{i}", 3.0, 100.0) for i in range(6)]
+        Scheduler().schedule(pods, nodes)
+        assert all(p.scheduled for p in pods)
+        for node in nodes:
+            assert node.cpu_used <= node.cpu_capacity + 1e-9
+
+    def test_raises_when_infeasible(self):
+        nodes = [Node("n", 2.0, 10_000.0)]
+        pods = [Pod("big", 3.0, 100.0)]
+        with pytest.raises(SchedulingError):
+            Scheduler().schedule(pods, nodes)
+
+    def test_ffd_spreads_load(self):
+        nodes = [Node(f"n{i}", 10.0, 10_000.0) for i in range(2)]
+        pods = [Pod(f"s{i}", 5.0, 100.0) for i in range(2)]
+        Scheduler().schedule(pods, nodes)
+        # Most-free-first placement puts the two pods on different nodes.
+        assert pods[0].node is not pods[1].node
+
+    def test_reschedule_moves_overcommit(self):
+        nodes = [Node("n0", 10.0, 10_000.0), Node("n1", 10.0, 10_000.0)]
+        pods = [Pod("a", 4.0, 100.0), Pod("b", 4.0, 100.0)]
+        sched = Scheduler()
+        # Force both onto n0.
+        for p in pods:
+            p.node = nodes[0]
+            nodes[0].pods.append(p)
+        pods[0].cpu_request = 8.0  # now n0 holds 12 > 10
+        moved = sched.reschedule_if_needed(pods, nodes)
+        assert moved == 1
+        assert all(p.scheduled for p in pods)
+        assert all(n.cpu_free >= -1e-9 for n in nodes)
+
+
+class TestCluster:
+    def alloc(self, app, value=0.5):
+        return Allocation({name: value for name in app.service_names})
+
+    def test_deploy_and_apply(self, tiny_app):
+        cluster = Cluster()
+        cluster.deploy(tiny_app, self.alloc(tiny_app, 1.0))
+        assert cluster.cpu_allocated == pytest.approx(4.0)
+        cluster.apply(self.alloc(tiny_app, 0.5))
+        assert cluster.cpu_allocated == pytest.approx(2.0)
+        assert cluster.allocation()["front"] == pytest.approx(0.5)
+        assert cluster.resize_count == 1
+
+    def test_double_deploy_rejected(self, tiny_app):
+        cluster = Cluster()
+        cluster.deploy(tiny_app, self.alloc(tiny_app))
+        with pytest.raises(RuntimeError):
+            cluster.deploy(tiny_app, self.alloc(tiny_app))
+
+    def test_apply_before_deploy(self, tiny_app):
+        with pytest.raises(RuntimeError):
+            Cluster().apply(self.alloc(tiny_app))
+
+    def test_capacity_error(self, tiny_app):
+        cluster = Cluster(nodes=[Node("n", 1.0, 10_000.0)])
+        with pytest.raises(CapacityError):
+            cluster.deploy(tiny_app, self.alloc(tiny_app, 10.0))
+
+    def test_unknown_service_in_apply(self, tiny_app):
+        cluster = Cluster()
+        cluster.deploy(tiny_app, self.alloc(tiny_app))
+        with pytest.raises(KeyError):
+            cluster.apply(Allocation({"front": 1.0, "zzz": 1.0, "db": 1.0,
+                                      "cache": 1.0}))
+
+    def test_frequency_knob(self):
+        cluster = Cluster(frequency_ghz=1.8)
+        assert cluster.speed_factor == pytest.approx(1.0)
+        cluster.set_frequency(1.6)
+        assert cluster.speed_factor == pytest.approx(1.6 / 1.8)
+        with pytest.raises(ValueError):
+            cluster.set_frequency(0.0)
+
+    def test_node_utilizations(self, tiny_app):
+        cluster = Cluster()
+        cluster.deploy(tiny_app, self.alloc(tiny_app, 1.0))
+        utils = cluster.node_utilizations()
+        assert len(utils) == 4
+        assert sum(u * 20.0 for u in utils.values()) == pytest.approx(4.0)

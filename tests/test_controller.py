@@ -1,0 +1,307 @@
+"""PEMA controller: Algorithm 1 step semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import PEMAConfig, PEMAController, StepAction
+from repro.sim.types import Allocation
+from tests.conftest import make_metrics
+
+SERVICES = ("front", "logic", "db", "cache")
+SLO = 0.250
+
+
+def controller(
+    config: PEMAConfig | None = None, seed: int = 0, cpu: float = 2.0
+) -> PEMAController:
+    return PEMAController(
+        SERVICES,
+        SLO,
+        Allocation({s: cpu for s in SERVICES}),
+        config or PEMAConfig(explore_a=0.0, explore_b=0.0),  # deterministic
+        seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PEMAController((), SLO, Allocation({"a": 1.0}))
+        with pytest.raises(ValueError):
+            PEMAController(("a",), 0.0, Allocation({"a": 1.0}))
+        with pytest.raises(ValueError):
+            PEMAController(("a", "b"), SLO, Allocation({"a": 1.0}))
+
+    def test_config_high_low_exploration(self):
+        assert PEMAConfig.high_exploration().explore_a == 0.10
+        assert PEMAConfig.low_exploration().explore_a == 0.05
+
+
+class TestReduceStep:
+    def test_reduces_when_headroom(self):
+        c = controller()
+        before = c.allocation.total()
+        result = c.step(make_metrics(0.100))  # 100ms vs 250ms SLO
+        assert result.action is StepAction.REDUCE
+        assert result.allocation.total() < before
+        assert result.allocation.monotone_le(
+            Allocation({s: 2.0 for s in SERVICES})
+        )
+        assert 0 < result.n_targets <= len(SERVICES)
+        assert 0 < result.delta <= c.config.beta
+
+    def test_reduction_is_monotonic_per_step(self):
+        """Each REDUCE step only ever shrinks services (the paper's
+        monotonic-reduction definition)."""
+        c = controller()
+        prev = c.allocation
+        for _ in range(10):
+            result = c.step(make_metrics(0.100))
+            if result.action is StepAction.REDUCE:
+                assert result.allocation.monotone_le(prev)
+            prev = result.allocation
+
+    def test_holds_at_target(self):
+        c = controller()
+        result = c.step(make_metrics(0.249))  # essentially at the SLO
+        assert result.action is StepAction.HOLD
+        assert result.allocation.total() == pytest.approx(8.0)
+
+    def test_respects_min_cpu_floor(self):
+        cfg = PEMAConfig(explore_a=0.0, explore_b=0.0, min_cpu=0.5)
+        c = controller(cfg, cpu=0.6)
+        for _ in range(30):
+            c.step(make_metrics(0.050))
+        assert all(c.allocation[s] >= 0.5 for s in SERVICES)
+
+    def test_newly_throttled_service_not_reduced(self):
+        """A service whose throttling exceeds its learned threshold is
+        excluded from this step's candidates (Alg. 1 line 8)."""
+        c = controller()
+        result = c.step(make_metrics(0.100, throttles={"db": 3.0}))
+        assert "db" not in result.targets
+
+    def test_growing_throttle_stays_excluded(self):
+        """Throttling that keeps growing keeps the service filtered —
+        the 'imminent bottleneck' detector."""
+        c = controller()
+        throttle = 1.0
+        for _ in range(8):
+            result = c.step(make_metrics(0.100, throttles={"db": throttle}))
+            assert "db" not in result.targets
+            throttle *= 1.5
+
+    def test_stable_throttle_becomes_safe(self):
+        """Once a throttling level was observed on an SLO-satisfying
+        interval, it is a learned-safe ceiling and the service is eligible
+        again (Eqn. 7 ratchet)."""
+        c = controller(seed=3)
+        m = make_metrics(0.100, throttles={"db": 3.0})
+        c.step(m)  # learns H_th(db) = 3.0
+        seen_db = False
+        for _ in range(20):
+            result = c.step(m)
+            seen_db = seen_db or ("db" in result.targets)
+        assert seen_db
+
+    def test_reduction_target_override(self):
+        """A lower reduction target shrinks the signal (Eqn. 9 plumbing)."""
+        c1, c2 = controller(), controller()
+        r1 = c1.step(make_metrics(0.100))
+        r2 = c2.step(make_metrics(0.100), reduction_target=0.150)
+        assert r2.signal < r1.signal
+
+    def test_invalid_reduction_target(self):
+        with pytest.raises(ValueError):
+            controller().step(make_metrics(0.1), reduction_target=0.0)
+
+
+class TestRollback:
+    def test_rollback_on_violation(self):
+        c = controller()
+        c.step(make_metrics(0.100))  # logs 8.0-total allocation
+        mid = c.allocation
+        result = c.step(make_metrics(0.300))  # violation
+        assert result.action is StepAction.ROLLBACK
+        assert result.violated
+        # Rolled back to the only satisfying record: the initial allocation.
+        assert result.allocation.total() == pytest.approx(8.0)
+        assert c.rhdb.is_tainted(mid)
+
+    def test_rollback_picks_min_total(self):
+        c = controller()
+        totals = []
+        for _ in range(5):
+            r = c.step(make_metrics(0.100))
+            totals.append(r.allocation.total())
+        result = c.step(make_metrics(0.300))
+        assert result.action is StepAction.ROLLBACK
+        # min over *logged* allocations excluding the tainted last one.
+        assert result.allocation.total() == pytest.approx(min(totals[:-1]))
+
+    def test_first_interval_violation_inflates(self):
+        c = controller()
+        before = c.allocation.total()
+        result = c.step(make_metrics(0.400))
+        assert result.action is StepAction.ROLLBACK
+        assert result.allocation.total() == pytest.approx(before * 1.25)
+
+    def test_thresholds_not_ratcheted_on_violation(self):
+        c = controller()
+        c.step(make_metrics(0.300, utils={"front": 0.90}))
+        assert c.thresholds.util_threshold("front") == pytest.approx(0.15)
+
+    def test_moving_average_cleared_after_rollback(self):
+        c = controller()
+        c.step(make_metrics(0.100))
+        c.step(make_metrics(0.300))  # rollback clears history
+        assert len(c._responses) == 0
+
+
+class TestExploration:
+    def test_explore_jumps_to_history(self):
+        cfg = PEMAConfig(explore_a=1.0, explore_b=0.0)  # always explore
+        c = controller(cfg, seed=1)
+        first = c.step(make_metrics(0.100))
+        # First step has one record; explore jumps to it (the initial alloc).
+        assert first.action in (StepAction.EXPLORE, StepAction.REDUCE)
+        second = c.step(make_metrics(0.100))
+        assert second.action is StepAction.EXPLORE
+        assert second.allocation.total() <= 8.0 + 1e-9
+
+    def test_no_exploration_when_disabled(self):
+        c = controller()  # A = B = 0
+        for _ in range(20):
+            result = c.step(make_metrics(0.100))
+            assert result.action is not StepAction.EXPLORE
+
+
+class TestDynamicSLO:
+    def test_set_slo(self):
+        c = controller()
+        c.step(make_metrics(0.100))
+        c.set_slo(0.200)
+        assert c.slo == 0.200
+        result = c.step(make_metrics(0.220))  # violates the new SLO
+        assert result.action is StepAction.ROLLBACK
+
+    def test_set_slo_validation(self):
+        with pytest.raises(ValueError):
+            controller().set_slo(0.0)
+
+
+class TestFork:
+    def test_fork_inherits_state(self):
+        c = controller()
+        for _ in range(5):
+            c.step(make_metrics(0.100, utils={"front": 0.4}))
+        child = c.fork(seed=99)
+        assert child.allocation == c.allocation
+        assert child.thresholds.util_threshold("front") == pytest.approx(
+            c.thresholds.util_threshold("front")
+        )
+        assert len(child.rhdb) == len(c.rhdb)
+
+    def test_fork_is_independent(self):
+        c = controller()
+        c.step(make_metrics(0.100))
+        child = c.fork(seed=99)
+        child.step(make_metrics(0.100))
+        assert child.steps_taken == c.steps_taken + 1
+
+    def test_decide_protocol(self):
+        c = controller()
+        alloc = c.decide(make_metrics(0.100))
+        assert isinstance(alloc, Allocation)
+        assert alloc == c.allocation
+
+
+class TestAblationSwitches:
+    def test_no_bottleneck_filter_can_reduce_throttled(self):
+        cfg = PEMAConfig(explore_a=0.0, explore_b=0.0, use_bottleneck_filter=False)
+        c = controller(cfg, seed=0)
+        m = make_metrics(0.050, throttles={"db": 5.0})
+        seen_db = False
+        for _ in range(10):
+            result = c.step(m)
+            seen_db = seen_db or ("db" in result.targets)
+        assert seen_db
+
+    def test_static_thresholds_never_ratchet(self):
+        cfg = PEMAConfig(
+            explore_a=0.0, explore_b=0.0, use_dynamic_thresholds=False
+        )
+        c = controller(cfg)
+        for _ in range(5):
+            c.step(make_metrics(0.100, utils={"front": 0.9}))
+        assert c.thresholds.util_threshold("front") == pytest.approx(0.15)
+
+    def test_k1_window_uses_instantaneous_response(self):
+        cfg = PEMAConfig(explore_a=0.0, explore_b=0.0, moving_average_window=1)
+        c = controller(cfg)
+        c.step(make_metrics(0.050))
+        result = c.step(make_metrics(0.240))  # near SLO instantaneously
+        assert result.signal < 0.1
+
+
+class TestSeverityAwareRollback:
+    def test_default_gain_is_paper_behaviour(self):
+        c = controller()
+        assert c._rollback_target(0.5) == pytest.approx(SLO)
+
+    def test_margin_scales_with_overshoot(self):
+        cfg = PEMAConfig(
+            explore_a=0.0, explore_b=0.0, rollback_severity_gain=1.0
+        )
+        c = controller(cfg)
+        mild = c._rollback_target(SLO * 1.1)
+        severe = c._rollback_target(SLO * 1.5)
+        assert severe < mild < SLO
+
+    def test_margin_capped_at_half(self):
+        cfg = PEMAConfig(
+            explore_a=0.0, explore_b=0.0, rollback_severity_gain=5.0
+        )
+        c = controller(cfg)
+        assert c._rollback_target(SLO * 10) == pytest.approx(SLO * 0.5)
+
+    def test_severe_violation_rolls_back_farther(self):
+        cfg = PEMAConfig(
+            explore_a=0.0, explore_b=0.0, rollback_severity_gain=2.0
+        )
+        c = controller(cfg)
+        # Build history: a fat record (low response) and a lean one
+        # (response close to SLO).
+        c.step(make_metrics(0.080))   # 8.0 total, very safe
+        lean_total = c.allocation.total()
+        c.step(make_metrics(0.230))   # lean allocation, close to SLO
+        # Severe violation: the lean record (0.230 > 0.5*SLO... but above
+        # the severity ceiling) must be skipped for the safe fat record.
+        result = c.step(make_metrics(SLO * 2.0))
+        assert result.action is StepAction.ROLLBACK
+        assert result.allocation.total() == pytest.approx(8.0)
+
+    def test_mild_violation_prefers_lean_record(self):
+        cfg = PEMAConfig(
+            explore_a=0.0, explore_b=0.0, rollback_severity_gain=2.0
+        )
+        c = controller(cfg)
+        c.step(make_metrics(0.080))
+        lean_total = c.allocation.total()
+        c.step(make_metrics(0.180))
+        result = c.step(make_metrics(SLO * 1.02))  # barely violating
+        assert result.action is StepAction.ROLLBACK
+        # Mild overshoot: the lean record is still acceptable.
+        assert result.allocation.total() == pytest.approx(lean_total)
+
+    def test_fallback_to_plain_query(self):
+        """If the severity ceiling excludes every record, fall back to the
+        paper's plain nearest-safe rollback."""
+        cfg = PEMAConfig(
+            explore_a=0.0, explore_b=0.0, rollback_severity_gain=5.0
+        )
+        c = controller(cfg)
+        c.step(make_metrics(0.200))  # only record: response 0.2 > 0.5*SLO
+        result = c.step(make_metrics(SLO * 9.0))
+        assert result.action is StepAction.ROLLBACK
+        assert result.allocation.total() == pytest.approx(8.0)

@@ -1,0 +1,130 @@
+"""Cost-aware objective (paper §3 generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ControlLoop,
+    CostModel,
+    PEMAConfig,
+    PEMAController,
+    cost_weighted_probabilities,
+)
+from repro.sim import AnalyticalEngine, Allocation
+from repro.workload import ConstantWorkload
+from tests.conftest import make_metrics
+
+
+class TestCostModel:
+    def test_cost(self):
+        model = CostModel({"a": 1.0, "b": 3.0})
+        alloc = Allocation({"a": 2.0, "b": 1.0})
+        assert model.cost(alloc) == pytest.approx(2.0 + 3.0)
+
+    def test_uniform(self):
+        model = CostModel.uniform(("a", "b"), price=2.0)
+        assert model.price("a") == 2.0
+        assert model.cost(Allocation({"a": 1.0, "b": 1.0})) == pytest.approx(4.0)
+
+    def test_missing_price(self):
+        model = CostModel({"a": 1.0})
+        with pytest.raises(KeyError):
+            model.cost(Allocation({"a": 1.0, "b": 1.0}))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel({})
+        with pytest.raises(ValueError):
+            CostModel({"a": 0.0})
+
+
+class TestCostWeighting:
+    def test_expensive_keeps_probability(self):
+        model = CostModel({"cheap": 1.0, "pricey": 10.0})
+        probs = {"cheap": 1.0, "pricey": 1.0}
+        out = cost_weighted_probabilities(probs, model, strength=0.75)
+        assert out["pricey"] == pytest.approx(1.0)
+        assert out["cheap"] == pytest.approx(0.25 + 0.75 * 0.1)
+
+    def test_uniform_prices_no_tilt(self):
+        model = CostModel.uniform(("a", "b"))
+        probs = {"a": 0.6, "b": 0.4}
+        out = cost_weighted_probabilities(probs, model, strength=0.75)
+        assert out == pytest.approx(probs)
+
+    def test_empty(self):
+        assert cost_weighted_probabilities({}, CostModel({"a": 1.0})) == {}
+
+    def test_strength_validation(self):
+        with pytest.raises(ValueError):
+            cost_weighted_probabilities(
+                {"a": 1.0}, CostModel({"a": 1.0}), strength=1.5
+            )
+
+
+class TestCostAwareController:
+    SERVICES = ("front", "logic", "db", "cache")
+
+    def test_controller_validates_coverage(self):
+        with pytest.raises(ValueError):
+            PEMAController(
+                self.SERVICES,
+                0.25,
+                Allocation({s: 2.0 for s in self.SERVICES}),
+                cost_model=CostModel({"front": 1.0}),
+            )
+
+    def test_reduction_biased_toward_expensive(self):
+        model = CostModel(
+            {"front": 10.0, "logic": 0.5, "db": 0.5, "cache": 0.5}
+        )
+        c = PEMAController(
+            self.SERVICES,
+            0.25,
+            Allocation({s: 2.0 for s in self.SERVICES}),
+            PEMAConfig(explore_a=0.0, explore_b=0.0),
+            seed=0,
+            cost_model=model,
+        )
+        picks = {s: 0 for s in self.SERVICES}
+        for _ in range(80):
+            result = c.step(make_metrics(0.050))
+            for t in result.targets:
+                picks[t] += 1
+        # The expensive frontend is reduced much more often than any
+        # individual cheap service.
+        assert picks["front"] > max(picks["logic"], picks["db"], picks["cache"])
+
+    def test_cost_aware_run_cuts_spend(self, tiny_app):
+        """End to end: with a pricey service, cost-aware PEMA ends with a
+        lower bill than cost-blind PEMA (same SLO machinery)."""
+        prices = {"front": 8.0, "logic": 1.0, "db": 1.0, "cache": 1.0}
+        model = CostModel(prices)
+        bills = {}
+        for label, cm in (("aware", model), ("blind", None)):
+            engine = AnalyticalEngine(tiny_app, seed=5)
+            controller = PEMAController(
+                tiny_app.service_names,
+                tiny_app.slo,
+                tiny_app.generous_allocation(100.0),
+                PEMAConfig(explore_a=0.0, explore_b=0.0),
+                seed=6,
+                cost_model=cm,
+            )
+            result = ControlLoop(
+                engine, controller, ConstantWorkload(100.0)
+            ).run(40)
+            ok = [r.allocation for r in result.records if not r.violated]
+            bills[label] = min(model.cost(a) for a in ok)
+        assert bills["aware"] <= bills["blind"] * 1.05
+
+    def test_fork_carries_cost_model(self):
+        model = CostModel.uniform(self.SERVICES)
+        c = PEMAController(
+            self.SERVICES,
+            0.25,
+            Allocation({s: 2.0 for s in self.SERVICES}),
+            cost_model=model,
+        )
+        child = c.fork(seed=1)
+        assert child.cost_model is model

@@ -1,0 +1,47 @@
+"""Arrival processes: mean-rate preservation and burstiness."""
+
+import numpy as np
+import pytest
+
+from repro.sim.des.arrivals import MMPPArrivals, PoissonArrivals
+
+
+def mean_rate(process, n: int = 20000) -> float:
+    total = sum(process.next_gap() for _ in range(n))
+    return n / total
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        p = PoissonArrivals(100.0, np.random.default_rng(0))
+        assert mean_rate(p) == pytest.approx(100.0, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, np.random.default_rng(0))
+
+
+class TestMMPP:
+    def test_mean_rate_preserved(self):
+        p = MMPPArrivals(100.0, np.random.default_rng(1), burst_factor=4.0,
+                         burst_fraction=0.2)
+        assert mean_rate(p, 40000) == pytest.approx(100.0, rel=0.05)
+
+    def test_burstier_than_poisson(self):
+        """Squared CV of inter-arrival gaps must exceed 1 (Poisson)."""
+        rng = np.random.default_rng(2)
+        p = MMPPArrivals(100.0, rng, burst_factor=6.0, burst_fraction=0.15)
+        gaps = np.asarray([p.next_gap() for _ in range(40000)])
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.2
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(0.0, rng)
+        with pytest.raises(ValueError):
+            MMPPArrivals(10.0, rng, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            MMPPArrivals(10.0, rng, burst_fraction=0.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(10.0, rng, dwell=0.0)

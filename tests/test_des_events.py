@@ -1,0 +1,56 @@
+"""DES event queue."""
+
+import pytest
+
+from repro.sim.des.events import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.ARRIVAL)
+        q.push(1.0, EventKind.CPU_DONE)
+        q.push(2.0, EventKind.WAIT_DONE)
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [EventKind.CPU_DONE, EventKind.WAIT_DONE,
+                         EventKind.ARRIVAL]
+
+    def test_fifo_for_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, payload="first")
+        q.push(1.0, EventKind.ARRIVAL, payload="second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL)
+        q.pop()
+        assert q.now == 5.0
+
+    def test_cannot_schedule_past(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(4.0, EventKind.ARRIVAL)
+
+    def test_tiny_negative_jitter_clamped(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL)
+        q.pop()
+        q.push(5.0 - 1e-12, EventKind.ARRIVAL)  # within tolerance
+        assert q.pop().time == 5.0
+
+    def test_peek(self):
+        q = EventQueue()
+        with pytest.raises(IndexError):
+            q.peek_time()
+        q.push(2.0, EventKind.ARRIVAL)
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_epoch_carried(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.CPU_DONE, epoch=7)
+        assert q.pop().epoch == 7

@@ -1,0 +1,115 @@
+"""CFS-quota server mechanics."""
+
+import pytest
+
+from repro.sim.des.server import CpuJob, ServiceServer
+
+
+def server(alloc=1.0) -> ServiceServer:
+    return ServiceServer("svc", alloc_cores=alloc, period=0.1)
+
+
+class TestAdvance:
+    def test_work_progresses_at_rate_one(self):
+        s = server(alloc=2.0)
+        s.add_job(CpuJob(1, remaining=0.05), now=0.0)
+        s.advance(0.02)
+        assert s.jobs[1].remaining == pytest.approx(0.03)
+        assert s.usage_seconds == pytest.approx(0.02)
+
+    def test_multiple_jobs_consume_quota_faster(self):
+        s = server(alloc=1.0)  # quota 0.1 per period
+        s.add_job(CpuJob(1, remaining=1.0), now=0.0)
+        s.add_job(CpuJob(2, remaining=1.0), now=0.0)
+        s.advance(0.03)
+        assert s.quota_left == pytest.approx(0.1 - 0.06)
+
+    def test_throttled_jobs_frozen(self):
+        s = server(alloc=1.0)
+        s.add_job(CpuJob(1, remaining=1.0), now=0.0)
+        s.set_throttled()
+        s.advance(0.05)
+        assert s.jobs[1].remaining == pytest.approx(1.0)
+        assert s.throttle_seconds == pytest.approx(0.05)
+
+    def test_advance_backwards_rejected(self):
+        s = server()
+        s.advance(1.0)
+        with pytest.raises(ValueError):
+            s.advance(0.5)
+
+
+class TestQuota:
+    def test_time_to_quota_exhaust(self):
+        s = server(alloc=1.0)  # quota 0.1
+        s.add_job(CpuJob(1, remaining=5.0), now=0.0)
+        s.add_job(CpuJob(2, remaining=5.0), now=0.0)
+        assert s.time_to_quota_exhaust() == pytest.approx(0.05)
+
+    def test_no_exhaust_when_idle_or_throttled(self):
+        s = server()
+        assert s.time_to_quota_exhaust() is None
+        s.add_job(CpuJob(1, remaining=1.0), now=0.0)
+        s.set_throttled()
+        assert s.time_to_quota_exhaust() is None
+
+    def test_new_period_refills(self):
+        s = server(alloc=1.0)
+        s.add_job(CpuJob(1, remaining=5.0), now=0.0)
+        s.advance(0.08)
+        s.set_throttled()
+        s.advance(0.1)
+        s.new_period(0.1)
+        assert s.quota_left == pytest.approx(0.1)
+        assert not s.throttled
+        assert s.period_samples[-1] == pytest.approx(0.8)  # 0.08s / 0.1s
+
+    def test_sync_period_after_idle_gap(self):
+        s = server(alloc=1.0)
+        s.add_job(CpuJob(1, remaining=0.01), now=0.0)
+        s.advance(0.01)
+        s.remove_job(1)
+        s.advance(0.55)  # idle across 5 boundaries
+        s.add_job(CpuJob(2, remaining=0.01), now=0.55)
+        assert s.quota_left == pytest.approx(0.1)
+        assert s.period_index == 5
+
+
+class TestCompletionHorizon:
+    def test_next_completion_picks_min(self):
+        s = server(alloc=4.0)
+        s.add_job(CpuJob(1, remaining=0.5), now=0.0)
+        s.add_job(CpuJob(2, remaining=0.2), now=0.0)
+        job_id, dt = s.next_completion()
+        assert job_id == 2
+        assert dt == pytest.approx(0.2)
+
+    def test_none_when_throttled(self):
+        s = server()
+        s.add_job(CpuJob(1, remaining=0.5), now=0.0)
+        s.set_throttled()
+        assert s.next_completion() is None
+
+    def test_epoch_bumps_on_changes(self):
+        s = server()
+        e0 = s.epoch
+        s.add_job(CpuJob(1, remaining=0.5), now=0.0)
+        assert s.epoch > e0
+        e1 = s.epoch
+        s.remove_job(1)
+        assert s.epoch > e1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceServer("s", alloc_cores=0.0)
+        with pytest.raises(ValueError):
+            ServiceServer("s", alloc_cores=1.0, period=0.0)
+
+    def test_reset_accumulators(self):
+        s = server()
+        s.add_job(CpuJob(1, remaining=1.0), now=0.0)
+        s.advance(0.05)
+        s.reset_accumulators()
+        assert s.usage_seconds == 0.0
+        assert s.throttle_seconds == 0.0
+        assert s.period_samples == []

@@ -1,0 +1,136 @@
+"""Analytical engine: Environment protocol, monotonicity, operating knobs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import AnalyticalEngine, Allocation, NoiseModel
+from repro.sim.environment import Environment
+
+from tests.conftest import build_tiny_app
+
+_APP = build_tiny_app()
+_ENGINE = AnalyticalEngine(_APP, noise=NoiseModel.none(), seed=0)
+
+
+class TestProtocol:
+    def test_implements_environment(self, tiny_engine):
+        assert isinstance(tiny_engine, Environment)
+
+    def test_observe_structure(self, tiny_app, tiny_engine):
+        alloc = tiny_app.generous_allocation(100.0)
+        m = tiny_engine.observe(alloc, 100.0)
+        assert m.latency_p95 > 0
+        assert m.workload_rps == 100.0
+        assert set(m.services) == set(tiny_app.service_names)
+        for svc in m.services.values():
+            assert 0.0 <= svc.utilization <= 1.0
+            assert svc.throttle_seconds >= 0.0
+            assert svc.usage_cores >= 0.0
+
+    def test_negative_workload_rejected(self, tiny_engine, tiny_app):
+        with pytest.raises(ValueError):
+            tiny_engine.observe(tiny_app.generous_allocation(100.0), -5.0)
+
+    def test_invalid_p_crit(self, tiny_app):
+        with pytest.raises(ValueError):
+            AnalyticalEngine(tiny_app, p_crit=1.5)
+
+
+class TestDeterminism:
+    def test_noiseless_is_deterministic(self, tiny_app):
+        e1 = AnalyticalEngine(tiny_app, seed=1)
+        e2 = AnalyticalEngine(tiny_app, seed=999)
+        alloc = tiny_app.generous_allocation(100.0)
+        assert e1.noiseless_latency(alloc, 100.0) == pytest.approx(
+            e2.noiseless_latency(alloc, 100.0)
+        )
+
+    def test_same_seed_same_observations(self, tiny_app):
+        alloc = tiny_app.generous_allocation(100.0)
+        a = AnalyticalEngine(tiny_app, seed=5).observe(alloc, 100.0)
+        b = AnalyticalEngine(tiny_app, seed=5).observe(alloc, 100.0)
+        assert a.latency_p95 == pytest.approx(b.latency_p95)
+
+    def test_noise_none_matches_noiseless(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, noise=NoiseModel.none(), seed=3)
+        alloc = tiny_app.generous_allocation(100.0)
+        assert engine.observe(alloc, 100.0).latency_p95 == pytest.approx(
+            engine.noiseless_latency(alloc, 100.0)
+        )
+
+
+class TestMonotonicity:
+    """The paper's key observation: monotone reduction => monotone latency."""
+
+    @given(
+        service_idx=st.integers(min_value=0, max_value=3),
+        factor=st.floats(min_value=0.3, max_value=0.95),
+        workload=st.floats(min_value=20.0, max_value=300.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_service_reduction_never_helps(
+        self, service_idx, factor, workload
+    ):
+        base = _APP.generous_allocation(workload)
+        name = _APP.service_names[service_idx]
+        reduced = base.with_value(name, base[name] * factor)
+        lat_base = _ENGINE.noiseless_latency(base, workload)
+        lat_reduced = _ENGINE.noiseless_latency(reduced, workload)
+        assert lat_reduced >= lat_base - 1e-12
+
+    @given(
+        factors=st.lists(
+            st.floats(min_value=0.4, max_value=1.0), min_size=4, max_size=4
+        ),
+        workload=st.floats(min_value=20.0, max_value=300.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_multi_service_monotone(self, factors, workload):
+        base = _APP.generous_allocation(workload)
+        reduced = Allocation(
+            {n: base[n] * f for n, f in zip(_APP.service_names, factors)}
+        )
+        assert reduced.monotone_le(base)
+        assert _ENGINE.noiseless_latency(
+            reduced, workload
+        ) >= _ENGINE.noiseless_latency(base, workload) - 1e-12
+
+    def test_latency_increases_with_workload(self, tiny_app, tiny_engine):
+        alloc = tiny_app.generous_allocation(150.0)
+        lats = [
+            tiny_engine.noiseless_latency(alloc, wl) for wl in (50, 100, 150, 250)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(lats, lats[1:]))
+
+
+class TestOperatingConditions:
+    def test_cpu_speed_changes_latency(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, noise=NoiseModel.none())
+        alloc = tiny_app.generous_allocation(100.0)
+        base = engine.noiseless_latency(alloc, 100.0)
+        engine.set_cpu_speed(0.8)  # slower clock
+        slow = engine.noiseless_latency(alloc, 100.0)
+        engine.set_cpu_speed(1.2)  # faster clock
+        fast = engine.noiseless_latency(alloc, 100.0)
+        assert slow > base > fast
+
+    def test_invalid_speed(self, tiny_engine):
+        with pytest.raises(ValueError):
+            tiny_engine.set_cpu_speed(0.0)
+
+    def test_bottleneck_allocation_has_min_floor(self, tiny_app, tiny_engine):
+        b = tiny_engine.bottleneck_allocation(100.0)
+        assert all(b[n] >= 0.05 for n in b)
+
+    def test_bottleneck_scales_with_workload(self, tiny_engine):
+        b_low = tiny_engine.bottleneck_allocation(50.0)
+        b_high = tiny_engine.bottleneck_allocation(400.0)
+        assert b_high.total() > b_low.total()
+
+    def test_speed_change_invalidates_cache(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, noise=NoiseModel.none())
+        b1 = engine.bottleneck_allocation(100.0).total()
+        engine.set_cpu_speed(0.5)
+        b2 = engine.bottleneck_allocation(100.0).total()
+        assert b2 > b1  # slower CPU needs more cores

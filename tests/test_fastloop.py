@@ -1,0 +1,133 @@
+"""High-resolution violation mitigation (§6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ControlLoop,
+    FastReactionLoop,
+    PEMAConfig,
+    PEMAController,
+)
+from repro.core.fastloop import _aggregate
+from repro.metrics import MetricsCollector
+from repro.sim import AnalyticalEngine, NoiseModel
+from repro.sim.types import IntervalMetrics, ServiceMetrics
+from repro.workload import ConstantWorkload
+from tests.conftest import make_metrics
+
+
+def make_fast_loop(tiny_app, splits=6, seed=0, noise=None):
+    engine = AnalyticalEngine(
+        tiny_app, seed=seed, noise=noise if noise is not None else NoiseModel()
+    )
+    controller = PEMAController(
+        tiny_app.service_names,
+        tiny_app.slo,
+        tiny_app.generous_allocation(100.0),
+        PEMAConfig(explore_a=0.0, explore_b=0.0),
+        seed=seed + 1,
+    )
+    return FastReactionLoop(
+        engine, controller, ConstantWorkload(100.0), monitor_splits=splits
+    )
+
+
+class TestAggregate:
+    def test_worst_sub_dominates_p95(self):
+        subs = [make_metrics(0.1), make_metrics(0.3), make_metrics(0.2)]
+        agg = _aggregate(subs)
+        assert agg.latency_p95 == pytest.approx(0.3)
+
+    def test_throttle_adds_up(self):
+        subs = [
+            make_metrics(0.1, throttles={"db": 1.0}),
+            make_metrics(0.1, throttles={"db": 2.5}),
+        ]
+        agg = _aggregate(subs)
+        assert agg.services["db"].throttle_seconds == pytest.approx(3.5)
+
+    def test_utilization_averages(self):
+        subs = [
+            make_metrics(0.1, utils={"front": 0.2}),
+            make_metrics(0.1, utils={"front": 0.4}),
+        ]
+        agg = _aggregate(subs)
+        assert agg.services["front"].utilization == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _aggregate([])
+
+
+class TestFastReactionLoop:
+    def test_runs_and_converges(self, tiny_app):
+        loop = make_fast_loop(tiny_app)
+        result = loop.run(20)
+        assert len(result) == 20
+        assert result.sub_intervals == 20 * 6
+        assert result.total_cpu[-1] < result.total_cpu[0]
+
+    def test_mitigation_fires_on_violation(self, tiny_app):
+        loop = make_fast_loop(tiny_app, splits=4, seed=3)
+        # Drive the controller aggressively so it overshoots.
+        loop.controller.config = PEMAConfig(
+            alpha=0.1, beta=0.9, explore_a=0.0, explore_b=0.0
+        )
+        result = loop.run(30)
+        assert result.mitigations >= 1
+        # Exposure accounting is consistent.
+        assert 0.0 <= result.violation_exposure() <= 1.0
+        assert result.sub_violations <= result.sub_intervals
+
+    def test_exposure_not_worse_than_plain_loop(self, tiny_app):
+        """Fast mitigation bounds the time spent in violation to roughly
+        one sub-interval per incident; the plain loop pays whole
+        intervals."""
+        config = PEMAConfig(alpha=0.15, beta=0.7, explore_a=0.0, explore_b=0.0)
+
+        def plain():
+            engine = AnalyticalEngine(tiny_app, seed=11)
+            controller = PEMAController(
+                tiny_app.service_names, tiny_app.slo,
+                tiny_app.generous_allocation(100.0), config, seed=12,
+            )
+            return ControlLoop(
+                engine, controller, ConstantWorkload(100.0)
+            ).run(40)
+
+        def fast():
+            engine = AnalyticalEngine(tiny_app, seed=11)
+            controller = PEMAController(
+                tiny_app.service_names, tiny_app.slo,
+                tiny_app.generous_allocation(100.0), config, seed=12,
+            )
+            loop = FastReactionLoop(
+                engine, controller, ConstantWorkload(100.0), monitor_splits=12
+            )
+            return loop.run(40)
+
+        plain_result = plain()
+        fast_result = fast()
+        plain_exposure = plain_result.violation_rate()
+        # The fast loop measures exposure at sub-interval resolution.
+        assert fast_result.violation_exposure() <= plain_exposure + 0.05
+
+    def test_collector_receives_aggregates(self, tiny_app):
+        loop = make_fast_loop(tiny_app)
+        loop.collector = MetricsCollector()
+        loop.run(5)
+        assert len(loop.collector.store.series("latency_p95")) == 5
+
+    def test_validation(self, tiny_app):
+        with pytest.raises(ValueError):
+            make_fast_loop(tiny_app, splits=0)
+        loop = make_fast_loop(tiny_app)
+        with pytest.raises(ValueError):
+            loop.run(0)
+
+    def test_on_step_hook(self, tiny_app):
+        loop = make_fast_loop(tiny_app)
+        seen = []
+        loop.run(3, on_step=lambda s, lp: seen.append(s))
+        assert seen == [0, 1, 2]

@@ -1,0 +1,118 @@
+"""Control loop: execution semantics, hooks, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticAllocator
+from repro.cluster import Cluster
+from repro.core import ControlLoop, PEMAConfig, PEMAController
+from repro.metrics import MetricsCollector
+from repro.sim import AnalyticalEngine, NoiseModel
+from repro.workload import ConstantWorkload, StepWorkload
+
+
+def make_loop(tiny_app, autoscaler=None, **kw):
+    engine = AnalyticalEngine(tiny_app, seed=1, noise=NoiseModel.none())
+    scaler = autoscaler or PEMAController(
+        tiny_app.service_names,
+        tiny_app.slo,
+        tiny_app.generous_allocation(100.0),
+        PEMAConfig(explore_a=0.0, explore_b=0.0),
+        seed=0,
+    )
+    defaults = dict(interval=120.0)
+    defaults.update(kw)
+    return ControlLoop(engine, scaler, ConstantWorkload(100.0), **defaults)
+
+
+class TestExecution:
+    def test_run_produces_records(self, tiny_app):
+        result = make_loop(tiny_app).run(10)
+        assert len(result) == 10
+        assert result.steps.tolist() == list(range(10))
+        assert np.all(result.workloads == 100.0)
+        assert np.all(result.responses > 0)
+
+    def test_first_record_uses_initial_allocation(self, tiny_app):
+        static = StaticAllocator(tiny_app.uniform_allocation(1.0))
+        result = make_loop(tiny_app, autoscaler=static, slo=tiny_app.slo).run(3)
+        assert result.records[0].total_cpu == pytest.approx(4.0)
+
+    def test_interval_spacing(self, tiny_app):
+        result = make_loop(tiny_app, interval=60.0).run(3)
+        assert result.times.tolist() == [0.0, 60.0, 120.0]
+
+    def test_workload_trace_followed(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, seed=1)
+        static = StaticAllocator(tiny_app.generous_allocation(200.0))
+        trace = StepWorkload([(0.0, 50.0), (120.0, 150.0)])
+        loop = ControlLoop(engine, static, trace, slo=tiny_app.slo)
+        result = loop.run(3)
+        assert result.workloads.tolist() == [50.0, 150.0, 150.0]
+
+    def test_validation(self, tiny_app):
+        with pytest.raises(ValueError):
+            make_loop(tiny_app, interval=0.0)
+        with pytest.raises(ValueError):
+            make_loop(tiny_app).run(0)
+
+    def test_slo_required_without_attribute(self, tiny_app):
+        engine = AnalyticalEngine(tiny_app, seed=1)
+        static = StaticAllocator(tiny_app.uniform_allocation(1.0))
+        with pytest.raises(ValueError):
+            ControlLoop(engine, static, ConstantWorkload(100.0))
+
+
+class TestViolations:
+    def test_violations_marked(self, tiny_app):
+        # A starved allocation must violate the 100ms SLO.
+        starved = tiny_app.uniform_allocation(0.05)
+        static = StaticAllocator(starved)
+        result = make_loop(tiny_app, autoscaler=static, slo=tiny_app.slo).run(5)
+        assert result.violation_count() == 5
+        assert result.violation_rate() == 1.0
+
+    def test_dynamic_slo_tracked_live(self, tiny_app):
+        loop = make_loop(tiny_app)
+
+        def tighten(step, lp):
+            if step == 2:
+                lp.autoscaler.set_slo(0.001)  # impossible SLO
+
+        result = loop.run(4, on_step=tighten)
+        assert not result.records[0].violated
+        assert result.records[2].violated
+        assert result.records[2].slo == pytest.approx(0.001)
+
+    def test_best_satisfying_total(self, tiny_app):
+        result = make_loop(tiny_app).run(15)
+        ok_totals = [r.total_cpu for r in result.records if not r.violated]
+        assert result.best_satisfying_total() == pytest.approx(min(ok_totals))
+
+    def test_settled_total_empty_raises(self):
+        from repro.core.loop import LoopResult
+
+        with pytest.raises(LookupError):
+            LoopResult().final_allocation()
+
+
+class TestIntegrationPieces:
+    def test_collector_populated(self, tiny_app):
+        collector = MetricsCollector()
+        loop = make_loop(tiny_app, collector=collector)
+        loop.run(5)
+        assert len(collector.store.series("latency_p95")) == 5
+        assert len(collector.store.series("cpu_allocation", service="front")) == 5
+
+    def test_cluster_applied(self, tiny_app):
+        cluster = Cluster()
+        loop = make_loop(tiny_app, cluster=cluster)
+        loop.run(5)
+        assert cluster.resize_count == 5
+        assert cluster.allocation().total() > 0
+
+    def test_hook_sees_loop(self, tiny_app):
+        seen = []
+        loop = make_loop(tiny_app)
+        loop.run(3, on_step=lambda step, lp: seen.append((step, lp is loop)))
+        assert seen == [(0, True), (1, True), (2, True)]

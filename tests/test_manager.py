@@ -1,0 +1,132 @@
+"""Workload-aware PEMA manager: bootstrap, routing, switching, splitting."""
+
+import numpy as np
+import pytest
+
+from repro.core import PEMAConfig, WorkloadAwarePEMA
+from repro.sim.types import Allocation
+from tests.conftest import make_metrics
+
+SERVICES = ("front", "logic", "db", "cache")
+
+
+def manager(**kw) -> WorkloadAwarePEMA:
+    defaults = dict(
+        services=SERVICES,
+        slo=0.250,
+        initial_allocation=Allocation({s: 2.0 for s in SERVICES}),
+        workload_low=200.0,
+        workload_high=400.0,
+        min_range_width=50.0,
+        config=PEMAConfig(explore_a=0.0, explore_b=0.0),
+        split_after=3,
+        slope_samples=4,
+        seed=0,
+    )
+    defaults.update(kw)
+    return WorkloadAwarePEMA(**defaults)
+
+
+class TestBootstrap:
+    def test_allocation_fixed_during_bootstrap(self):
+        m = manager(slope_samples=4)
+        initial = m.allocation
+        for i in range(4):
+            alloc = m.decide(make_metrics(0.10 + 0.01 * i, workload=250.0 + 20 * i))
+            assert alloc == initial
+        assert m.slope is not None
+
+    def test_slope_learned_from_samples(self):
+        m = manager(slope_samples=5)
+        for i in range(5):
+            wl = 200.0 + 40 * i
+            m.decide(make_metrics(0.05 + 0.0004 * wl, workload=wl))
+        assert m.slope == pytest.approx(0.0004, rel=0.05)
+
+    def test_zero_slope_samples_skips_bootstrap(self):
+        m = manager(slope_samples=0)
+        assert m.slope == 0.0
+        m.decide(make_metrics(0.10, workload=250.0))
+        assert m.history[-1].phase == "switch"  # straight to routing
+
+
+class TestRouting:
+    def run_bootstrap(self, m):
+        for i in range(4):
+            m.decide(make_metrics(0.10, workload=250.0 + i))
+
+    def test_first_routed_step_is_switch(self):
+        m = manager()
+        self.run_bootstrap(m)
+        m.decide(make_metrics(0.10, workload=250.0))
+        assert m.history[-1].phase == "switch"
+
+    def test_control_steps_follow(self):
+        m = manager()
+        self.run_bootstrap(m)
+        m.decide(make_metrics(0.10, workload=250.0))
+        m.decide(make_metrics(0.10, workload=250.0))
+        assert m.history[-1].phase == "control"
+        assert m.history[-1].range_label == "200~400"
+
+    def test_dynamic_target_below_slo_at_low_workload(self):
+        m = manager()
+        # bootstrap with a real slope
+        for i in range(4):
+            wl = 200.0 + 60 * i
+            m.decide(make_metrics(0.05 + 0.0005 * wl, workload=wl))
+        m.decide(make_metrics(0.10, workload=210.0))  # switch
+        m.decide(make_metrics(0.10, workload=210.0))  # control
+        step = m.history[-1]
+        assert step.phase == "control"
+        assert step.target < 0.250  # Eqn (9) headroom at the range's bottom
+
+    def test_allocation_property_tracks_active_range(self):
+        m = manager()
+        self.run_bootstrap(m)
+        alloc = m.decide(make_metrics(0.10, workload=250.0))
+        assert m.allocation == alloc
+
+
+class TestSplitting:
+    def test_ranges_split_under_steady_load(self):
+        m = manager(split_after=3, min_range_width=50.0)
+        for i in range(4):
+            m.decide(make_metrics(0.10, workload=250.0 + i))
+        for _ in range(30):
+            m.decide(make_metrics(0.15, workload=250.0))
+        labels = m.range_labels()
+        assert len(labels) >= 2
+        assert len(m.tree.splits) >= 1
+
+    def test_split_bootstraps_child_allocation(self):
+        m = manager(split_after=2, min_range_width=100.0)
+        for i in range(4):
+            m.decide(make_metrics(0.10, workload=250.0 + i))
+        for _ in range(10):
+            m.decide(make_metrics(0.12, workload=250.0))
+        # After the split, both leaves exist and cover the original span.
+        leaves = sorted(m.tree.leaves, key=lambda r: r.low)
+        assert leaves[0].low == pytest.approx(200.0)
+        assert leaves[-1].high == pytest.approx(400.0)
+
+
+class TestSwitching:
+    def test_burst_switches_range_without_control_step(self):
+        m = manager(split_after=2, min_range_width=100.0)
+        for i in range(4):
+            m.decide(make_metrics(0.10, workload=250.0 + i))
+        # Converge and split into 200~300 / 300~400.
+        for _ in range(10):
+            m.decide(make_metrics(0.12, workload=250.0))
+        # Burst into the upper range: first interval only switches.
+        m.decide(make_metrics(0.12, workload=380.0))
+        assert m.history[-1].phase in ("switch", "control")
+        if m.history[-1].phase == "switch":
+            assert m.history[-1].action == "switch"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            manager(workload_low=400.0, workload_high=200.0)
+        with pytest.raises(ValueError):
+            manager(slope_samples=-1)

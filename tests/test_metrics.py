@@ -1,0 +1,168 @@
+"""Metrics substrate: series, store, queries, collector."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MetricsCollector,
+    MetricsStore,
+    TimeSeries,
+    max_over_window,
+    moving_average,
+    percentile_over_window,
+    rate,
+)
+from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
+
+
+class TestTimeSeries:
+    def test_append_and_read(self):
+        s = TimeSeries()
+        s.append(0.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+        assert s.last_value == 2.0
+        assert s.last_time == 1.0
+
+    def test_rejects_time_regression(self):
+        s = TimeSeries()
+        s.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4.0, 2.0)
+
+    def test_allows_equal_timestamps(self):
+        s = TimeSeries()
+        s.append(1.0, 1.0)
+        s.append(1.0, 2.0)
+        assert len(s) == 2
+
+    def test_rejects_nonfinite(self):
+        s = TimeSeries()
+        with pytest.raises(ValueError):
+            s.append(0.0, float("inf"))
+
+    def test_window_inclusive(self):
+        s = TimeSeries()
+        for t in range(5):
+            s.append(float(t), float(t) * 10)
+        assert s.window(1.0, 3.0).tolist() == [10.0, 20.0, 30.0]
+
+    def test_tail(self):
+        s = TimeSeries()
+        for t in range(5):
+            s.append(float(t), float(t))
+        assert s.tail(2).tolist() == [3.0, 4.0]
+        assert s.tail(10).tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_tail_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries().tail(0)
+
+    def test_empty_lookups_raise(self):
+        s = TimeSeries()
+        with pytest.raises(LookupError):
+            _ = s.last_value
+        with pytest.raises(LookupError):
+            _ = s.last_time
+
+
+class TestMetricsStore:
+    def test_record_and_latest(self):
+        store = MetricsStore()
+        store.record("m", 1.0, t=0.0, service="a")
+        store.record("m", 2.0, t=1.0, service="a")
+        store.record("m", 9.0, t=0.0, service="b")
+        assert store.latest("m", service="a") == 2.0
+        assert store.latest("m", service="b") == 9.0
+
+    def test_label_isolation(self):
+        store = MetricsStore()
+        store.record("m", 1.0, t=0.0, service="a")
+        assert store.has("m", service="a")
+        assert not store.has("m", service="b")
+        with pytest.raises(KeyError):
+            store.series("m", service="b")
+
+    def test_label_order_irrelevant(self):
+        store = MetricsStore()
+        store.record("m", 1.0, t=0.0, service="a", node="n1")
+        assert store.latest("m", node="n1", service="a") == 1.0
+
+    def test_metrics_listing(self):
+        store = MetricsStore()
+        store.record("b_metric", 1.0, t=0.0)
+        store.record("a_metric", 1.0, t=0.0)
+        assert store.metrics() == ("a_metric", "b_metric")
+
+    def test_label_sets(self):
+        store = MetricsStore()
+        store.record("m", 1.0, t=0.0, service="a")
+        store.record("m", 1.0, t=0.0, service="b")
+        services = {d["service"] for d in store.label_sets("m")}
+        assert services == {"a", "b"}
+
+    def test_sum_over(self):
+        store = MetricsStore()
+        store.record("cpu", 1.0, t=0.0, service="a")
+        store.record("cpu", 2.5, t=0.0, service="b")
+        assert store.sum_over("cpu", "service", ["a", "b"]) == pytest.approx(3.5)
+
+
+class TestQueries:
+    def series(self) -> TimeSeries:
+        s = TimeSeries()
+        for t in range(10):
+            s.append(float(t), float(t))
+        return s
+
+    def test_percentile(self):
+        s = self.series()
+        assert percentile_over_window(s, 0.0, 9.0, 50) == pytest.approx(4.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile_over_window(self.series(), 0, 9, 150)
+
+    def test_percentile_empty_window(self):
+        with pytest.raises(LookupError):
+            percentile_over_window(self.series(), 100.0, 200.0, 50)
+
+    def test_max_over_window(self):
+        assert max_over_window(self.series(), 2.0, 5.0) == 5.0
+
+    def test_moving_average(self):
+        assert moving_average(self.series(), 3) == pytest.approx(8.0)
+
+    def test_rate_counter(self):
+        s = TimeSeries()
+        s.append(0.0, 100.0)
+        s.append(10.0, 150.0)
+        assert rate(s, 0.0, 10.0) == pytest.approx(5.0)
+
+    def test_rate_needs_two_samples(self):
+        s = TimeSeries()
+        s.append(0.0, 1.0)
+        with pytest.raises(LookupError):
+            rate(s, 0.0, 10.0)
+
+
+class TestCollector:
+    def test_collect_writes_all_streams(self):
+        collector = MetricsCollector()
+        alloc = Allocation({"a": 1.0, "b": 2.0})
+        obs = IntervalMetrics(
+            latency_p95=0.2,
+            workload_rps=100.0,
+            services={
+                "a": ServiceMetrics(0.5, 1.0, 0.5, 0.7),
+                "b": ServiceMetrics(0.3, 0.0, 0.6, 0.9),
+            },
+            latency_mean=0.1,
+        )
+        collector.collect(0.0, alloc, obs)
+        store = collector.store
+        assert store.latest("latency_p95") == pytest.approx(0.2)
+        assert store.latest("total_cpu") == pytest.approx(3.0)
+        assert store.latest("cpu_utilization", service="a") == pytest.approx(0.5)
+        assert store.latest("cpu_throttle_seconds", service="a") == pytest.approx(1.0)
+        assert store.latest("cpu_allocation", service="b") == pytest.approx(2.0)

@@ -1,0 +1,41 @@
+"""Measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_none_is_identity(self, rng):
+        n = NoiseModel.none()
+        assert all(n.sample(rng) == 1.0 for _ in range(10))
+
+    def test_mean_near_one(self):
+        n = NoiseModel(sigma=0.04, anomaly_prob=0.0)
+        rng = np.random.default_rng(0)
+        samples = [n.sample(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_anomalies_occur_at_configured_rate(self):
+        n = NoiseModel(sigma=0.0, anomaly_prob=0.25, anomaly_low=0.5,
+                       anomaly_high=0.5)
+        rng = np.random.default_rng(1)
+        hits = sum(n.sample(rng) != 1.0 for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.25, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(anomaly_prob=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(anomaly_low=1.2, anomaly_high=1.1)
+        with pytest.raises(ValueError):
+            NoiseModel(anomaly_low=0.0)
+
+    def test_determinism_by_seed(self):
+        n = NoiseModel()
+        a = [n.sample(np.random.default_rng(7)) for _ in range(1)]
+        b = [n.sample(np.random.default_rng(7)) for _ in range(1)]
+        assert a == b

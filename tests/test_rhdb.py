@@ -1,0 +1,129 @@
+"""Resource history database: rollback, exploration, tainting."""
+
+import numpy as np
+import pytest
+
+from repro.core.rhdb import ResourceHistoryDB, RHDbRecord
+from repro.sim.types import Allocation
+
+
+def record(step: int, total: float, response: float, slo: float = 0.25):
+    return RHDbRecord(
+        step=step,
+        allocation=Allocation({"a": total / 2, "b": total / 2}),
+        response=response,
+        workload=100.0,
+        slo=slo,
+    )
+
+
+class TestInsert:
+    def test_steps_must_increase(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 4.0, 0.1))
+        with pytest.raises(ValueError):
+            db.insert(record(1, 4.0, 0.1))
+
+    def test_len_and_iter(self):
+        db = ResourceHistoryDB()
+        for i in range(3):
+            db.insert(record(i + 1, 4.0, 0.1))
+        assert len(db) == 3
+        assert [r.step for r in db] == [1, 2, 3]
+
+    def test_last(self):
+        db = ResourceHistoryDB()
+        assert db.last() is None
+        db.insert(record(1, 4.0, 0.1))
+        assert db.last().step == 1
+
+    def test_eviction_keeps_best_rollback(self):
+        db = ResourceHistoryDB(max_records=3)
+        db.insert(record(1, 2.0, 0.1))  # the best rollback (min total, ok)
+        db.insert(record(2, 8.0, 0.1))
+        db.insert(record(3, 9.0, 0.1))
+        db.insert(record(4, 10.0, 0.1))  # evicts something, but not step 1
+        assert len(db) == 3
+        assert db.best_rollback(0.25).step == 1
+
+    def test_max_records_validation(self):
+        with pytest.raises(ValueError):
+            ResourceHistoryDB(max_records=0)
+
+
+class TestRollback:
+    def test_min_total_satisfying(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 10.0, 0.10))
+        db.insert(record(2, 6.0, 0.20))
+        db.insert(record(3, 4.0, 0.30))  # violates slo=0.25
+        best = db.best_rollback(0.25)
+        assert best.step == 2
+        assert best.total_cpu == pytest.approx(6.0)
+
+    def test_none_when_all_violate(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 10.0, 0.90))
+        assert db.best_rollback(0.25) is None
+
+    def test_violated_property(self):
+        assert record(1, 4.0, 0.30).violated
+        assert not record(1, 4.0, 0.20).violated
+
+
+class TestTaint:
+    def test_tainted_excluded_from_rollback(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 10.0, 0.10))
+        db.insert(record(2, 6.0, 0.20))
+        db.taint(record(2, 6.0, 0.20).allocation)
+        assert db.best_rollback(0.25).step == 1
+
+    def test_taint_hits_all_records_of_allocation(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 6.0, 0.20))
+        db.insert(record(5, 6.0, 0.18))  # same allocation, different step
+        db.insert(record(7, 10.0, 0.10))
+        db.taint(record(1, 6.0, 0.20).allocation)
+        assert db.best_rollback(0.25).step == 7
+
+    def test_is_tainted(self):
+        db = ResourceHistoryDB()
+        alloc = Allocation({"a": 1.0})
+        assert not db.is_tainted(alloc)
+        db.taint(alloc)
+        assert db.is_tainted(alloc)
+
+    def test_tainted_excluded_from_exploration(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 6.0, 0.20))
+        db.taint(record(1, 6.0, 0.20).allocation)
+        rng = np.random.default_rng(0)
+        assert db.random_non_violating(0.25, rng) is None
+
+
+class TestExploration:
+    def test_uniform_over_satisfying(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 10.0, 0.10))
+        db.insert(record(2, 6.0, 0.20))
+        db.insert(record(3, 4.0, 0.90))  # violating, never returned
+        rng = np.random.default_rng(0)
+        seen = {db.random_non_violating(0.25, rng).step for _ in range(100)}
+        assert seen == {1, 2}
+
+    def test_none_on_empty(self):
+        rng = np.random.default_rng(0)
+        assert ResourceHistoryDB().random_non_violating(0.25, rng) is None
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        db = ResourceHistoryDB()
+        db.insert(record(1, 10.0, 0.10))
+        db.taint(Allocation({"x": 1.0}))
+        clone = db.clone()
+        clone.insert(record(2, 6.0, 0.2))
+        assert len(db) == 1
+        assert len(clone) == 2
+        assert clone.is_tainted(Allocation({"x": 1.0}))

@@ -1,0 +1,114 @@
+"""Bottleneck-avoiding selection: Eqn. (5) and Alg. 1 lines 8-10."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.selection import (
+    eligible_services,
+    inclusion_probabilities,
+    select_targets,
+)
+from repro.core.thresholds import ThresholdTracker
+from tests.conftest import make_metrics
+
+SERVICES = ("front", "logic", "db", "cache")
+
+
+def tracker(**updates) -> ThresholdTracker:
+    t = ThresholdTracker(SERVICES)
+    if updates:
+        t.update(make_metrics(0.1, **updates))
+    return t
+
+
+class TestEligibility:
+    def test_all_eligible_when_no_throttle(self):
+        m = make_metrics(0.1)
+        assert set(eligible_services(m, tracker())) == set(SERVICES)
+
+    def test_throttled_service_filtered(self):
+        m = make_metrics(0.1, throttles={"db": 5.0})
+        eligible = eligible_services(m, tracker())
+        assert "db" not in eligible
+        assert "front" in eligible
+
+    def test_threshold_learning_restores_eligibility(self):
+        t = tracker(throttles={"db": 5.0})  # threshold learned at 5.0
+        m = make_metrics(0.1, throttles={"db": 4.0})
+        assert "db" in eligible_services(m, t)
+
+
+class TestInclusionProbabilities:
+    def test_empty_eligible(self):
+        assert inclusion_probabilities(make_metrics(0.1), tracker(), ()) == {}
+
+    def test_eqn5_extremes(self):
+        # front at its threshold (u* = 1) -> p = 0; cache coolest -> p = 1.
+        t = tracker(utils={"front": 0.50, "logic": 0.30, "db": 0.30,
+                           "cache": 0.20})
+        m = make_metrics(
+            0.1, utils={"front": 0.50, "logic": 0.15, "db": 0.15, "cache": 0.05}
+        )
+        probs = inclusion_probabilities(m, t, SERVICES)
+        assert probs["front"] == pytest.approx(0.0)
+        assert probs["cache"] == pytest.approx(1.0)
+        assert 0.0 < probs["logic"] < 1.0
+
+    def test_all_at_threshold_collapses_to_zero(self):
+        t = tracker(utils={s: 0.30 for s in SERVICES})
+        m = make_metrics(0.1, utils={s: 0.30 for s in SERVICES})
+        probs = inclusion_probabilities(m, t, SERVICES)
+        assert all(p == 0.0 for p in probs.values())
+
+    def test_uniform_utilization_gives_probability_one(self):
+        # Everyone equally cool: all are the minimum -> all p = 1.
+        m = make_metrics(0.1, utils={s: 0.05 for s in SERVICES})
+        probs = inclusion_probabilities(m, tracker(), SERVICES)
+        assert all(p == pytest.approx(1.0) for p in probs.values())
+
+    @given(
+        utils=st.lists(
+            st.floats(min_value=0.0, max_value=0.15), min_size=4, max_size=4
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_bounded(self, utils):
+        m = make_metrics(0.1, utils=dict(zip(SERVICES, utils)))
+        probs = inclusion_probabilities(m, ThresholdTracker(SERVICES), SERVICES)
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+        # The coolest service always has probability exactly 1.
+        assert max(probs.values()) == pytest.approx(1.0)
+
+
+class TestSelectTargets:
+    def test_zero_targets(self, rng):
+        assert select_targets({"a": 1.0}, 0, rng) == ()
+
+    def test_cuts_to_n(self, rng):
+        probs = {s: 1.0 for s in SERVICES}
+        targets = select_targets(probs, 2, rng)
+        assert len(targets) == 2
+        assert set(targets) <= set(SERVICES)
+
+    def test_takes_all_when_fewer_included(self, rng):
+        probs = {"front": 1.0, "logic": 0.0, "db": 0.0, "cache": 0.0}
+        targets = select_targets(probs, 3, rng)
+        assert targets == ("front",)
+
+    def test_zero_probabilities_select_nothing(self, rng):
+        probs = {s: 0.0 for s in SERVICES}
+        assert select_targets(probs, 4, rng) == ()
+
+    def test_negative_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            select_targets({"a": 1.0}, -1, rng)
+
+    def test_statistical_bias_toward_cool_services(self):
+        rng = np.random.default_rng(0)
+        probs = {"hot": 0.1, "cool": 0.9}
+        picks = {"hot": 0, "cool": 0}
+        for _ in range(2000):
+            for name in select_targets(probs, 2, rng):
+                picks[name] += 1
+        assert picks["cool"] > picks["hot"] * 3

@@ -1,0 +1,76 @@
+"""Dynamic response-time target: Eqn. (9) and slope learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.target import DynamicTarget, learn_slope
+
+
+class TestDynamicTarget:
+    def test_at_lambda_max_equals_slo(self):
+        t = DynamicTarget(slo=0.25, slope=0.0005)
+        assert t.target(300.0, lambda_max=300.0) == pytest.approx(0.25)
+
+    def test_below_lambda_max_is_conservative(self):
+        t = DynamicTarget(slo=0.25, slope=0.0005)
+        # Eqn (9): R(200) = m (200 - 300) + R_SLO
+        assert t.target(200.0, lambda_max=300.0) == pytest.approx(
+            0.25 - 0.0005 * 100
+        )
+
+    def test_floor_clamp(self):
+        t = DynamicTarget(slo=0.25, slope=0.01, floor_fraction=0.3)
+        assert t.target(0.0, lambda_max=1000.0) == pytest.approx(0.075)
+
+    def test_workload_above_max_clamps(self):
+        t = DynamicTarget(slo=0.25, slope=0.0005)
+        assert t.target(500.0, lambda_max=300.0) == pytest.approx(0.25)
+
+    def test_zero_slope_is_plain_slo(self):
+        t = DynamicTarget(slo=0.25, slope=0.0)
+        assert t.target(10.0, lambda_max=300.0) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicTarget(slo=0.0, slope=0.001)
+        with pytest.raises(ValueError):
+            DynamicTarget(slo=0.25, slope=-0.1)
+        with pytest.raises(ValueError):
+            DynamicTarget(slo=0.25, slope=0.1, floor_fraction=0.0)
+        t = DynamicTarget(slo=0.25, slope=0.001)
+        with pytest.raises(ValueError):
+            t.target(-1.0, lambda_max=100.0)
+
+    @given(
+        wl=st.floats(min_value=0.0, max_value=1000.0),
+        slope=st.floats(min_value=0.0, max_value=0.01),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_above_slo(self, wl, slope):
+        t = DynamicTarget(slo=0.25, slope=slope)
+        assert t.target(wl, lambda_max=1000.0) <= 0.25 + 1e-12
+
+
+class TestLearnSlope:
+    def test_recovers_linear_relation(self):
+        workloads = np.linspace(100, 400, 20)
+        responses = 0.05 + 0.0004 * workloads
+        assert learn_slope(workloads, responses) == pytest.approx(0.0004, rel=1e-6)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        workloads = np.linspace(100, 400, 50)
+        responses = 0.05 + 0.0004 * workloads + rng.normal(0, 0.002, 50)
+        assert learn_slope(workloads, responses) == pytest.approx(0.0004, rel=0.15)
+
+    def test_negative_slope_clamped(self):
+        assert learn_slope([100, 200, 300], [0.3, 0.2, 0.1]) == 0.0
+
+    def test_degenerate_inputs(self):
+        assert learn_slope([100.0], [0.2]) == 0.0
+        assert learn_slope([100.0, 100.0], [0.2, 0.3]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            learn_slope([1.0, 2.0], [1.0])

@@ -1,0 +1,94 @@
+"""Dynamic bottleneck thresholds: Eqns. (6)-(7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.thresholds import ThresholdTracker
+from tests.conftest import make_metrics
+
+SERVICES = ("front", "logic", "db", "cache")
+
+
+class TestInit:
+    def test_paper_defaults(self):
+        t = ThresholdTracker(SERVICES)
+        assert all(t.util_threshold(s) == 0.15 for s in SERVICES)
+        assert all(t.throttle_threshold(s) == 0.0 for s in SERVICES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdTracker([])
+        with pytest.raises(ValueError):
+            ThresholdTracker(SERVICES, init_util=1.5)
+        with pytest.raises(ValueError):
+            ThresholdTracker(SERVICES, init_throttle=-1.0)
+
+
+class TestRatchet:
+    def test_updates_upward(self):
+        t = ThresholdTracker(SERVICES)
+        t.update(make_metrics(0.1, utils={"front": 0.40}, throttles={"db": 2.0}))
+        assert t.util_threshold("front") == pytest.approx(0.40)
+        assert t.throttle_threshold("db") == pytest.approx(2.0)
+
+    def test_never_decreases(self):
+        t = ThresholdTracker(SERVICES)
+        t.update(make_metrics(0.1, utils={"front": 0.40}))
+        t.update(make_metrics(0.1, utils={"front": 0.20}))
+        assert t.util_threshold("front") == pytest.approx(0.40)
+
+    def test_unknown_service_rejected(self):
+        t = ThresholdTracker(("a",))
+        with pytest.raises(KeyError):
+            t.update(make_metrics(0.1, services=("b",)))
+
+    @given(
+        seq=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_nondecreasing_property(self, seq):
+        t = ThresholdTracker(("svc",), init_util=0.15)
+        prev_u, prev_h = 0.15, 0.0
+        for util, thr in seq:
+            t.update(
+                make_metrics(
+                    0.1, utils={"svc": util}, throttles={"svc": thr},
+                    services=("svc",),
+                )
+            )
+            assert t.util_threshold("svc") >= prev_u
+            assert t.throttle_threshold("svc") >= prev_h
+            prev_u = t.util_threshold("svc")
+            prev_h = t.throttle_threshold("svc")
+        assert t.util_threshold("svc") == pytest.approx(
+            max(0.15, max(u for u, _ in seq))
+        )
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self):
+        t = ThresholdTracker(SERVICES)
+        t.update(make_metrics(0.1, utils={"front": 0.5}, throttles={"db": 1.0}))
+        util, thr = t.snapshot()
+        t2 = ThresholdTracker(SERVICES)
+        t2.restore(util, thr)
+        assert t2.util_threshold("front") == pytest.approx(0.5)
+        assert t2.throttle_threshold("db") == pytest.approx(1.0)
+
+    def test_snapshot_is_a_copy(self):
+        t = ThresholdTracker(SERVICES)
+        util, _ = t.snapshot()
+        util["front"] = 99.0  # must not affect the tracker
+        assert t.util_threshold("front") == 0.15
+
+    def test_restore_mismatched_services(self):
+        t = ThresholdTracker(SERVICES)
+        with pytest.raises(ValueError):
+            t.restore({"x": 0.1}, {"x": 0.0})

@@ -1,0 +1,130 @@
+"""Workload traces and generators."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    BurstWorkload,
+    ConstantWorkload,
+    NoisyTrace,
+    RampWorkload,
+    ScaledTrace,
+    SinusoidalWorkload,
+    StepWorkload,
+    WikipediaTrace,
+    WorkloadTrace,
+    sample_range,
+)
+
+
+class TestGenerators:
+    def test_constant(self):
+        w = ConstantWorkload(100.0)
+        assert w.rate(0) == 100.0
+        assert w.rate(1e6) == 100.0
+        assert isinstance(w, WorkloadTrace)
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload(-1.0)
+
+    def test_step(self):
+        w = StepWorkload([(0.0, 100.0), (60.0, 200.0), (120.0, 50.0)])
+        assert w.rate(0) == 100.0
+        assert w.rate(59.9) == 100.0
+        assert w.rate(60.0) == 200.0
+        assert w.rate(500.0) == 50.0
+
+    def test_step_before_first(self):
+        w = StepWorkload([(10.0, 100.0)])
+        assert w.rate(0.0) == 100.0
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            StepWorkload([])
+        with pytest.raises(ValueError):
+            StepWorkload([(10.0, 1.0), (5.0, 2.0)])
+        with pytest.raises(ValueError):
+            StepWorkload([(0.0, -1.0)])
+
+    def test_ramp(self):
+        w = RampWorkload(100.0, 200.0, duration=100.0)
+        assert w.rate(0) == pytest.approx(100.0)
+        assert w.rate(50) == pytest.approx(150.0)
+        assert w.rate(100) == pytest.approx(200.0)
+        assert w.rate(1000) == pytest.approx(200.0)  # clamps past the ramp
+
+    def test_sinusoid_envelope(self):
+        w = SinusoidalWorkload(low=100.0, high=300.0, period=3600.0)
+        rates = [w.rate(t) for t in np.linspace(0, 7200, 500)]
+        assert min(rates) >= 100.0 - 1e-9
+        assert max(rates) <= 300.0 + 1e-9
+        assert max(rates) - min(rates) > 150.0  # actually oscillates
+
+    def test_burst(self):
+        w = BurstWorkload(400.0, [(600.0, 600.0, 750.0), (2400.0, 600.0, 650.0)])
+        assert w.rate(0) == 400.0
+        assert w.rate(700) == 750.0
+        assert w.rate(1200) == 400.0
+        assert w.rate(2500) == 650.0
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            BurstWorkload(100.0, [(0.0, 0.0, 200.0)])
+
+
+class TestComposition:
+    def test_noisy_trace_deterministic(self):
+        base = ConstantWorkload(100.0)
+        a = NoisyTrace(base, sigma=0.1, seed=3)
+        b = NoisyTrace(base, sigma=0.1, seed=3)
+        assert a.rate(123.0) == b.rate(123.0)
+        assert NoisyTrace(base, sigma=0.1, seed=4).rate(123.0) != a.rate(123.0)
+
+    def test_noisy_trace_zero_sigma(self):
+        a = NoisyTrace(ConstantWorkload(100.0), sigma=0.0)
+        assert a.rate(5.0) == 100.0
+
+    def test_scaled_trace(self):
+        s = ScaledTrace(ConstantWorkload(100.0), scale=2.0, offset=-50.0)
+        assert s.rate(0) == 150.0
+
+    def test_scaled_trace_clamps_at_zero(self):
+        s = ScaledTrace(ConstantWorkload(10.0), scale=1.0, offset=-100.0)
+        assert s.rate(0) == 0.0
+
+    def test_sample_range(self):
+        times, rates = sample_range(ConstantWorkload(5.0), 0.0, 10.0, 2.0)
+        assert times.tolist() == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert all(r == 5.0 for r in rates)
+
+    def test_sample_range_validation(self):
+        with pytest.raises(ValueError):
+            sample_range(ConstantWorkload(5.0), 10.0, 0.0, 1.0)
+
+
+class TestWikipedia:
+    def test_envelope(self):
+        w = WikipediaTrace(low_rps=200.0, high_rps=1100.0, jitter=0.0)
+        rates = [w.rate(t) for t in np.linspace(0, 36 * 3600, 2000)]
+        assert min(rates) >= 180.0
+        assert max(rates) <= 1210.0
+        assert max(rates) > 800.0  # reaches the high part of the band
+
+    def test_diurnal_structure(self):
+        """The trace must rise and fall over a day, not drift monotonically."""
+        w = WikipediaTrace(jitter=0.0)
+        day = [w.rate(t) for t in np.linspace(0, 86400, 288)]
+        peak, trough = max(day), min(day)
+        assert peak - trough > 300.0
+
+    def test_deterministic_given_seed(self):
+        a = WikipediaTrace(seed=1)
+        b = WikipediaTrace(seed=1)
+        assert a.rate(12345.0) == b.rate(12345.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WikipediaTrace(low_rps=500.0, high_rps=400.0)
+        with pytest.raises(ValueError):
+            WikipediaTrace(jitter=-0.1)

@@ -1,0 +1,129 @@
+"""Dynamic workload-range tree: §3.4 splitting semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import PEMAConfig, PEMAController
+from repro.core.workload_range import RangeTree, WorkloadRange
+from repro.sim.types import Allocation
+
+SERVICES = ("a", "b")
+
+
+def make_controller(seed: int = 0) -> PEMAController:
+    return PEMAController(
+        SERVICES,
+        0.25,
+        Allocation({"a": 2.0, "b": 2.0}),
+        PEMAConfig(explore_a=0.0, explore_b=0.0),
+        seed=seed,
+    )
+
+
+def make_tree(split_after: int = 3, min_width: float = 25.0) -> RangeTree:
+    return RangeTree.initial(
+        200.0, 400.0, make_controller(), min_width=min_width,
+        split_after=split_after,
+    )
+
+
+class TestWorkloadRange:
+    def test_contains(self):
+        r = WorkloadRange(100.0, 200.0, make_controller(), pema_id=1)
+        assert r.contains(100.0)
+        assert r.contains(199.9)
+        assert not r.contains(200.0)
+
+    def test_label(self):
+        r = WorkloadRange(200.0, 300.0, make_controller(), pema_id=1)
+        assert r.label() == "200~300"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRange(200.0, 200.0, make_controller(), pema_id=1)
+
+
+class TestRangeTree:
+    def test_initial_single_leaf(self):
+        tree = make_tree()
+        assert len(tree.leaves) == 1
+        assert tree.leaves[0].pema_id == 1
+
+    def test_find_clamps(self):
+        tree = make_tree()
+        assert tree.find(250.0) is tree.leaves[0]
+        assert tree.find(0.0) is tree.leaves[0]
+        assert tree.find(9999.0) is tree.leaves[0]
+
+    def test_find_empty_tree(self):
+        tree = RangeTree(min_width=25.0, split_after=3)
+        with pytest.raises(LookupError):
+            tree.find(100.0)
+
+    def test_split_after_enough_steps(self, rng):
+        tree = make_tree(split_after=3)
+        leaf = tree.leaves[0]
+        assert tree.note_step(leaf, rng) is None
+        assert tree.note_step(leaf, rng) is None
+        event = tree.note_step(leaf, rng)
+        assert event is not None
+        assert event.parent == (200.0, 400.0)
+        assert event.lower == (200.0, 300.0)
+        assert event.upper == (300.0, 400.0)
+        assert len(tree.leaves) == 2
+
+    def test_parent_keeps_upper_child(self, rng):
+        """§3.4: the parent's PEMA stays attached to the higher range."""
+        tree = make_tree(split_after=1)
+        leaf = tree.leaves[0]
+        parent_controller = leaf.controller
+        event = tree.note_step(leaf, rng)
+        upper = next(l for l in tree.leaves if l.low == 300.0)
+        lower = next(l for l in tree.leaves if l.low == 200.0)
+        assert upper.controller is parent_controller
+        assert upper.pema_id == 1
+        assert lower.pema_id == 2
+        assert lower.controller is not parent_controller
+        assert event.upper_pema_id == 1
+        assert event.lower_pema_id == 2
+
+    def test_child_bootstrapped_from_parent(self, rng):
+        tree = make_tree(split_after=1)
+        leaf = tree.leaves[0]
+        parent_alloc = leaf.controller.allocation
+        tree.note_step(leaf, rng)
+        lower = next(l for l in tree.leaves if l.low == 200.0)
+        assert lower.controller.allocation == parent_alloc
+
+    def test_min_width_stops_splitting(self, rng):
+        tree = make_tree(split_after=1, min_width=100.0)
+        leaf = tree.leaves[0]
+        tree.note_step(leaf, rng)  # 200~400 -> 200~300, 300~400
+        for child in list(tree.leaves):
+            for _ in range(5):
+                assert tree.note_step(child, rng) is None  # width == min
+        assert len(tree.leaves) == 2
+
+    def test_recursive_split_reaches_target_granularity(self, rng):
+        tree = make_tree(split_after=1, min_width=25.0)
+        for _ in range(40):
+            for leaf in list(tree.leaves):
+                if leaf in tree.leaves:
+                    tree.note_step(leaf, rng)
+        widths = sorted(l.width for l in tree.leaves)
+        assert widths == [25.0] * 8
+        # Process ids are unique per leaf.
+        ids = [l.pema_id for l in tree.leaves]
+        assert len(set(ids)) == len(ids)
+
+    def test_note_step_foreign_leaf_rejected(self, rng):
+        tree = make_tree()
+        foreign = WorkloadRange(0.0, 10.0, make_controller(), pema_id=9)
+        with pytest.raises(ValueError):
+            tree.note_step(foreign, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeTree(min_width=0.0, split_after=3)
+        with pytest.raises(ValueError):
+            RangeTree(min_width=10.0, split_after=0)
