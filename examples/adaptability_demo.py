@@ -1,62 +1,66 @@
 #!/usr/bin/env python
 """Adaptability: PEMA re-converges after hardware and SLO changes.
 
-Reproduces the paper's Figs. 19-20 story in one run on SockShop:
+Reproduces the paper's Figs. 19-20 story in one run on SockShop, with
+every mid-run intervention declared as a hook in the experiment spec:
 
-* at iteration 25 the cluster's clock drops 1.8 -> 1.6 GHz (a hardware
-  change that raises CPU demand);
-* at iteration 45 it rises to 2.0 GHz;
+* at iteration 25 the cluster's clock drops 1.8 -> 1.6 GHz (speed 0.889
+  relative to nominal — a hardware change that raises CPU demand);
+* at iteration 45 it rises to 2.0 GHz (speed 1.111);
 * at iteration 65 the SLO tightens 250 -> 200 ms;
 * at iteration 85 it relaxes to 300 ms.
 
 No retraining happens anywhere — the same feedback loop just keeps
-navigating.
+navigating.  Because the hooks live in the spec, the whole scenario
+round-trips through JSON and replays identically from the CLI.
 
 Run:  python examples/adaptability_demo.py
 """
 
-from repro import AnalyticalEngine, ControlLoop, PEMAController, build_app
-from repro.cluster import Cluster
-from repro.workload import ConstantWorkload
+from repro.experiments import ExperimentSpec, HookSpec, run_experiment
 
-WORKLOAD = 700.0
-EVENTS = {
-    25: ("clock -> 1.6 GHz", lambda loop, cluster: _set_clock(loop, cluster, 1.6)),
-    45: ("clock -> 2.0 GHz", lambda loop, cluster: _set_clock(loop, cluster, 2.0)),
-    65: ("SLO -> 200 ms", lambda loop, cluster: loop.autoscaler.set_slo(0.200)),
-    85: ("SLO -> 300 ms", lambda loop, cluster: loop.autoscaler.set_slo(0.300)),
-}
+NOMINAL_GHZ = 1.8
+SPEC = ExperimentSpec(
+    name="adaptability-sockshop",
+    app="sockshop",
+    workload=700.0,
+    n_steps=105,
+    seed=5,
+    hooks=(
+        HookSpec("set_cpu_speed", {"at": 25, "speed": 1.6 / NOMINAL_GHZ}),
+        HookSpec("set_cpu_speed", {"at": 45, "speed": 2.0 / NOMINAL_GHZ}),
+        HookSpec("set_slo", {"at": 65, "slo": 0.200}),
+        HookSpec("set_slo", {"at": 85, "slo": 0.300}),
+    ),
+)
 
-
-def _set_clock(loop, cluster, ghz: float) -> None:
-    cluster.set_frequency(ghz)
-    loop.environment.set_cpu_speed(cluster.speed_factor)
+def event_labels(spec: ExperimentSpec) -> dict[int, str]:
+    """Printable annotations derived from the spec's own hook schedule."""
+    labels = {}
+    for hook in spec.hooks:
+        if hook.kind == "set_cpu_speed":
+            ghz = hook.params["speed"] * NOMINAL_GHZ
+            labels[hook.params["at"]] = f"clock -> {ghz:.1f} GHz"
+        elif hook.kind == "set_slo":
+            labels[hook.params["at"]] = f"SLO -> {hook.params['slo'] * 1000:.0f} ms"
+    return labels
 
 
 def main() -> None:
-    app = build_app("sockshop")
-    engine = AnalyticalEngine(app, seed=4)
-    cluster = Cluster()
-    pema = PEMAController(
-        app.service_names, app.slo, app.generous_allocation(WORKLOAD), seed=5
-    )
-    loop = ControlLoop(
-        engine, pema, ConstantWorkload(WORKLOAD), cluster=cluster
-    )
+    print("spec (hooks declare the mid-run events):")
+    print(SPEC.to_json())
 
-    def on_step(step, lp):
-        if step in EVENTS:
-            label, action = EVENTS[step]
-            action(lp, cluster)
-            print(f"--- iteration {step}: {label} ---")
-
-    result = loop.run(105, on_step=on_step)
+    artifact = run_experiment(SPEC)
+    result = artifact.results[0]
+    labels = event_labels(SPEC)
 
     print("\niter  slo_ms  total_cpu  p95_ms  violated")
     for record in result.records[::5]:
+        label = labels.get(record.step)
         print(f"{record.step:4d}  {record.slo * 1000:6.0f}  "
               f"{record.total_cpu:9.2f}  {record.response * 1000:6.0f}  "
-              f"{'x' if record.violated else ''}")
+              f"{'x' if record.violated else ''}"
+              + (f"   <- {label}" if label else ""))
 
     segs = {
         "baseline (1.8 GHz, 250 ms)": slice(18, 25),

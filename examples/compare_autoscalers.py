@@ -1,56 +1,38 @@
 #!/usr/bin/env python
 """Compare PEMA, OPTM and RULE across all three prototype applications.
 
-A compact version of the paper's Fig. 15 evaluation: for each application
-at its reference workload, report the settled total CPU of each strategy
-and PEMA's savings vs. the rule-based commercial autoscaler.
+A compact version of the paper's Fig. 15 evaluation, driven entirely by
+the declarative experiment API: each scenario is one
+:class:`ExperimentSpec`, and ``run_comparison`` evaluates the cell
+(settled PEMA total vs the exhaustive-search optimum vs the rule-based
+commercial autoscaler) through the same runner the CLI and benchmark
+suite use.
 
 Run:  python examples/compare_autoscalers.py
 """
 
-from repro import AnalyticalEngine, ControlLoop, PEMAController, build_app
-from repro.baselines import OptimumSearch, RuleBasedAutoscaler
-from repro.workload import ConstantWorkload
+from repro.experiments import ExperimentSpec, run_comparison
 
-SCENARIOS = {
-    "sockshop": 700.0,
-    "trainticket": 225.0,
-    "hotelreservation": 600.0,
-}
+SPECS = [
+    ExperimentSpec(name=f"compare-{app}", app=app, workload=rps,
+                   n_steps=60, seed=1)
+    for app, rps in {
+        "sockshop": 700.0,
+        "trainticket": 225.0,
+        "hotelreservation": 600.0,
+    }.items()
+]
 
 
 def main() -> None:
     print(f"{'app':18s} {'rps':>5s} {'OPTM':>7s} {'PEMA':>7s} {'RULE':>7s} "
           f"{'PEMA/OPTM':>10s} {'savings':>8s}")
-    for app_name, workload in SCENARIOS.items():
-        app = build_app(app_name)
-        start = app.generous_allocation(workload)
-
-        optimum = OptimumSearch(AnalyticalEngine(app), restarts=2).find(workload)
-
-        pema = PEMAController(app.service_names, app.slo, start, seed=1)
-        pema_total = (
-            ControlLoop(
-                AnalyticalEngine(app, seed=2), pema, ConstantWorkload(workload)
-            )
-            .run(60)
-            .settled_total()
-        )
-
-        rule = RuleBasedAutoscaler(start)
-        rule_total = (
-            ControlLoop(
-                AnalyticalEngine(app, seed=3), rule, ConstantWorkload(workload),
-                slo=app.slo,
-            )
-            .run(25)
-            .settled_total()
-        )
-
-        savings = (1.0 - pema_total / rule_total) * 100.0
-        print(f"{app_name:18s} {workload:5.0f} {optimum.total_cpu:7.2f} "
-              f"{pema_total:7.2f} {rule_total:7.2f} "
-              f"{pema_total / optimum.total_cpu:10.2f} {savings:7.0f}%")
+    for spec in SPECS:
+        cell = run_comparison(spec, rule_steps=25)
+        print(f"{spec.app:18s} {cell['workload_rps']:5.0f} "
+              f"{cell['optm_total']:7.2f} {cell['pema_total']:7.2f} "
+              f"{cell['rule_total']:7.2f} {cell['pema_over_optm']:10.2f} "
+              f"{cell['pema_savings_vs_rule'] * 100:7.0f}%")
 
     print("\n(paper Fig. 15: PEMA sits close to the optimum and saves up to "
           "33% vs the rule-based autoscaler)")

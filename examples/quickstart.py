@@ -1,67 +1,62 @@
 #!/usr/bin/env python
 """Quickstart: run PEMA against a simulated SockShop deployment.
 
-This is the paper's Fig. 11 scenario in ~30 lines: start the 13-service
-SockShop with generous CPU at 700 requests/s, let PEMA iteratively carve
-out the slack, and compare where it settles against the exhaustive-search
-optimum and the rule-based autoscaler.
+This is the paper's Fig. 11 scenario through the declarative experiment
+API: one :class:`ExperimentSpec` names the app, workload, autoscaler and
+schedule; ``run_experiment`` builds everything and returns an artifact
+with the run history and summary statistics.  ``run_comparison`` then
+reports the same cell against the exhaustive-search optimum (OPTM) and
+the rule-based autoscaler (RULE).
+
+The spec serializes to JSON, so the identical scenario can be replayed
+from the command line:  python -m repro experiment --spec spec.json
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AnalyticalEngine,
-    ControlLoop,
-    PEMAConfig,
-    PEMAController,
-    build_app,
-)
-from repro.baselines import OptimumSearch, RuleBasedAutoscaler
-from repro.workload import ConstantWorkload
+from repro import build_app
+from repro.experiments import ExperimentSpec, run_comparison, run_experiment
 
 WORKLOAD_RPS = 700.0
 ITERATIONS = 70
 
+SPEC = ExperimentSpec(
+    name="quickstart-sockshop",
+    app="sockshop",
+    workload=WORKLOAD_RPS,  # shorthand for a constant-rate trace
+    n_steps=ITERATIONS,
+    autoscaler={"kind": "pema",
+                "params": {"explore_a": 0.05, "explore_b": 0.005}},
+    seed=2,
+)
+
 
 def main() -> None:
-    app = build_app("sockshop")
+    app = build_app(SPEC.app)
     print(f"app: {app.name} ({app.n_services} services, "
           f"SLO {app.slo * 1000:.0f} ms), workload {WORKLOAD_RPS:.0f} rps\n")
+    print("spec:")
+    print(SPEC.to_json())
 
-    # The environment: an analytical performance model of the deployment.
-    engine = AnalyticalEngine(app, seed=1)
+    artifact = run_experiment(SPEC)
+    result = artifact.results[0]
 
-    # PEMA starts from an over-provisioned allocation (as a rule-based
-    # manager would leave it) and only ever reduces monotonically.
-    start = app.generous_allocation(WORKLOAD_RPS)
-    pema = PEMAController(
-        app.service_names, app.slo, start, PEMAConfig.low_exploration(), seed=2
-    )
-    result = ControlLoop(engine, pema, ConstantWorkload(WORKLOAD_RPS)).run(
-        ITERATIONS
-    )
-
-    print("iter  total_cpu  p95_ms  note")
+    print("\niter  total_cpu  p95_ms  note")
     for record in result.records[::5]:
         note = "SLO VIOLATION" if record.violated else ""
         print(f"{record.step:4d}  {record.total_cpu:9.2f}  "
               f"{record.response * 1000:6.0f}  {note}")
 
-    optimum = OptimumSearch(AnalyticalEngine(app), restarts=2).find(WORKLOAD_RPS)
-    rule = RuleBasedAutoscaler(start)
-    rule_result = ControlLoop(
-        AnalyticalEngine(app, seed=3), rule, ConstantWorkload(WORKLOAD_RPS),
-        slo=app.slo,
-    ).run(25)
-
-    settled = result.settled_total()
-    print(f"\nstart allocation : {start.total():6.2f} CPU")
+    cell = run_comparison(SPEC, rule_steps=25, pema_artifact=artifact)
+    settled = artifact.mean_settled_total()
+    print(f"\nstart allocation : "
+          f"{result.records[0].total_cpu:6.2f} CPU")
     print(f"PEMA settled     : {settled:6.2f} CPU "
           f"({result.violation_count()} violations in {ITERATIONS} intervals)")
-    print(f"optimum (OPTM)   : {optimum.total_cpu:6.2f} CPU")
-    print(f"rule-based (RULE): {rule_result.settled_total():6.2f} CPU")
-    print(f"\nPEMA is {settled / optimum.total_cpu:.2f}x the optimum and saves "
-          f"{(1 - settled / rule_result.settled_total()) * 100:.0f}% vs RULE.")
+    print(f"optimum (OPTM)   : {cell['optm_total']:6.2f} CPU")
+    print(f"rule-based (RULE): {cell['rule_total']:6.2f} CPU")
+    print(f"\nPEMA is {cell['pema_over_optm']:.2f}x the optimum and saves "
+          f"{cell['pema_savings_vs_rule'] * 100:.0f}% vs RULE.")
 
 
 if __name__ == "__main__":

@@ -7,18 +7,24 @@ dynamic ranging, the three prototype applications, a simulated
 Kubernetes/Prometheus substrate, the OPTM/RULE baselines, and the full
 evaluation harness.
 
+The declarative experiment API (:mod:`repro.experiments`) is the main
+entry point: one JSON-round-tripping :class:`ExperimentSpec` describes a
+scenario (app, engine backend, workload trace, autoscaler, seeds,
+mid-run hooks) and the shared runner reproduces it identically from
+Python, the CLI (``python -m repro experiment --spec file.json``), and
+the benchmark helpers.
+
 Quickstart::
 
-    from repro import build_app, AnalyticalEngine, PEMAController, ControlLoop
-    from repro.workload import ConstantWorkload
+    from repro.experiments import ExperimentSpec, run_experiment
 
-    app = build_app("sockshop")
-    engine = AnalyticalEngine(app, seed=1)
-    pema = PEMAController(
-        app.service_names, app.slo, app.generous_allocation(700.0), seed=1
-    )
-    result = ControlLoop(engine, pema, ConstantWorkload(700.0)).run(70)
-    print(result.settled_total(), result.violation_rate())
+    spec = ExperimentSpec(app="sockshop", workload=700.0, n_steps=60,
+                          seed=1, repeats=3)
+    artifact = run_experiment(spec, parallel=3)
+    print(artifact.summary()["settled_total_mean"])
+
+The underlying pieces (controller, engines, baselines, control loop)
+remain directly importable for custom wiring.
 """
 
 from repro.apps import AppSpec, app_names, build_app
@@ -30,6 +36,12 @@ from repro.core import (
     PEMAController,
     StepAction,
     WorkloadAwarePEMA,
+)
+from repro.experiments import (
+    ExperimentArtifact,
+    ExperimentSpec,
+    run_experiment,
+    run_sweep,
 )
 from repro.metrics import MetricsCollector, MetricsStore
 from repro.sim import Allocation, AnalyticalEngine, IntervalMetrics
@@ -49,6 +61,10 @@ __all__ = [
     "WorkloadAwarePEMA",
     "ControlLoop",
     "LoopResult",
+    "ExperimentSpec",
+    "ExperimentArtifact",
+    "run_experiment",
+    "run_sweep",
     "MetricsStore",
     "MetricsCollector",
     "OptimumSearch",

@@ -1,35 +1,43 @@
 """Shared experiment drivers for the benchmark suite.
 
-The evaluation figures repeat a few patterns — run PEMA to convergence at a
-fixed workload, find the optimum, run RULE — so they live here with
-deterministic seeding and a per-process OPTM cache (the optimum search is
-deterministic, and several figures reuse the same (app, workload) points).
+The evaluation figures repeat a few patterns — run PEMA to convergence at
+a fixed workload, find the optimum, run RULE — so they live here as thin
+wrappers over the declarative experiment layer
+(:mod:`repro.experiments`): each helper builds an
+:class:`~repro.experiments.ExperimentSpec` and executes it through the
+one shared runner, so a figure cell produced here is bit-identical to the
+same spec run from the CLI (``repro experiment --spec``) or from Python.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
-import numpy as np
-
-from repro.apps import build_app
 from repro.apps.spec import AppSpec
-from repro.baselines import OptimumSearch, RuleBasedAutoscaler
-from repro.core import ControlLoop, LoopResult, PEMAConfig, PEMAController
+from repro.core import LoopResult, PEMAConfig, PEMAController
+from repro.experiments import (
+    AutoscalerSpec,
+    EngineSpec,
+    ExperimentSpec,
+    WorkloadSpec,
+    clear_optimum_cache,
+    run_experiment,
+    run_unit,
+)
+from repro.experiments import optimum_total as _optimum_total
 from repro.sim import AnalyticalEngine
-from repro.workload import ConstantWorkload
 from repro.workload.trace import WorkloadTrace
 
 __all__ = [
     "pema_run",
     "PEMARun",
+    "pema_spec",
+    "rule_spec",
     "optimum_total",
     "rule_total",
     "average_pema_total",
     "clear_caches",
 ]
-
-_OPTM_CACHE: dict[tuple[str, float], float] = {}
 
 
 @dataclass
@@ -40,6 +48,53 @@ class PEMARun:
     controller: PEMAController
     engine: AnalyticalEngine
     app: AppSpec
+
+
+def pema_spec(
+    app_name: str,
+    workload: float,
+    n_steps: int,
+    *,
+    config: PEMAConfig | None = None,
+    seed: int = 0,
+    repeats: int = 1,
+    interval: float = 120.0,
+    headroom: float = 2.0,
+    slo: float | None = None,
+) -> ExperimentSpec:
+    """The spec behind :func:`pema_run` / :func:`average_pema_total`."""
+    return ExperimentSpec(
+        app=app_name,
+        workload=WorkloadSpec.constant(workload),
+        n_steps=n_steps,
+        autoscaler=AutoscalerSpec(
+            "pema", asdict(config) if config is not None else {}
+        ),
+        interval=interval,
+        slo=slo,
+        headroom=headroom,
+        seed=seed,
+        repeats=repeats,
+    )
+
+
+def rule_spec(
+    app_name: str,
+    workload: float,
+    *,
+    n_steps: int = 30,
+    seed: int = 0,
+    mode: str = "utilization",
+) -> ExperimentSpec:
+    """The spec behind :func:`rule_total` (independent noise stream)."""
+    return ExperimentSpec(
+        app=app_name,
+        workload=WorkloadSpec.constant(workload),
+        n_steps=n_steps,
+        autoscaler=AutoscalerSpec("rule", {"mode": mode}),
+        engine=EngineSpec(seed_offset=2000),
+        seed=seed,
+    )
 
 
 def pema_run(
@@ -54,35 +109,40 @@ def pema_run(
     slo: float | None = None,
     on_step=None,
 ) -> PEMARun:
-    """Run plain PEMA on one app from a generous start."""
-    app = build_app(app_name)
-    trace = (
-        ConstantWorkload(workload) if isinstance(workload, (int, float)) else workload
-    )
-    ref = trace.rate(0.0)
-    engine = AnalyticalEngine(app, seed=seed + 1000)
-    controller = PEMAController(
-        app.service_names,
-        slo if slo is not None else app.slo,
-        app.generous_allocation(ref, headroom=headroom),
-        config or PEMAConfig(),
+    """Run plain PEMA on one app from a generous start.
+
+    ``workload`` may be a rate (a constant-workload spec) or an arbitrary
+    :class:`WorkloadTrace` object, which is passed through the runner's
+    trace override for scenarios without a registry encoding.
+    """
+    trace: WorkloadTrace | None
+    if isinstance(workload, (int, float)):
+        rps, trace = float(workload), None
+    else:
+        rps, trace = workload.rate(0.0), workload
+    spec = pema_spec(
+        app_name,
+        rps,
+        n_steps,
+        config=config,
         seed=seed,
+        interval=interval,
+        headroom=headroom,
+        slo=slo,
     )
-    loop = ControlLoop(engine, controller, trace, interval=interval)
-    result = loop.run(n_steps, on_step=on_step)
-    return PEMARun(result=result, controller=controller, engine=engine, app=app)
+    unit = run_unit(spec, trace=trace, on_step=on_step)
+    assert unit.result is not None
+    return PEMARun(
+        result=unit.result,
+        controller=unit.autoscaler,
+        engine=unit.engine,
+        app=unit.app,
+    )
 
 
 def optimum_total(app_name: str, workload: float, *, restarts: int = 2) -> float:
     """Cached OPTM total CPU for (app, workload)."""
-    key = (app_name, round(float(workload), 6))
-    if key not in _OPTM_CACHE:
-        app = build_app(app_name)
-        engine = AnalyticalEngine(app)
-        _OPTM_CACHE[key] = OptimumSearch(engine, restarts=restarts).find(
-            workload
-        ).total_cpu
-    return _OPTM_CACHE[key]
+    return _optimum_total(app_name, workload, restarts=restarts)
 
 
 def rule_total(
@@ -94,13 +154,8 @@ def rule_total(
     mode: str = "utilization",
 ) -> float:
     """Converged RULE total CPU for (app, workload)."""
-    app = build_app(app_name)
-    engine = AnalyticalEngine(app, seed=seed + 2000)
-    rule = RuleBasedAutoscaler(app.generous_allocation(workload), mode=mode)
-    result = ControlLoop(
-        engine, rule, ConstantWorkload(workload), slo=app.slo
-    ).run(n_steps)
-    return result.settled_total()
+    spec = rule_spec(app_name, workload, n_steps=n_steps, seed=seed, mode=mode)
+    return run_experiment(spec).mean_settled_total()
 
 
 def average_pema_total(
@@ -113,15 +168,12 @@ def average_pema_total(
     base_seed: int = 0,
 ) -> float:
     """Mean settled PEMA total across seeds (Fig. 15 averages repeated runs)."""
-    totals = [
-        pema_run(
-            app_name, workload, n_steps, config=config, seed=base_seed + i
-        ).result.settled_total()
-        for i in range(runs)
-    ]
-    return float(np.mean(totals))
+    spec = pema_spec(
+        app_name, workload, n_steps, config=config, seed=base_seed, repeats=runs
+    )
+    return run_experiment(spec).mean_settled_total()
 
 
 def clear_caches() -> None:
     """Reset the OPTM cache (tests that tweak calibration need this)."""
-    _OPTM_CACHE.clear()
+    clear_optimum_cache()

@@ -10,24 +10,36 @@ Commands
     Find the OPTM allocation for an app/workload (paper §4.2 definition).
 ``compare``
     PEMA vs OPTM vs RULE at one operating point (a Fig. 15 cell).
+``experiment``
+    Run a declarative :class:`~repro.experiments.ExperimentSpec` from a
+    JSON file — the spec-driven entry point to every scenario.
+
+``run``, ``compare`` and ``experiment`` all execute through the shared
+experiment runner, so the same spec reproduces the same numbers from any
+entry point.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.apps import app_names, build_app
-from repro.baselines import OptimumSearch, RuleBasedAutoscaler
-from repro.core import (
-    ControlLoop,
-    FastReactionLoop,
-    PEMAConfig,
-    PEMAController,
+from repro.baselines import OptimumSearch
+from repro.core import FastReactionLoop
+from repro.experiments import (
+    AutoscalerSpec,
+    ExperimentSpec,
+    WorkloadSpec,
+    build_unit,
+    run_comparison,
+    run_experiment,
+    run_unit,
 )
 from repro.sim import AnalyticalEngine
-from repro.workload import ConstantWorkload
 
 __all__ = ["main", "build_parser"]
 
@@ -69,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
     _common_args(cmp_)
     cmp_.add_argument("--iterations", type=int, default=60)
     cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument("--repeats", type=int, default=1,
+                      help="PEMA seeds to average (Fig. 15 uses 3)")
+
+    exp = sub.add_parser(
+        "experiment", help="run a declarative experiment spec (JSON file)"
+    )
+    exp.add_argument("--spec", required=True,
+                     help="path to an ExperimentSpec JSON file")
+    exp.add_argument("--parallel", type=int, default=1,
+                     help="worker processes for multi-seed specs")
+    exp.add_argument("--out", default=None,
+                     help="write the full artifact (spec + histories + "
+                     "summary) to this JSON file")
+    exp.add_argument("--compare", action="store_true",
+                     help="also report the OPTM and RULE baselines "
+                     "(a Fig. 15 cell)")
     return parser
 
 
@@ -88,21 +116,36 @@ def _cmd_apps() -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_spec(args: argparse.Namespace) -> ExperimentSpec:
+    """The PEMA spec described by ``run``/``compare`` arguments."""
     app = build_app(args.app)
     workload = args.workload or app.reference_workload
-    config = PEMAConfig(alpha=args.alpha, beta=args.beta)
-    engine = AnalyticalEngine(app, seed=args.seed + 1000)
-    controller = PEMAController(
-        app.service_names, app.slo, app.generous_allocation(workload),
-        config, seed=args.seed,
+    return ExperimentSpec(
+        app=args.app,
+        workload=WorkloadSpec.constant(workload),
+        n_steps=args.iterations,
+        autoscaler=AutoscalerSpec(
+            "pema",
+            {"alpha": getattr(args, "alpha", 0.5),
+             "beta": getattr(args, "beta", 0.3)},
+        ),
+        seed=args.seed,
+        repeats=getattr(args, "repeats", 1),
     )
-    trace = ConstantWorkload(workload)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _run_spec(args)
+    app = build_app(args.app)
     if args.fast:
-        loop = FastReactionLoop(engine, controller, trace)
-        result = loop.run(args.iterations)
+        unit = build_unit(spec)
+        loop = FastReactionLoop(unit.engine, unit.autoscaler, unit.trace,
+                                interval=spec.interval)
+        result = loop.run(spec.n_steps)
     else:
-        result = ControlLoop(engine, controller, trace).run(args.iterations)
+        unit = run_unit(spec)
+        result = unit.result
+    workload = spec.workload.params["rps"]
     print(f"# {args.app} @ {workload:.0f} rps, SLO {app.slo * 1000:.0f} ms, "
           f"alpha={args.alpha} beta={args.beta}"
           + (" (fast monitor)" if args.fast else ""))
@@ -136,37 +179,50 @@ def _cmd_optimum(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_comparison(cell: dict[str, float], app_name: str) -> None:
+    print(f"# {app_name} @ {cell['workload_rps']:.0f} rps")
+    print(f"OPTM : {cell['optm_total']:7.2f} CPU")
+    print(f"PEMA : {cell['pema_total']:7.2f} CPU  "
+          f"({cell['pema_over_optm']:.2f}x optimum)")
+    print(f"RULE : {cell['rule_total']:7.2f} CPU  "
+          f"(PEMA saves {cell['pema_savings_vs_rule'] * 100:.0f}%)")
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    app = build_app(args.app)
-    workload = args.workload or app.reference_workload
-    start = app.generous_allocation(workload)
-    optimum = OptimumSearch(AnalyticalEngine(app), restarts=2).find(workload)
-    pema = PEMAController(
-        app.service_names, app.slo, start, seed=args.seed
-    )
-    pema_total = (
-        ControlLoop(
-            AnalyticalEngine(app, seed=args.seed + 1), pema,
-            ConstantWorkload(workload),
-        )
-        .run(args.iterations)
-        .settled_total()
-    )
-    rule = RuleBasedAutoscaler(start)
-    rule_total = (
-        ControlLoop(
-            AnalyticalEngine(app, seed=args.seed + 2), rule,
-            ConstantWorkload(workload), slo=app.slo,
-        )
-        .run(25)
-        .settled_total()
-    )
-    print(f"# {args.app} @ {workload:.0f} rps")
-    print(f"OPTM : {optimum.total_cpu:7.2f} CPU")
-    print(f"PEMA : {pema_total:7.2f} CPU  "
-          f"({pema_total / optimum.total_cpu:.2f}x optimum)")
-    print(f"RULE : {rule_total:7.2f} CPU  "
-          f"(PEMA saves {(1 - pema_total / rule_total) * 100:.0f}%)")
+    _print_comparison(run_comparison(_run_spec(args)), args.app)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        spec = ExperimentSpec.from_json(Path(args.spec).read_text())
+        spec.validate()
+    except (OSError, TypeError, ValueError, KeyError) as exc:
+        # KeyError's str() wraps its message in quotes; unwrap for humans.
+        reason = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {reason}", file=sys.stderr)
+        return 2
+    if args.compare and spec.autoscaler.kind != "pema":
+        print("error: --compare needs a pema spec", file=sys.stderr)
+        return 2
+    try:
+        artifact = run_experiment(spec, parallel=max(args.parallel, 1))
+        summary = artifact.summary()
+        print(f"# experiment {spec.name or '<unnamed>'}: {spec.app} x "
+              f"{spec.workload.kind} x {spec.autoscaler.kind} "
+              f"({spec.engine.kind} engine, {spec.repeats} seed(s))")
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        if args.compare:
+            _print_comparison(
+                run_comparison(spec, pema_artifact=artifact), spec.app
+            )
+    except LookupError as exc:
+        # E.g. a run with no SLO-satisfying interval has no settled total.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        path = artifact.write(args.out)
+        print(f"artifact written to {path}")
     return 0
 
 
@@ -193,6 +249,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_optimum(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -11,7 +11,9 @@ Three stages per control step:
        p_i = 1 - (u*_i - min(u*)) / (1 - min(u*)),   u*_i = u_i / U_th_i
 
    so the coolest service is included with probability 1 and a service at
-   its threshold with probability 0.
+   its threshold with probability 0.  In the degenerate case where every
+   eligible service sits at its threshold, all tie as the coolest and
+   each keeps probability 1 (the limit of the formula).
 3. **Uniform cut** (line 10): if more than ``n_t`` candidates were
    included, pick ``n_t`` uniformly at random; otherwise take them all.
 """
@@ -47,9 +49,12 @@ def inclusion_probabilities(
     """Eqn. (5): inclusion probability per eligible service.
 
     Normalized utilizations ``u*`` are guaranteed <= 1 because the
-    thresholds were ratcheted (Eqn. 6) before selection.  When every
-    eligible service sits exactly at its threshold the probabilities all
-    collapse to zero (nothing is safe to reduce).
+    thresholds were ratcheted (Eqn. 6) before selection.  The coolest
+    eligible service always has probability 1 — including the degenerate
+    case where every service sits exactly at its threshold (``u* = 1``
+    for all), which makes Eqn. (5) a 0/0.  There every service ties as
+    the coolest, so each one keeps probability 1, matching the limit of
+    the formula as the utilizations approach each other.
     """
     if not eligible:
         return {}
@@ -61,8 +66,8 @@ def inclusion_probabilities(
     u_min = min(u_star.values())
     denom = 1.0 - u_min
     if denom <= _EPS:
-        # Everyone is at their threshold: no service is a safe target.
-        return {name: 0.0 for name in eligible}
+        # Zero range: everyone ties as the coolest service.
+        return {name: 1.0 for name in eligible}
     return {
         name: float(np.clip(1.0 - (u_star[name] - u_min) / denom, 0.0, 1.0))
         for name in eligible

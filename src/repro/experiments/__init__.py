@@ -1,0 +1,82 @@
+"""Declarative experiment API: one spec -> runner -> artifact pipeline.
+
+Every evaluation scenario in the repository — the 22 benchmark figures,
+the examples, the CLI commands — reduces to the same construction:
+build an app, wrap it in a performance-model engine, point an autoscaler
+at it, drive a control loop over a workload trace, and summarize the
+run.  This package makes that construction declarative:
+
+* :class:`ExperimentSpec` — a frozen, JSON-round-tripping description of
+  one experiment (app, engine backend, workload trace, autoscaler,
+  SLO/interval/seed/repeats, mid-run hooks);
+* registries (:data:`ENGINES`, :data:`AUTOSCALERS`, :data:`WORKLOADS`,
+  :data:`HOOKS`) that resolve the spec's string keys to factories and
+  accept third-party extensions;
+* :func:`run_experiment` / :func:`run_sweep` — execute specs (multi-seed,
+  optionally fanned out over processes) into
+  :class:`ExperimentArtifact` objects that carry per-seed histories,
+  summary statistics, and lossless JSON serialization;
+* :func:`run_comparison` — a Fig. 15 cell (PEMA vs OPTM vs RULE) from a
+  single PEMA spec.
+
+Quickstart::
+
+    from repro.experiments import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(app="sockshop", workload=700.0, n_steps=60,
+                          seed=1, repeats=3)
+    artifact = run_experiment(spec, parallel=3)
+    print(artifact.summary()["settled_total_mean"])
+"""
+
+from repro.experiments.artifact import ExperimentArtifact
+from repro.experiments.registry import (
+    AUTOSCALERS,
+    ENGINES,
+    HOOKS,
+    WORKLOADS,
+    Registry,
+)
+from repro.experiments.runner import (
+    ExperimentUnit,
+    build_unit,
+    clear_optimum_cache,
+    derive_rule_spec,
+    optimum_total,
+    run_comparison,
+    run_experiment,
+    run_sweep,
+    run_unit,
+)
+from repro.experiments.spec import (
+    AutoscalerSpec,
+    ComponentSpec,
+    EngineSpec,
+    ExperimentSpec,
+    HookSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "WorkloadSpec",
+    "AutoscalerSpec",
+    "EngineSpec",
+    "HookSpec",
+    "ComponentSpec",
+    "ExperimentArtifact",
+    "ExperimentUnit",
+    "Registry",
+    "ENGINES",
+    "AUTOSCALERS",
+    "WORKLOADS",
+    "HOOKS",
+    "build_unit",
+    "run_unit",
+    "run_experiment",
+    "run_sweep",
+    "run_comparison",
+    "derive_rule_spec",
+    "optimum_total",
+    "clear_optimum_cache",
+]

@@ -1,0 +1,111 @@
+"""Experiment artifacts: structured, serializable results of a spec run.
+
+An :class:`ExperimentArtifact` pairs the spec that produced it with the
+per-seed :class:`~repro.core.LoopResult` histories and derives the
+summary statistics the paper's figures report (settled total CPU across
+seeds, violation rates).  Artifacts round-trip through JSON via the
+:mod:`repro.metrics.export` record codec, so a figure cell can be
+archived, diffed, and re-plotted without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.loop import LoopResult
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.export import loop_result_from_dict, loop_result_to_dict
+
+__all__ = ["ExperimentArtifact"]
+
+
+@dataclass(frozen=True)
+class ExperimentArtifact:
+    """The outcome of ``run_experiment``: one ``LoopResult`` per repeat."""
+
+    spec: ExperimentSpec
+    results: tuple[LoopResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+        if len(self.results) != self.spec.repeats:
+            raise ValueError(
+                f"expected {self.spec.repeats} results, got {len(self.results)}"
+            )
+
+    # -- summary statistics ------------------------------------------------------
+    def settled_totals(self, tail: int = 5) -> np.ndarray:
+        """Per-seed settled total CPU (mean of the last SLO-good intervals)."""
+        return np.asarray([r.settled_total(tail) for r in self.results])
+
+    def mean_settled_total(self, tail: int = 5) -> float:
+        return float(np.mean(self.settled_totals(tail)))
+
+    def violation_rates(self) -> np.ndarray:
+        return np.asarray([r.violation_rate() for r in self.results])
+
+    def summary(self) -> dict[str, Any]:
+        """The figures' headline numbers, as plain JSON-ready data."""
+        settled = self.settled_totals()
+        return {
+            "name": self.spec.name,
+            "app": self.spec.app,
+            "autoscaler": self.spec.autoscaler.kind,
+            "engine": self.spec.engine.kind,
+            "workload": self.spec.workload.to_dict(),
+            "n_steps": self.spec.n_steps,
+            "repeats": self.spec.repeats,
+            "seed": self.spec.seed,
+            "settled_total_per_seed": [float(t) for t in settled],
+            "settled_total_mean": float(np.mean(settled)),
+            "settled_total_std": float(np.std(settled)),
+            "violation_rate_per_seed": [
+                float(v) for v in self.violation_rates()
+            ],
+            "final_total_cpu": [
+                float(r.final_allocation().total()) for r in self.results
+            ],
+        }
+
+    def summary_json(self) -> str:
+        """Canonical summary encoding (stable key order — diffable)."""
+        return json.dumps(self.summary(), sort_keys=True)
+
+    # -- serialization -----------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "results": [loop_result_to_dict(r) for r in self.results],
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentArtifact":
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            results=tuple(
+                loop_result_from_dict(r) for r in data["results"]
+            ),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentArtifact":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str | Path) -> Path:
+        """Persist the artifact (spec + histories + summary) as JSON."""
+        path = Path(path)
+        path.write_text(self.to_json(indent=2))
+        return path
+
+    @classmethod
+    def read(cls, path: str | Path) -> "ExperimentArtifact":
+        return cls.from_json(Path(path).read_text())

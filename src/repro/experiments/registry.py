@@ -1,0 +1,197 @@
+"""String-keyed factory registries for the declarative experiment layer.
+
+Every pluggable piece of an experiment — the performance-model backend,
+the autoscaler under test, the workload trace, the mid-run hooks — is
+resolved from a registry by a short string key, so an
+:class:`~repro.experiments.spec.ExperimentSpec` is fully described by
+plain JSON data.  Extensions register new factories with
+:meth:`Registry.register`; unknown keys fail with the list of known ones
+so a typo in a spec file is a one-line diagnosis.
+
+Factory call conventions (``params`` is the spec's params dict):
+
+``ENGINES``
+    ``factory(app, seed=..., **params) -> Environment``
+``AUTOSCALERS``
+    ``factory(app, start, slo, seed=..., **params) -> Autoscaler``
+``WORKLOADS``
+    ``factory(**params) -> WorkloadTrace``
+``HOOKS``
+    ``factory(**params) -> Callable[[int, ControlLoop], None]``
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+__all__ = ["Registry", "ENGINES", "AUTOSCALERS", "WORKLOADS", "HOOKS"]
+
+
+class Registry:
+    """A named mapping from string keys to factory callables."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._factories: dict[str, Callable[..., Any]] = {}
+
+    def register(
+        self, name: str, factory: Callable[..., Any] | None = None
+    ) -> Callable[..., Any]:
+        """Register ``factory`` under ``name``; usable as a decorator."""
+        if factory is None:
+            return lambda fn: self.register(name, fn)
+        if not name:
+            raise ValueError(f"{self.label} key must be a non-empty string")
+        if name in self._factories:
+            raise ValueError(f"{self.label} {name!r} is already registered")
+        self._factories[name] = factory
+        return factory
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """The factory for ``name``; KeyError names the alternatives."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise KeyError(
+                f"unknown {self.label} {name!r} (known: {known})"
+            ) from None
+
+    def build(self, name: str, /, *args: Any, **kwargs: Any) -> Any:
+        """Look up ``name`` and call its factory."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+ENGINES = Registry("engine backend")
+AUTOSCALERS = Registry("autoscaler")
+WORKLOADS = Registry("workload trace")
+HOOKS = Registry("hook")
+
+
+# -- engine backends -----------------------------------------------------------
+@ENGINES.register("analytical")
+def _analytical_engine(app, *, seed: int = 0, **params):
+    from repro.sim import AnalyticalEngine
+
+    return AnalyticalEngine(app, seed=seed, **params)
+
+
+@ENGINES.register("des")
+def _des_engine(app, *, seed: int = 0, **params):
+    from repro.sim.des.engine import DESEngine
+
+    return DESEngine(app, seed=seed, **params)
+
+
+# -- autoscalers / baselines ---------------------------------------------------
+@AUTOSCALERS.register("pema")
+def _pema(app, start, slo, *, seed: int = 0, **params):
+    from repro.core import PEMAConfig, PEMAController
+
+    config = PEMAConfig(**params) if params else None
+    return PEMAController(app.service_names, slo, start, config, seed=seed)
+
+
+@AUTOSCALERS.register("rule")
+def _rule(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    from repro.baselines import RuleBasedAutoscaler
+
+    return RuleBasedAutoscaler(start, **params)
+
+
+@AUTOSCALERS.register("static")
+def _static(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    from repro.baselines import StaticAllocator
+
+    if params:
+        raise TypeError(f"static autoscaler takes no params: {sorted(params)}")
+    return StaticAllocator(start)
+
+
+# -- workload traces -----------------------------------------------------------
+@WORKLOADS.register("constant")
+def _constant(**params):
+    from repro.workload import ConstantWorkload
+
+    return ConstantWorkload(**params)
+
+
+@WORKLOADS.register("step")
+def _step(**params):
+    from repro.workload import StepWorkload
+
+    steps = [tuple(s) for s in params.pop("steps")]
+    return StepWorkload(steps, **params)
+
+
+@WORKLOADS.register("ramp")
+def _ramp(**params):
+    from repro.workload import RampWorkload
+
+    return RampWorkload(**params)
+
+
+@WORKLOADS.register("sinusoid")
+def _sinusoid(**params):
+    from repro.workload import SinusoidalWorkload
+
+    return SinusoidalWorkload(**params)
+
+
+@WORKLOADS.register("burst")
+def _burst(**params):
+    from repro.workload import BurstWorkload
+
+    bursts = [tuple(b) for b in params.pop("bursts")]
+    return BurstWorkload(params.pop("base_rps"), bursts, **params)
+
+
+@WORKLOADS.register("wikipedia")
+def _wikipedia(**params):
+    from repro.workload import WikipediaTrace
+
+    return WikipediaTrace(**params)
+
+
+@WORKLOADS.register("noisy")
+def _noisy(**params):
+    from repro.workload import NoisyTrace
+
+    base = params.pop("base")
+    trace = WORKLOADS.build(base["kind"], **base.get("params", {}))
+    return NoisyTrace(trace, **params)
+
+
+# -- mid-run hooks -------------------------------------------------------------
+@HOOKS.register("set_slo")
+def _set_slo_hook(*, at: int, slo: float):
+    """Change the autoscaler's SLO at step ``at`` (the Fig. 20 experiment)."""
+
+    def hook(step, loop):
+        if step == at:
+            loop.autoscaler.set_slo(slo)
+
+    return hook
+
+
+@HOOKS.register("set_cpu_speed")
+def _set_cpu_speed_hook(*, at: int, speed: float):
+    """Change the environment's CPU clock at step ``at`` (Fig. 19).
+
+    ``speed`` is relative to nominal (e.g. 1.6 GHz / 1.8 GHz = 0.889).
+    """
+
+    def hook(step, loop):
+        if step == at:
+            loop.environment.set_cpu_speed(speed)
+
+    return hook

@@ -1,0 +1,296 @@
+"""Execute :class:`ExperimentSpec` objects: one runner for every scenario.
+
+``run_unit`` materializes one seed of a spec (build app -> engine ->
+autoscaler -> trace -> loop, run it); ``run_experiment`` runs every
+repeat and returns an :class:`ExperimentArtifact`; ``run_sweep`` fans a
+list of specs out over processes at (spec, repeat) granularity via
+:mod:`repro.bench.parallel`.  Serial and parallel execution build every
+component fresh from the serialized spec, so their artifacts are
+byte-identical.
+
+Seeding convention (matches the historical benchmark wiring): repeat
+``r`` of a spec runs under ``seed_r = spec.seed + r``; the controller
+gets ``seed_r`` and the engine gets ``seed_r + engine.seed_offset``.
+
+``run_comparison`` evaluates one Fig. 15 cell — PEMA (averaged over the
+spec's repeats) vs the noiseless optimum vs the rule-based baseline —
+from a single PEMA spec, and is the one code path behind both the CLI
+``compare`` command and the ``bench.runner`` helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.apps import build_app
+from repro.apps.spec import AppSpec
+from repro.core.loop import Autoscaler, ControlLoop, LoopResult
+from repro.experiments.artifact import ExperimentArtifact
+from repro.experiments.registry import AUTOSCALERS, ENGINES, HOOKS, WORKLOADS
+from repro.experiments.spec import (
+    AutoscalerSpec,
+    EngineSpec,
+    ExperimentSpec,
+)
+from repro.metrics.export import loop_result_from_dict, loop_result_to_dict
+from repro.sim.environment import Environment
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "ExperimentUnit",
+    "build_unit",
+    "run_unit",
+    "run_experiment",
+    "run_sweep",
+    "run_comparison",
+    "derive_rule_spec",
+    "optimum_total",
+    "clear_optimum_cache",
+]
+
+OnStep = Callable[[int, ControlLoop], None]
+
+# The optimum search is deterministic and several figures reuse the same
+# (app, workload) points, so results are cached per process.
+_OPTM_CACHE: dict[tuple[str, float, int], float] = {}
+
+
+@dataclass
+class ExperimentUnit:
+    """One seed of an experiment: the built components plus its result."""
+
+    spec: ExperimentSpec
+    repeat: int
+    seed: int
+    app: AppSpec
+    engine: Environment
+    autoscaler: Autoscaler
+    trace: WorkloadTrace
+    slo: float
+    loop: ControlLoop
+    result: LoopResult | None = None
+
+
+def build_unit(
+    spec: ExperimentSpec,
+    repeat: int = 0,
+    *,
+    trace: WorkloadTrace | None = None,
+) -> ExperimentUnit:
+    """Materialize repeat ``repeat`` of ``spec`` without running it.
+
+    ``trace`` overrides the declarative workload with an arbitrary
+    :class:`WorkloadTrace` object — the escape hatch for benchmark
+    scenarios whose traces have no registry encoding (the spec's
+    workload is ignored, everything else applies).
+    """
+    if not 0 <= repeat < spec.repeats:
+        raise ValueError(f"repeat must be in [0, {spec.repeats}): {repeat}")
+    spec.validate()
+    seed = spec.seed + repeat
+    app = build_app(spec.app)
+    if trace is None:
+        trace = WORKLOADS.build(spec.workload.kind, **spec.workload.params)
+    engine = ENGINES.build(
+        spec.engine.kind,
+        app,
+        seed=seed + spec.engine.seed_offset,
+        **spec.engine.params,
+    )
+    slo = spec.slo if spec.slo is not None else app.slo
+    start = app.generous_allocation(trace.rate(0.0), headroom=spec.headroom)
+    autoscaler = AUTOSCALERS.build(
+        spec.autoscaler.kind,
+        app,
+        start,
+        slo,
+        seed=seed,
+        **spec.autoscaler.params,
+    )
+    # Autoscalers that carry their own (mutable) SLO drive the loop's
+    # violation bookkeeping live, so set_slo hooks show up in the records.
+    loop = ControlLoop(
+        engine,
+        autoscaler,
+        trace,
+        interval=spec.interval,
+        slo=None if hasattr(autoscaler, "slo") else slo,
+    )
+    return ExperimentUnit(
+        spec=spec,
+        repeat=repeat,
+        seed=seed,
+        app=app,
+        engine=engine,
+        autoscaler=autoscaler,
+        trace=trace,
+        slo=slo,
+        loop=loop,
+    )
+
+
+def _combined_on_step(
+    spec: ExperimentSpec, on_step: OnStep | None
+) -> OnStep | None:
+    hook_fns = [HOOKS.build(h.kind, **h.params) for h in spec.hooks]
+    if not hook_fns and on_step is None:
+        return None
+
+    def dispatch(step: int, loop: ControlLoop) -> None:
+        for fn in hook_fns:
+            fn(step, loop)
+        if on_step is not None:
+            on_step(step, loop)
+
+    return dispatch
+
+
+def run_unit(
+    spec: ExperimentSpec,
+    repeat: int = 0,
+    *,
+    trace: WorkloadTrace | None = None,
+    on_step: OnStep | None = None,
+) -> ExperimentUnit:
+    """Run one seed of ``spec`` (hooks dispatched, plus an extra callback)."""
+    unit = build_unit(spec, repeat, trace=trace)
+    unit.result = unit.loop.run(
+        spec.n_steps, on_step=_combined_on_step(spec, on_step)
+    )
+    return unit
+
+
+def _run_unit_worker(spec_data: dict[str, Any], repeat: int) -> dict[str, Any]:
+    # Module-level, plain-data in/out: pickles under any start method.
+    unit = run_unit(ExperimentSpec.from_dict(spec_data), repeat)
+    assert unit.result is not None
+    return loop_result_to_dict(unit.result)
+
+
+def run_sweep(
+    specs: Sequence[ExperimentSpec] | Iterable[ExperimentSpec],
+    *,
+    parallel: int = 1,
+) -> list[ExperimentArtifact]:
+    """Run every (spec, repeat) cell, fanning out over ``parallel`` workers.
+
+    Each cell rebuilds its components from the serialized spec whether it
+    runs inline or in a worker process, so ``parallel=1`` and
+    ``parallel=N`` produce byte-identical artifacts.
+    """
+    from repro.bench.parallel import run_parallel
+
+    specs = list(specs)
+    kwargs_list = [
+        dict(spec_data=spec.to_dict(), repeat=r)
+        for spec in specs
+        for r in range(spec.repeats)
+    ]
+    raw = run_parallel(_run_unit_worker, kwargs_list, max_workers=parallel)
+    artifacts: list[ExperimentArtifact] = []
+    cursor = 0
+    for spec in specs:
+        results = tuple(
+            loop_result_from_dict(raw[cursor + r])
+            for r in range(spec.repeats)
+        )
+        cursor += spec.repeats
+        artifacts.append(ExperimentArtifact(spec=spec, results=results))
+    return artifacts
+
+
+def run_experiment(
+    spec: ExperimentSpec, *, parallel: int = 1
+) -> ExperimentArtifact:
+    """Run every repeat of one spec and return its artifact."""
+    return run_sweep([spec], parallel=parallel)[0]
+
+
+# -- baseline comparison (Fig. 15 cells) ---------------------------------------
+def optimum_total(
+    app_name: str, workload: float, *, restarts: int = 2
+) -> float:
+    """Cached OPTM total CPU for (app, workload) on the noiseless model."""
+    from repro.baselines import OptimumSearch
+    from repro.sim import AnalyticalEngine
+
+    key = (app_name, round(float(workload), 6), restarts)
+    if key not in _OPTM_CACHE:
+        app = build_app(app_name)
+        engine = AnalyticalEngine(app)
+        _OPTM_CACHE[key] = OptimumSearch(engine, restarts=restarts).find(
+            workload
+        ).total_cpu
+    return _OPTM_CACHE[key]
+
+
+def clear_optimum_cache() -> None:
+    """Reset the OPTM cache (tests that tweak calibration need this)."""
+    _OPTM_CACHE.clear()
+
+
+def derive_rule_spec(
+    spec: ExperimentSpec,
+    *,
+    n_steps: int = 30,
+    mode: str = "utilization",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """The rule-based counterpart of a PEMA spec (same app and workload).
+
+    RULE converges to a fixed point, so it runs once (``repeats=1``) for
+    ``n_steps`` intervals under a cell-independent seed (the benchmark
+    suite pins it to 0); its engine observes an independent noise stream
+    (historical offset +2000) so PEMA and RULE never share measurements.
+    """
+    return spec.with_(
+        name=f"{spec.name}-rule" if spec.name else "rule",
+        autoscaler=AutoscalerSpec("rule", {"mode": mode}),
+        engine=EngineSpec(
+            kind=spec.engine.kind,
+            seed_offset=2000,
+            params=spec.engine.params,
+        ),
+        n_steps=n_steps,
+        seed=seed,
+        repeats=1,
+        hooks=(),
+    )
+
+
+def run_comparison(
+    spec: ExperimentSpec,
+    *,
+    rule_steps: int = 30,
+    rule_mode: str = "utilization",
+    restarts: int = 2,
+    pema_artifact: ExperimentArtifact | None = None,
+) -> dict[str, float]:
+    """One Fig. 15 cell from a single PEMA spec: PEMA vs OPTM vs RULE.
+
+    Returns settled totals (PEMA averaged over the spec's repeats) plus
+    the derived ratios the paper reports.  Callers that already ran the
+    spec pass its artifact via ``pema_artifact`` to skip the re-run.
+    """
+    if pema_artifact is not None and pema_artifact.spec != spec:
+        raise ValueError("pema_artifact was produced by a different spec")
+    workload = WORKLOADS.build(
+        spec.workload.kind, **spec.workload.params
+    ).rate(0.0)
+    if pema_artifact is None:
+        pema_artifact = run_experiment(spec)
+    pema = pema_artifact.mean_settled_total()
+    optm = optimum_total(spec.app, workload, restarts=restarts)
+    rule = run_experiment(
+        derive_rule_spec(spec, n_steps=rule_steps, mode=rule_mode)
+    ).mean_settled_total()
+    return {
+        "workload_rps": float(workload),
+        "pema_total": pema,
+        "optm_total": optm,
+        "rule_total": rule,
+        "pema_over_optm": pema / optm,
+        "rule_over_optm": rule / optm,
+        "pema_savings_vs_rule": 1.0 - pema / rule,
+    }

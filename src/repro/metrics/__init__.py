@@ -1,7 +1,12 @@
 """Monitoring substrate: Prometheus/Linkerd-style metrics collection."""
 
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.export import loop_result_to_csv, store_to_csv
+from repro.metrics.export import (
+    loop_result_from_dict,
+    loop_result_to_csv,
+    loop_result_to_dict,
+    store_to_csv,
+)
 from repro.metrics.queries import (
     max_over_window,
     moving_average,
@@ -21,4 +26,6 @@ __all__ = [
     "max_over_window",
     "store_to_csv",
     "loop_result_to_csv",
+    "loop_result_to_dict",
+    "loop_result_from_dict",
 ]

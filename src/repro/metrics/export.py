@@ -1,21 +1,28 @@
-"""Export utilities: metrics store and run histories to CSV.
+"""Export utilities: metrics store and run histories to CSV/JSON.
 
 Downstream users want the raw series (for plotting in their own stack);
-these writers keep the on-disk format trivial — plain CSV, one header row.
+these writers keep the on-disk format trivial — plain CSV with one header
+row, or plain-dict JSON.  The JSON form round-trips exactly (it is what
+:class:`repro.experiments.ExperimentArtifact` persists).
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.metrics.store import MetricsStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.loop import LoopResult
 
-__all__ = ["store_to_csv", "loop_result_to_csv"]
+__all__ = [
+    "store_to_csv",
+    "loop_result_to_csv",
+    "loop_result_to_dict",
+    "loop_result_from_dict",
+]
 
 
 def store_to_csv(store: MetricsStore, path: str | Path) -> int:
@@ -68,3 +75,55 @@ def loop_result_to_csv(result: "LoopResult", path: str | Path) -> int:
                 + [f"{rec.allocation[name]:.6g}" for name in service_names]
             )
     return len(result.records)
+
+
+def loop_result_to_dict(result: "LoopResult") -> dict[str, Any]:
+    """A JSON-serializable run history (lossless; see the inverse below).
+
+    Allocations are encoded as ``[name, cpu]`` pairs rather than an
+    object: JSON writers that sort keys would otherwise reorder the
+    services, and summation order matters to the last ulp of
+    ``Allocation.total()``.
+    """
+    return {
+        "records": [
+            {
+                "step": rec.step,
+                "time": rec.time,
+                "workload": rec.workload,
+                "response": rec.response,
+                "total_cpu": rec.total_cpu,
+                "violated": bool(rec.violated),
+                "slo": rec.slo,
+                "allocation": [
+                    [name, rec.allocation[name]]
+                    for name in rec.allocation.names
+                ],
+            }
+            for rec in result.records
+        ]
+    }
+
+
+def loop_result_from_dict(data: dict[str, Any]) -> "LoopResult":
+    """Rebuild a :class:`LoopResult` from :func:`loop_result_to_dict` output."""
+    from repro.core.loop import LoopRecord, LoopResult
+    from repro.sim.types import Allocation
+
+    result = LoopResult()
+    for rec in data["records"]:
+        result.records.append(
+            LoopRecord(
+                step=int(rec["step"]),
+                time=float(rec["time"]),
+                workload=float(rec["workload"]),
+                response=float(rec["response"]),
+                total_cpu=float(rec["total_cpu"]),
+                violated=bool(rec["violated"]),
+                slo=float(rec["slo"]),
+                allocation=Allocation(
+                    [(name, float(cpu)) for name, cpu in rec["allocation"]]
+                ),
+            )
+        )
+    return result

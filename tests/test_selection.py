@@ -55,11 +55,13 @@ class TestInclusionProbabilities:
         assert probs["cache"] == pytest.approx(1.0)
         assert 0.0 < probs["logic"] < 1.0
 
-    def test_all_at_threshold_collapses_to_zero(self):
+    def test_all_at_threshold_ties_as_coolest(self):
+        # Degenerate 0/0 in Eqn. (5): everyone at threshold means everyone
+        # ties as the coolest service, so each keeps probability 1.
         t = tracker(utils={s: 0.30 for s in SERVICES})
         m = make_metrics(0.1, utils={s: 0.30 for s in SERVICES})
         probs = inclusion_probabilities(m, t, SERVICES)
-        assert all(p == 0.0 for p in probs.values())
+        assert all(p == pytest.approx(1.0) for p in probs.values())
 
     def test_uniform_utilization_gives_probability_one(self):
         # Everyone equally cool: all are the minimum -> all p = 1.
