@@ -1,0 +1,43 @@
+"""Grid-file execution for the figure benchmarks.
+
+The ported figures are data: one ``benchmarks/grids/<name>.json``
+:class:`~repro.sweeps.SweepGrid` per figure, expanded and executed by the
+shared sweep scheduler.  Set ``REPRO_SWEEP_CACHE=<dir>`` to persist cell
+results (and optimum searches) across benchmark runs — figures that sweep
+overlapping (app, workload, seed) points then share completed cells — and
+``REPRO_SWEEP_PARALLEL=<n>`` to fan cells out over processes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import optimum_store, optimum_total
+from repro.sweeps import GridRun, SweepGrid, SweepStore, run_grid
+
+GRID_DIR = Path(__file__).parent / "grids"
+
+
+def load_grid(name: str) -> SweepGrid:
+    """The sweep grid behind one figure benchmark."""
+    return SweepGrid.read(GRID_DIR / f"{name}.json")
+
+
+def grid_store() -> SweepStore | None:
+    """The shared result cache, when ``REPRO_SWEEP_CACHE`` names one."""
+    cache_dir = os.environ.get("REPRO_SWEEP_CACHE")
+    return SweepStore(cache_dir) if cache_dir else None
+
+
+def run_figure_grid(name: str, *, parallel: int | None = None) -> GridRun:
+    """Execute a figure's grid through the resumable scheduler."""
+    if parallel is None:
+        parallel = int(os.environ.get("REPRO_SWEEP_PARALLEL", "1"))
+    return run_grid(load_grid(name), store=grid_store(), parallel=parallel)
+
+
+def figure_optimum(app: str, workload: float) -> float:
+    """OPTM total CPU, persisted in the grid cache when one is active."""
+    with optimum_store(grid_store()):
+        return optimum_total(app, workload)

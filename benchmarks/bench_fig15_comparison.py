@@ -4,49 +4,50 @@ Paper: normalized to OPTM, PEMA stays close to 1 (drifting slightly up
 with workload) while the commercial rule-based autoscaler costs up to 33%
 more than PEMA (SockShop at high workload).  PEMA is averaged over
 repeated runs because its navigation is randomized.
+
+The 9 (app, workload) points x {pema, rule} cells are
+``benchmarks/grids/fig15_comparison.json``; OPTM is the analytical
+exhaustive search, computed per point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import figure_optimum, run_figure_grid
 from benchmarks._report import emit
-from repro.bench import (
-    average_pema_total,
-    format_table,
-    optimum_total,
-    rule_total,
-)
-
-POINTS = {
-    "trainticket": (125.0, 225.0, 325.0),
-    "sockshop": (300.0, 700.0, 1100.0),
-    "hotelreservation": (400.0, 600.0, 800.0),
-}
+from repro.bench import format_table
 
 
 def run_fig15():
+    run = run_figure_grid("fig15_comparison")
+    # Pair each (app, workload) point's pema/rule artifacts by their grid
+    # coordinates (robust to axis order in the grid file).
+    points: dict[str, dict[str, object]] = {}
+    for cell, artifact in run:
+        entry = points.setdefault(cell.coords["cell"], {"spec": cell.spec})
+        entry[cell.coords["autoscaler"]] = artifact
     rows = []
     stats = []
-    for app_name, workloads in POINTS.items():
-        for wl in workloads:
-            opt = optimum_total(app_name, wl)
-            pema = average_pema_total(
-                app_name, wl, n_steps=60, runs=3, base_seed=int(wl)
-            )
-            rule = rule_total(app_name, wl)
-            savings = (1.0 - pema / rule) * 100.0
-            rows.append(
-                [
-                    app_name,
-                    wl,
-                    1.0,
-                    round(pema / opt, 2),
-                    round(rule / opt, 2),
-                    f"{savings:.0f}%",
-                ]
-            )
-            stats.append((app_name, wl, pema / opt, rule / opt, savings))
+    for entry in points.values():
+        spec = entry["spec"]
+        app_name = spec.app
+        wl = spec.workload.params["rps"]
+        opt = figure_optimum(app_name, wl)
+        pema = entry["pema"].mean_settled_total()
+        rule = entry["rule"].mean_settled_total()
+        savings = (1.0 - pema / rule) * 100.0
+        rows.append(
+            [
+                app_name,
+                wl,
+                1.0,
+                round(pema / opt, 2),
+                round(rule / opt, 2),
+                f"{savings:.0f}%",
+            ]
+        )
+        stats.append((app_name, wl, pema / opt, rule / opt, savings))
     return rows, stats
 
 

@@ -4,37 +4,37 @@ Paper: small α is too aggressive — many SLO violations force reverts to
 inefficient allocations; large α slows PEMA down prematurely with few
 violations but sub-optimal resource.  Both extremes yield worse resource
 efficiency than the middle; violations decrease monotonically-ish with α.
+
+The 2 apps x 5 α x 3 seeds sweep is
+``benchmarks/grids/fig16_alpha_sensitivity.json``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import figure_optimum, run_figure_grid
 from benchmarks._report import emit
-from repro.bench import format_table, optimum_total, pema_run
-from repro.core import PEMAConfig
-
-ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
-SCENARIOS = {"trainticket": 225.0, "sockshop": 700.0}
-ITERS = 50
-RUNS = 3
-
+from repro.bench import format_table
 
 def run_fig16():
+    run = run_figure_grid("fig16_alpha_sensitivity")
+    # Group the α curve of each (app, workload) point by its grid
+    # coordinate (robust to grid-file edits: axis sizes aren't hard-coded).
+    groups: dict[str, list] = {}
+    for cell, artifact in run:
+        groups.setdefault(cell.coords["cell"], []).append((cell, artifact))
     rows = []
     curves: dict[str, dict[str, list[float]]] = {}
-    for app_name, wl in SCENARIOS.items():
-        opt = optimum_total(app_name, wl)
+    for group in groups.values():
+        app_name = group[0][0].spec.app
+        wl = group[0][0].spec.workload.params["rps"]
+        opt = figure_optimum(app_name, wl)
         res_norm, viols = [], []
-        for alpha in ALPHAS:
-            config = PEMAConfig(alpha=alpha, beta=0.3)
-            totals, violations = [], []
-            for r in range(RUNS):
-                run = pema_run(
-                    app_name, wl, ITERS, config=config, seed=700 + r
-                )
-                totals.append(run.result.settled_total())
-                violations.append(run.result.violation_rate() * 100)
+        for cell, artifact in group:
+            alpha = cell.spec.autoscaler.params["alpha"]
+            totals = [r.settled_total() for r in artifact.results]
+            violations = [r.violation_rate() * 100 for r in artifact.results]
             res_norm.append(float(np.mean(totals)) / opt)
             viols.append(float(np.mean(violations)))
             rows.append(

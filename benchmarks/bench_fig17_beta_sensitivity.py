@@ -2,37 +2,37 @@
 
 Paper: large β (big per-step reductions) overshoots — many violations and
 sub-optimal settled resource; small β is gentle and safe.
+
+The 2 apps x 5 β x 3 seeds sweep is
+``benchmarks/grids/fig17_beta_sensitivity.json``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import figure_optimum, run_figure_grid
 from benchmarks._report import emit
-from repro.bench import format_table, optimum_total, pema_run
-from repro.core import PEMAConfig
-
-BETAS = (0.1, 0.3, 0.5, 0.7, 0.9)
-SCENARIOS = {"trainticket": 225.0, "sockshop": 700.0}
-ITERS = 50
-RUNS = 3
-
+from repro.bench import format_table
 
 def run_fig17():
+    run = run_figure_grid("fig17_beta_sensitivity")
+    # Group the β curve of each (app, workload) point by its grid
+    # coordinate (robust to grid-file edits: axis sizes aren't hard-coded).
+    groups: dict[str, list] = {}
+    for cell, artifact in run:
+        groups.setdefault(cell.coords["cell"], []).append((cell, artifact))
     rows = []
     curves: dict[str, dict[str, list[float]]] = {}
-    for app_name, wl in SCENARIOS.items():
-        opt = optimum_total(app_name, wl)
+    for group in groups.values():
+        app_name = group[0][0].spec.app
+        wl = group[0][0].spec.workload.params["rps"]
+        opt = figure_optimum(app_name, wl)
         res_norm, viols = [], []
-        for beta in BETAS:
-            config = PEMAConfig(alpha=0.5, beta=beta)
-            totals, violations = [], []
-            for r in range(RUNS):
-                run = pema_run(
-                    app_name, wl, ITERS, config=config, seed=800 + r
-                )
-                totals.append(run.result.settled_total())
-                violations.append(run.result.violation_rate() * 100)
+        for cell, artifact in group:
+            beta = cell.spec.autoscaler.params["beta"]
+            totals = [r.settled_total() for r in artifact.results]
+            violations = [r.violation_rate() * 100 for r in artifact.results]
             res_norm.append(float(np.mean(totals)) / opt)
             viols.append(float(np.mean(violations)))
             rows.append(

@@ -3,47 +3,28 @@
 Paper: the cluster's clock switches 1.8 → 1.6 → 2.0 GHz mid-run (a stand-in
 for hardware/software changes that alter resource demand); PEMA re-converges
 each time — more CPU at 1.6 GHz, less at 2.0 GHz — while keeping the SLO.
+
+The scenario is ``benchmarks/grids/fig19_cpu_speed.json``: one spec with
+``set_cpu_speed`` hooks at the two switch points (speeds relative to the
+1.8 GHz nominal clock).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import run_figure_grid
 from benchmarks._report import emit
-from repro.apps import build_app
 from repro.bench import format_table
-from repro.cluster import NOMINAL_FREQUENCY_GHZ, Cluster
-from repro.core import ControlLoop, PEMAController
-from repro.sim import AnalyticalEngine
-from repro.workload import ConstantWorkload
 
-WORKLOAD = 700.0
 ITERS = 60
 SWITCH_1 = 25  # -> 1.6 GHz
 SWITCH_2 = 42  # -> 2.0 GHz
 
 
 def run_fig19():
-    app = build_app("sockshop")
-    engine = AnalyticalEngine(app, seed=61)
-    cluster = Cluster()
-    pema = PEMAController(
-        app.service_names, app.slo, app.generous_allocation(WORKLOAD), seed=62
-    )
-    loop = ControlLoop(
-        engine, pema, ConstantWorkload(WORKLOAD), cluster=cluster
-    )
-
-    def change_clock(step, lp):
-        if step == SWITCH_1:
-            cluster.set_frequency(1.6)
-            lp.environment.set_cpu_speed(cluster.speed_factor)
-        elif step == SWITCH_2:
-            cluster.set_frequency(2.0)
-            lp.environment.set_cpu_speed(cluster.speed_factor)
-
-    result = loop.run(ITERS, on_step=change_clock)
-    return result
+    run = run_figure_grid("fig19_cpu_speed")
+    return run.artifacts[0].results[0]
 
 
 def test_fig19_cpu_speed(benchmark):

@@ -3,41 +3,27 @@
 Paper: the SLO moves 250 → 200 → 300 ms mid-run; PEMA re-navigates without
 retraining — more CPU for the tighter SLO, less for the looser one —
 demonstrating dynamic SLO as a performance/cost trade-off knob.
+
+The scenario is ``benchmarks/grids/fig20_dynamic_slo.json``: one spec with
+``set_slo`` hooks at the two switch points.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import run_figure_grid
 from benchmarks._report import emit
-from repro.apps import build_app
 from repro.bench import format_table
-from repro.core import ControlLoop, PEMAController
-from repro.sim import AnalyticalEngine
-from repro.workload import ConstantWorkload
 
-WORKLOAD = 700.0
 ITERS = 60
 SWITCH_1 = 22  # -> 200 ms
 SWITCH_2 = 42  # -> 300 ms
 
 
 def run_fig20():
-    app = build_app("sockshop")
-    engine = AnalyticalEngine(app, seed=71)
-    pema = PEMAController(
-        app.service_names, app.slo, app.generous_allocation(WORKLOAD), seed=72
-    )
-    loop = ControlLoop(engine, pema, ConstantWorkload(WORKLOAD))
-
-    def change_slo(step, lp):
-        if step == SWITCH_1:
-            lp.autoscaler.set_slo(0.200)
-        elif step == SWITCH_2:
-            lp.autoscaler.set_slo(0.300)
-
-    result = loop.run(ITERS, on_step=change_slo)
-    return result
+    run = run_figure_grid("fig20_dynamic_slo")
+    return run.artifacts[0].results[0]
 
 
 def test_fig20_dynamic_slo(benchmark):

@@ -45,6 +45,7 @@ from repro.experiments import (
 )
 from repro.metrics import MetricsCollector, MetricsStore
 from repro.sim import Allocation, AnalyticalEngine, IntervalMetrics
+from repro.sweeps import SweepGrid, SweepStore, run_grid
 
 __version__ = "1.0.0"
 
@@ -65,6 +66,9 @@ __all__ = [
     "ExperimentArtifact",
     "run_experiment",
     "run_sweep",
+    "SweepGrid",
+    "SweepStore",
+    "run_grid",
     "MetricsStore",
     "MetricsCollector",
     "OptimumSearch",

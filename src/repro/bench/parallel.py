@@ -32,14 +32,22 @@ def run_parallel(
     kwargs_list: Sequence[dict],
     *,
     max_workers: int | None = None,
+    pool: ProcessPoolExecutor | None = None,
 ) -> list[Any]:
     """Run ``fn(**kwargs)`` for every kwargs dict, possibly in parallel.
 
     ``fn`` must be picklable (module-level).  Results are returned in the
     order of ``kwargs_list``.  Exceptions propagate to the caller.
+
+    Callers that fan out many small batches (the chunked sweep scheduler)
+    pass their own long-lived ``pool`` so worker processes are spawned
+    once, not once per batch; ``max_workers`` is ignored in that case.
     """
     if not kwargs_list:
         return []
+    if pool is not None:
+        futures = [pool.submit(fn, **kw) for kw in kwargs_list]
+        return [f.result() for f in futures]
     workers = default_workers() if max_workers is None else max_workers
     if workers < 1:
         raise ValueError("max_workers must be >= 1")

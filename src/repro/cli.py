@@ -11,17 +11,22 @@ Commands
 ``compare``
     PEMA vs OPTM vs RULE at one operating point (a Fig. 15 cell).
 ``experiment``
-    Run a declarative :class:`~repro.experiments.ExperimentSpec` from a
-    JSON file — the spec-driven entry point to every scenario.
+    Run declarative :class:`~repro.experiments.ExperimentSpec` JSON files
+    (a single file, a directory, or a glob) — the spec-driven entry point
+    to every scenario.
+``sweep``
+    Expand a :class:`~repro.sweeps.SweepGrid` JSON file and run every
+    cell through the resumable, content-addressed sweep scheduler.
 
-``run``, ``compare`` and ``experiment`` all execute through the shared
-experiment runner, so the same spec reproduces the same numbers from any
-entry point.
+``run``, ``compare``, ``experiment`` and ``sweep`` all execute through
+the shared experiment runner, so the same spec reproduces the same
+numbers from any entry point.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
 import json
 import sys
 from pathlib import Path
@@ -85,18 +90,43 @@ def build_parser() -> argparse.ArgumentParser:
                       help="PEMA seeds to average (Fig. 15 uses 3)")
 
     exp = sub.add_parser(
-        "experiment", help="run a declarative experiment spec (JSON file)"
+        "experiment", help="run declarative experiment specs (JSON files)"
     )
     exp.add_argument("--spec", required=True,
-                     help="path to an ExperimentSpec JSON file")
+                     help="an ExperimentSpec JSON file, a directory of "
+                     "them, or a glob pattern")
     exp.add_argument("--parallel", type=int, default=1,
                      help="worker processes for multi-seed specs")
     exp.add_argument("--out", default=None,
                      help="write the full artifact (spec + histories + "
-                     "summary) to this JSON file")
+                     "summary) to this JSON file (a directory when "
+                     "--spec matches several files)")
     exp.add_argument("--compare", action="store_true",
                      help="also report the OPTM and RULE baselines "
                      "(a Fig. 15 cell)")
+
+    swp = sub.add_parser(
+        "sweep", help="run a sweep grid through the resumable scheduler"
+    )
+    swp.add_argument("--grid", required=True,
+                     help="path to a SweepGrid JSON file")
+    swp.add_argument("--parallel", type=int, default=1,
+                     help="worker processes for the cell fan-out")
+    swp.add_argument("--cache", default=None,
+                     help="content-addressed result cache directory")
+    swp.add_argument("--resume", action="store_true",
+                     help="reuse completed cells already in --cache "
+                     "(without it the sweep recomputes everything and "
+                     "refreshes the cache)")
+    swp.add_argument("--chunk-size", type=int, default=None,
+                     help="units scheduled between persistence points "
+                     "(default: 4x --parallel)")
+    swp.add_argument("--out", default=None,
+                     help="write the aggregate summary (per-cell metrics) "
+                     "to this JSON file")
+    swp.add_argument("--report", default=None,
+                     help="write the execution report (units, cache hits, "
+                     "throughput) to this JSON file")
     return parser
 
 
@@ -193,18 +223,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    try:
-        spec = ExperimentSpec.from_json(Path(args.spec).read_text())
-        spec.validate()
-    except (OSError, TypeError, ValueError, KeyError) as exc:
-        # KeyError's str() wraps its message in quotes; unwrap for humans.
-        reason = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
-        print(f"error: {reason}", file=sys.stderr)
-        return 2
-    if args.compare and spec.autoscaler.kind != "pema":
-        print("error: --compare needs a pema spec", file=sys.stderr)
-        return 2
+def _error(reason: object) -> int:
+    print(f"error: {reason}", file=sys.stderr)
+    return 2
+
+
+def _spec_paths(pattern: str) -> list[Path]:
+    """Expand ``--spec``: a file, a directory of specs, or a glob."""
+    path = Path(pattern)
+    if path.is_dir():
+        return sorted(path.glob("*.json"))
+    if any(ch in pattern for ch in "*?["):
+        return [
+            Path(match)
+            for match in sorted(_glob.glob(pattern, recursive=True))
+        ]
+    return [path]
+
+
+def _run_one_experiment(
+    spec: ExperimentSpec, args: argparse.Namespace, out: Path | None
+) -> int:
     try:
         artifact = run_experiment(spec, parallel=max(args.parallel, 1))
         summary = artifact.summary()
@@ -220,9 +259,123 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # E.g. a run with no SLO-satisfying interval has no settled total.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.out:
-        path = artifact.write(args.out)
+    if out is not None:
+        path = artifact.write(out)
         print(f"artifact written to {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    paths = _spec_paths(args.spec)
+    if not paths:
+        return _error(f"no spec files match {args.spec!r}")
+    specs: list[ExperimentSpec] = []
+    for path in paths:
+        try:
+            spec = ExperimentSpec.from_json(Path(path).read_text())
+            spec.validate()
+        except (OSError, TypeError, ValueError, KeyError) as exc:
+            # KeyError's str() wraps its message in quotes; unwrap.
+            reason = (
+                exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+            )
+            return _error(f"{path}: {reason}")
+        if args.compare and spec.autoscaler.kind != "pema":
+            return _error(f"{path}: --compare needs a pema spec")
+        specs.append(spec)
+    # With several specs, --out names a directory of per-spec artifacts.
+    out_dir: Path | None = None
+    if args.out and (len(specs) > 1 or Path(args.out).is_dir()):
+        out_dir = Path(args.out)
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            return _error(
+                f"--out {args.out!r} must be a directory when --spec "
+                f"matches several files"
+            )
+    status = 0
+    used_names: dict[str, int] = {}
+    for path, spec in zip(paths, specs):
+        out: Path | None = None
+        if args.out:
+            if out_dir is not None:
+                # Same-stem specs from different directories must not
+                # clobber each other's artifacts.
+                stem = Path(path).stem
+                n = used_names[stem] = used_names.get(stem, 0) + 1
+                name = stem if n == 1 else f"{stem}-{n}"
+                out = out_dir / f"{name}.artifact.json"
+            else:
+                out = Path(args.out)
+        status = max(status, _run_one_experiment(spec, args, out))
+    return status
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweeps import (
+        SweepGrid,
+        SweepStore,
+        cells_table,
+        grid_summary_json,
+        run_grid,
+    )
+
+    try:
+        grid = SweepGrid.read(args.grid)
+        cells = grid.cells()  # expand once: validation, counting, the run
+        for cell in cells:
+            cell.spec.validate()
+    except (OSError, TypeError, ValueError, KeyError) as exc:
+        reason = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        return _error(reason)
+    if args.resume and not args.cache:
+        return _error("--resume needs --cache")
+    if args.parallel < 1:
+        return _error("--parallel must be >= 1")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        return _error("--chunk-size must be >= 1")
+    store = SweepStore(args.cache) if args.cache else None
+    units = sum(cell.spec.repeats for cell in cells)
+    print(f"# sweep {grid.name}: {len(cells)} cells, {units} units"
+          + (f", cache {store.root}" if store is not None else ""))
+
+    def progress(p) -> None:
+        print(f"[chunk {p.chunk}/{p.n_chunks}] {p.completed}/{p.total} "
+              f"units done ({p.cached} cached, {p.computed} computed)",
+              flush=True)
+
+    try:
+        run = run_grid(
+            grid,
+            store=store,
+            reuse=args.resume,
+            parallel=args.parallel,
+            chunk_size=args.chunk_size,
+            on_progress=progress,
+            cells=cells,
+        )
+        print()
+        print(cells_table(run))
+        summary_json = grid_summary_json(run)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = run.report
+    print(f"\n{report.units} units: {report.cache_hits} cached, "
+          f"{report.computed} computed in {report.chunks} chunk(s), "
+          f"{report.seconds:.2f}s ({report.units_per_sec:.2f} units/s)")
+    if args.out:
+        Path(args.out).write_text(summary_json + "\n")
+        print(f"aggregate written to {args.out}")
+    if args.report:
+        payload = report.to_dict()
+        if store is not None:
+            payload["store"] = store.stats.to_dict()
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.report}")
     return 0
 
 
@@ -251,6 +404,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -42,11 +42,14 @@ from repro.experiments.runner import (
     build_unit,
     clear_optimum_cache,
     derive_rule_spec,
+    optimum_cache_info,
+    optimum_store,
     optimum_total,
     run_comparison,
     run_experiment,
     run_sweep,
     run_unit,
+    set_optimum_store,
 )
 from repro.experiments.spec import (
     AutoscalerSpec,
@@ -79,4 +82,7 @@ __all__ = [
     "derive_rule_spec",
     "optimum_total",
     "clear_optimum_cache",
+    "optimum_cache_info",
+    "set_optimum_store",
+    "optimum_store",
 ]

@@ -20,8 +20,10 @@ from a single PEMA spec, and is the one code path behind both the CLI
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.apps import build_app
 from repro.apps.spec import AppSpec
@@ -47,13 +49,22 @@ __all__ = [
     "derive_rule_spec",
     "optimum_total",
     "clear_optimum_cache",
+    "optimum_cache_info",
+    "set_optimum_store",
+    "optimum_store",
 ]
 
 OnStep = Callable[[int, ControlLoop], None]
 
 # The optimum search is deterministic and several figures reuse the same
-# (app, workload) points, so results are cached per process.
-_OPTM_CACHE: dict[tuple[str, float, int], float] = {}
+# (app, workload) points, so results are cached per process — LRU-bounded
+# so open-ended sweeps cannot grow it without limit, and optionally backed
+# by a persistent sweep store (see ``optimum_store``) so searches survive
+# across processes and runs.
+OPTIMUM_CACHE_SIZE = 256
+_OPTM_CACHE: OrderedDict[tuple[str, float, int], float] = OrderedDict()
+_OPTM_STATS = {"hits": 0, "misses": 0}
+_OPTM_STORE: Any | None = None
 
 
 @dataclass
@@ -208,6 +219,29 @@ def run_experiment(
 
 
 # -- baseline comparison (Fig. 15 cells) ---------------------------------------
+def set_optimum_store(store: Any | None) -> Any | None:
+    """Back ``optimum_total`` with a persistent sweep store (or None).
+
+    ``store`` is any object with the :class:`repro.sweeps.SweepStore`
+    ``get_raw``/``put_raw``/``optimum_key`` surface.  Returns the
+    previously active store so callers can restore it.
+    """
+    global _OPTM_STORE
+    previous = _OPTM_STORE
+    _OPTM_STORE = store
+    return previous
+
+
+@contextmanager
+def optimum_store(store: Any | None) -> Iterator[Any | None]:
+    """Scope in which optimum searches read/write ``store`` (None: no-op)."""
+    previous = set_optimum_store(store)
+    try:
+        yield store
+    finally:
+        set_optimum_store(previous)
+
+
 def optimum_total(
     app_name: str, workload: float, *, restarts: int = 2
 ) -> float:
@@ -216,18 +250,51 @@ def optimum_total(
     from repro.sim import AnalyticalEngine
 
     key = (app_name, round(float(workload), 6), restarts)
-    if key not in _OPTM_CACHE:
+    if key in _OPTM_CACHE:
+        _OPTM_STATS["hits"] += 1
+        _OPTM_CACHE.move_to_end(key)
+        return _OPTM_CACHE[key]
+    _OPTM_STATS["misses"] += 1
+    total: float | None = None
+    if _OPTM_STORE is not None:
+        payload = _OPTM_STORE.get_raw(
+            _OPTM_STORE.optimum_key(app_name, workload, restarts)
+        )
+        if isinstance(payload, dict) and "total_cpu" in payload:
+            total = float(payload["total_cpu"])
+    if total is None:
         app = build_app(app_name)
         engine = AnalyticalEngine(app)
-        _OPTM_CACHE[key] = OptimumSearch(engine, restarts=restarts).find(
+        total = OptimumSearch(engine, restarts=restarts).find(
             workload
         ).total_cpu
-    return _OPTM_CACHE[key]
+        if _OPTM_STORE is not None:
+            _OPTM_STORE.put_raw(
+                _OPTM_STORE.optimum_key(app_name, workload, restarts),
+                {"total_cpu": total},
+            )
+    _OPTM_CACHE[key] = total
+    while len(_OPTM_CACHE) > OPTIMUM_CACHE_SIZE:
+        _OPTM_CACHE.popitem(last=False)
+    return total
 
 
 def clear_optimum_cache() -> None:
     """Reset the OPTM cache (tests that tweak calibration need this)."""
     _OPTM_CACHE.clear()
+    _OPTM_STATS["hits"] = 0
+    _OPTM_STATS["misses"] = 0
+
+
+def optimum_cache_info() -> dict[str, Any]:
+    """Size/hit statistics of the in-process OPTM cache."""
+    return {
+        "size": len(_OPTM_CACHE),
+        "max_size": OPTIMUM_CACHE_SIZE,
+        "hits": _OPTM_STATS["hits"],
+        "misses": _OPTM_STATS["misses"],
+        "store_active": _OPTM_STORE is not None,
+    }
 
 
 def derive_rule_spec(

@@ -1,0 +1,74 @@
+"""Resumable, content-addressed sweep orchestration.
+
+Every benchmark figure is really a parameter grid — workload level, α/β,
+CPU speed, SLO, seeds — and this package turns such a grid into a spec
+file plus an incremental execution pipeline:
+
+* :class:`SweepGrid` (:mod:`repro.sweeps.grid`) — a frozen,
+  JSON-round-tripping grid: cartesian axes (one dotted field path over
+  scalar values) and zipped axes (override mappings that move several
+  fields together) expanded over a base
+  :class:`~repro.experiments.ExperimentSpec`;
+* :class:`SweepStore` (:mod:`repro.sweeps.store`) — a content-addressed
+  on-disk cache keyed by the hash of each (spec, repeat), with atomic
+  writes and corruption-tolerant loads, shared by every grid that sweeps
+  overlapping points;
+* :func:`run_sweep_cached` / :func:`run_grid`
+  (:mod:`repro.sweeps.scheduler`) — chunked process-parallel scheduling
+  with per-chunk persistence and progress callbacks, so an interrupted
+  sweep resumes with zero recomputation;
+* :mod:`repro.sweeps.aggregate` — grouped reductions (mean/p95/cost over
+  seeds, per-axis tables) and a byte-stable aggregate JSON.
+
+Quickstart::
+
+    from repro.sweeps import SweepGrid, SweepStore, run_grid, grid_summary
+
+    grid = SweepGrid.read("benchmarks/grids/fig16_alpha_sensitivity.json")
+    run = run_grid(grid, store=SweepStore(".sweep-cache"), parallel=4)
+    print(grid_summary(run)["cells"][0]["metrics"])
+
+The CLI equivalent is ``python -m repro sweep --grid <file> --cache
+<dir> --resume``.
+"""
+
+from repro.sweeps.aggregate import (
+    METRIC_NAMES,
+    artifact_metrics,
+    axis_table,
+    cells_table,
+    grid_summary,
+    grid_summary_json,
+    group_reduce,
+)
+from repro.sweeps.grid import SweepAxis, SweepCell, SweepGrid, set_path
+from repro.sweeps.scheduler import (
+    GridRun,
+    SweepProgress,
+    SweepReport,
+    run_grid,
+    run_sweep_cached,
+)
+from repro.sweeps.store import StoreStats, SweepStore, canonical_key
+
+__all__ = [
+    "SweepGrid",
+    "SweepAxis",
+    "SweepCell",
+    "set_path",
+    "SweepStore",
+    "StoreStats",
+    "canonical_key",
+    "run_sweep_cached",
+    "run_grid",
+    "GridRun",
+    "SweepProgress",
+    "SweepReport",
+    "artifact_metrics",
+    "METRIC_NAMES",
+    "grid_summary",
+    "grid_summary_json",
+    "group_reduce",
+    "cells_table",
+    "axis_table",
+]

@@ -1,0 +1,263 @@
+"""Chunked, cache-aware sweep execution.
+
+``run_sweep_cached`` is the resumable counterpart of
+:func:`repro.experiments.run_sweep`: it expands specs to (spec, repeat)
+unit tasks, satisfies whatever it can from a :class:`SweepStore`, and fans
+the remainder out over processes in bounded chunks — each chunk's results
+are persisted and reported through a progress callback as soon as the
+chunk lands, instead of one giant end-of-run gather.  Killing a sweep
+between chunks therefore loses at most one chunk of work, and re-running
+with the same store recomputes only the units that never completed.
+
+Every unit rebuilds its components from the serialized spec whether it
+runs inline, in a worker, or comes back from the cache (results round-trip
+losslessly through JSON), so serial, parallel, cold, and resumed runs all
+produce byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterable, Sequence
+
+from repro.bench.parallel import run_parallel
+from repro.experiments.artifact import ExperimentArtifact
+from repro.experiments.runner import _run_unit_worker, optimum_store
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.export import loop_result_from_dict
+from repro.sweeps.grid import SweepCell, SweepGrid
+from repro.sweeps.store import SweepStore
+
+__all__ = [
+    "SweepProgress",
+    "SweepReport",
+    "GridRun",
+    "run_sweep_cached",
+    "run_grid",
+]
+
+OnProgress = Callable[["SweepProgress"], None]
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """A snapshot delivered after the cache scan and after every chunk."""
+
+    total: int
+    completed: int
+    cached: int
+    computed: int
+    chunk: int
+    n_chunks: int
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= self.total
+
+
+@dataclass
+class SweepReport:
+    """What one ``run_sweep_cached`` call did (for logs and CI trends)."""
+
+    specs: int
+    units: int
+    cache_hits: int
+    computed: int
+    chunks: int
+    seconds: float
+
+    @property
+    def units_per_sec(self) -> float:
+        return self.units / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "specs": self.specs,
+            "units": self.units,
+            "cache_hits": self.cache_hits,
+            "computed": self.computed,
+            "chunks": self.chunks,
+            "seconds": self.seconds,
+            "units_per_sec": self.units_per_sec,
+        }
+
+
+def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def run_sweep_cached(
+    specs: Sequence[ExperimentSpec] | Iterable[ExperimentSpec],
+    *,
+    store: SweepStore | None = None,
+    reuse: bool = True,
+    parallel: int = 1,
+    chunk_size: int | None = None,
+    on_progress: OnProgress | None = None,
+) -> tuple[list[ExperimentArtifact], SweepReport]:
+    """Run every (spec, repeat) unit, reusing and filling ``store``.
+
+    ``reuse=False`` ignores existing entries (a refresh run) but still
+    persists fresh results.  ``chunk_size`` bounds how much work is in
+    flight between persistence points; the default keeps every worker busy
+    without batching the whole sweep into one gather.
+    """
+    start_time = perf_counter()
+    specs = list(specs)
+    if parallel < 1:
+        raise ValueError("parallel must be >= 1")
+    if chunk_size is None:
+        chunk_size = max(parallel, 1) * 4
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+
+    tasks = [
+        (spec_index, spec, repeat)
+        for spec_index, spec in enumerate(specs)
+        for repeat in range(spec.repeats)
+    ]
+    results: dict[tuple[int, int], dict] = {}
+    pending: list[tuple[int, ExperimentSpec, int]] = []
+    cached = 0
+    for spec_index, spec, repeat in tasks:
+        payload = (
+            store.get_result(spec, repeat) if store and reuse else None
+        )
+        if payload is not None:
+            results[(spec_index, repeat)] = payload
+            cached += 1
+        else:
+            pending.append((spec_index, spec, repeat))
+
+    chunks = list(_chunked(pending, chunk_size))
+    if on_progress is not None:
+        on_progress(
+            SweepProgress(
+                total=len(tasks),
+                completed=cached,
+                cached=cached,
+                computed=0,
+                chunk=0,
+                n_chunks=len(chunks),
+            )
+        )
+    computed = 0
+    # One long-lived pool for the whole sweep: workers are spawned once,
+    # not once per chunk (chunking only bounds the persistence interval).
+    pool = (
+        ProcessPoolExecutor(max_workers=min(parallel, len(pending)))
+        if parallel > 1 and len(pending) > 1
+        else None
+    )
+    try:
+        for chunk_index, chunk in enumerate(chunks, start=1):
+            raw = run_parallel(
+                _run_unit_worker,
+                [
+                    dict(spec_data=spec.to_dict(), repeat=repeat)
+                    for _, spec, repeat in chunk
+                ],
+                max_workers=parallel,
+                pool=pool,
+            )
+            for (spec_index, spec, repeat), payload in zip(chunk, raw):
+                if store is not None:
+                    store.put_result(spec, repeat, payload)
+                results[(spec_index, repeat)] = payload
+                computed += 1
+            if on_progress is not None:
+                on_progress(
+                    SweepProgress(
+                        total=len(tasks),
+                        completed=cached + computed,
+                        cached=cached,
+                        computed=computed,
+                        chunk=chunk_index,
+                        n_chunks=len(chunks),
+                    )
+                )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    artifacts = [
+        ExperimentArtifact(
+            spec=spec,
+            results=tuple(
+                loop_result_from_dict(results[(spec_index, repeat)])
+                for repeat in range(spec.repeats)
+            ),
+        )
+        for spec_index, spec in enumerate(specs)
+    ]
+    report = SweepReport(
+        specs=len(specs),
+        units=len(tasks),
+        cache_hits=cached,
+        computed=computed,
+        chunks=len(chunks),
+        seconds=perf_counter() - start_time,
+    )
+    return artifacts, report
+
+
+@dataclass(frozen=True)
+class GridRun:
+    """An expanded grid together with one artifact per cell."""
+
+    grid: SweepGrid
+    cells: tuple[SweepCell, ...]
+    artifacts: tuple[ExperimentArtifact, ...]
+    report: SweepReport
+
+    def __iter__(self):
+        return iter(zip(self.cells, self.artifacts))
+
+    def artifact(self, **coords: str) -> ExperimentArtifact:
+        """The artifact of the unique cell matching the given coordinates."""
+        matches = [
+            artifact
+            for cell, artifact in zip(self.cells, self.artifacts)
+            if all(cell.coords.get(k) == v for k, v in coords.items())
+        ]
+        if len(matches) != 1:
+            raise LookupError(
+                f"{len(matches)} cells match {coords} in grid "
+                f"{self.grid.name!r}"
+            )
+        return matches[0]
+
+
+def run_grid(
+    grid: SweepGrid,
+    *,
+    store: SweepStore | None = None,
+    reuse: bool = True,
+    parallel: int = 1,
+    chunk_size: int | None = None,
+    on_progress: OnProgress | None = None,
+    cells: Sequence[SweepCell] | None = None,
+) -> GridRun:
+    """Expand ``grid`` and execute every cell through the cached scheduler.
+
+    While the sweep runs, ``store`` also backs the optimum-search cache, so
+    OPTM baselines computed alongside grid cells persist across runs too.
+    Callers that already expanded the grid (e.g. to validate or count it)
+    pass their ``cells`` list to avoid re-expanding.
+    """
+    cells = tuple(grid.cells() if cells is None else cells)
+    with optimum_store(store):
+        artifacts, report = run_sweep_cached(
+            [cell.spec for cell in cells],
+            store=store,
+            reuse=reuse,
+            parallel=parallel,
+            chunk_size=chunk_size,
+            on_progress=on_progress,
+        )
+    return GridRun(
+        grid=grid, cells=cells, artifacts=tuple(artifacts), report=report
+    )

@@ -1,0 +1,201 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Every cache entry is keyed by the SHA-256 of a canonical JSON encoding of
+*what produced it* — for a unit result, the full serialized spec plus the
+repeat index — so a cache hit is exactly "this computation already ran":
+specs that differ in any field hash to different entries, and entries are
+shared between figures that sweep overlapping (app, workload, seed) points.
+
+Robustness properties the scheduler relies on:
+
+* **atomic writes** — entries are written to a temp file in the target
+  directory and ``os.replace``d into place, so a killed sweep never leaves
+  a half-written entry and concurrent writers of the same key can only
+  produce one complete file (last writer wins, both wrote the same bytes);
+* **corruption-tolerant loads** — a truncated/garbled/foreign file is a
+  cache miss (counted in :attr:`SweepStore.stats`), never an exception, and
+  the recomputed result simply overwrites it;
+* **self-describing entries** — each file stores its own key object and is
+  verified against the requested key on load, so a hash collision or a
+  misplaced file cannot alias a different computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["SweepStore", "StoreStats", "canonical_key"]
+
+_FORMAT = 1
+
+
+def canonical_key(key_obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``key_obj``."""
+    encoded = json.dumps(
+        key_obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store handle (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class SweepStore:
+    """A directory of content-addressed JSON cache entries."""
+
+    root: Path
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- key construction --------------------------------------------------------
+    @staticmethod
+    def unit_key(spec: "ExperimentSpec", repeat: int) -> dict[str, Any]:
+        """The cache key of one (spec, repeat) unit result.
+
+        Fields that don't influence the unit's computation are excluded
+        so grids sweeping the same physical point share entries:
+        ``name`` is cosmetic, and ``repeats`` only bounds the repeat
+        index (repeat ``r`` is fully determined by ``seed + r``), so a
+        3-repeat and a 5-repeat sweep of the same base share their
+        common units.
+        """
+        spec_data = spec.to_dict()
+        spec_data.pop("name", None)
+        spec_data.pop("repeats", None)
+        return {
+            "kind": "unit",
+            "format": _FORMAT,
+            "spec": spec_data,
+            "repeat": int(repeat),
+        }
+
+    @staticmethod
+    def optimum_key(
+        app: str, workload: float, restarts: int
+    ) -> dict[str, Any]:
+        """The cache key of one OPTM search (see ``optimum_total``)."""
+        return {
+            "kind": "optimum",
+            "format": _FORMAT,
+            "app": app,
+            "workload": round(float(workload), 6),
+            "restarts": int(restarts),
+        }
+
+    def path_for(self, key_obj: Any) -> Path:
+        digest = canonical_key(key_obj)
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- raw payload access ------------------------------------------------------
+    def get_raw(self, key_obj: Any) -> Any | None:
+        """The stored payload for ``key_obj``, or None on miss/corruption."""
+        path = self.path_for(key_obj)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        # A foreign/garbled-but-valid-JSON file is also just a miss.
+        if (
+            not isinstance(entry, dict)
+            or "payload" not in entry
+            or canonical_key(entry.get("key")) != canonical_key(key_obj)
+        ):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def put_raw(self, key_obj: Any, payload: Any) -> Path:
+        """Atomically persist ``payload`` under ``key_obj``."""
+        path = self.path_for(key_obj)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"format": _FORMAT, "key": key_obj, "payload": payload}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.stem[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True, allow_nan=False)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    # -- unit results ------------------------------------------------------------
+    def get_result(
+        self, spec: "ExperimentSpec", repeat: int
+    ) -> dict[str, Any] | None:
+        """A stored unit run history (``loop_result_to_dict`` form) or None."""
+        payload = self.get_raw(self.unit_key(spec, repeat))
+        if payload is not None and not (
+            isinstance(payload, dict) and isinstance(payload.get("records"), list)
+        ):
+            # Structurally wrong payload: treat as corruption, recompute.
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            return None
+        return payload
+
+    def put_result(
+        self, spec: "ExperimentSpec", repeat: int, result: dict[str, Any]
+    ) -> Path:
+        return self.put_raw(self.unit_key(spec, repeat), result)
+
+    # -- maintenance -------------------------------------------------------------
+    def entry_paths(self) -> list[Path]:
+        return sorted(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        paths = self.entry_paths()
+        for path in paths:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        return len(paths)

@@ -1,8 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import ExperimentSpec
 
 
 class TestParser:
@@ -56,3 +59,90 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "OPTM" in out and "PEMA" in out and "RULE" in out
         assert "saves" in out
+
+
+class TestExperimentSpecs:
+    @pytest.fixture
+    def spec_dir(self, tmp_path):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        for i, wl in enumerate((600.0, 700.0)):
+            spec = ExperimentSpec(
+                name=f"s{i}", app="sockshop", workload=wl, n_steps=4
+            )
+            (specs / f"s{i}.json").write_text(spec.to_json())
+        return specs
+
+    def test_single_file(self, spec_dir, tmp_path, capsys):
+        out = tmp_path / "artifact.json"
+        assert main(
+            ["experiment", "--spec", str(spec_dir / "s0.json"),
+             "--out", str(out)]
+        ) == 0
+        assert "# experiment s0" in capsys.readouterr().out
+        assert json.loads(out.read_text())["spec"]["name"] == "s0"
+
+    def test_directory_runs_every_spec(self, spec_dir, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["experiment", "--spec", str(spec_dir), "--out", str(out_dir)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# experiment s0" in output and "# experiment s1" in output
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "s0.artifact.json", "s1.artifact.json"
+        ]
+
+    def test_glob(self, spec_dir, capsys):
+        assert main(["experiment", "--spec", str(spec_dir / "s*.json")]) == 0
+        output = capsys.readouterr().out
+        assert "# experiment s0" in output and "# experiment s1" in output
+
+    def test_recursive_glob(self, spec_dir, tmp_path, capsys):
+        nested = spec_dir / "deeper" / "down"
+        nested.mkdir(parents=True)
+        (spec_dir / "s0.json").rename(nested / "s0.json")
+        assert main(
+            ["experiment", "--spec", str(spec_dir / "**" / "*.json")]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# experiment s0" in output and "# experiment s1" in output
+
+    def test_out_stem_collisions_disambiguated(self, tmp_path, capsys):
+        for sub, wl in (("a", 600.0), ("b", 700.0)):
+            d = tmp_path / sub
+            d.mkdir()
+            spec = ExperimentSpec(
+                name=sub, app="sockshop", workload=wl, n_steps=4
+            )
+            (d / "spec.json").write_text(spec.to_json())
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["experiment", "--spec", str(tmp_path / "*" / "spec.json"),
+             "--out", str(out_dir)]
+        ) == 0
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "spec-2.artifact.json", "spec.artifact.json"
+        ]
+
+    def test_out_conflicting_with_file_is_an_error(
+        self, spec_dir, tmp_path, capsys
+    ):
+        clash = tmp_path / "summary.json"
+        clash.write_text("{}")
+        assert main(
+            ["experiment", "--spec", str(spec_dir), "--out", str(clash)]
+        ) == 2
+        assert "must be a directory" in capsys.readouterr().err
+
+    def test_no_match_is_an_error(self, spec_dir, capsys):
+        assert main(
+            ["experiment", "--spec", str(spec_dir / "nope*.json")]
+        ) == 2
+        assert "no spec files match" in capsys.readouterr().err
+
+    def test_bad_spec_names_offending_file(self, spec_dir, capsys):
+        (spec_dir / "s2.json").write_text('{"app": "sockshop"}')
+        assert main(["experiment", "--spec", str(spec_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "s2.json" in err

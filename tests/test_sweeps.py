@@ -1,0 +1,582 @@
+"""Sweep orchestration: grids, content-addressed store, scheduler, aggregates."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro.baselines
+import repro.experiments.runner as runner_mod
+from repro.experiments import (
+    ExperimentSpec,
+    clear_optimum_cache,
+    optimum_cache_info,
+    optimum_store,
+    optimum_total,
+    run_sweep,
+)
+from repro.sweeps import (
+    METRIC_NAMES,
+    GridRun,
+    SweepAxis,
+    SweepGrid,
+    SweepStore,
+    artifact_metrics,
+    axis_table,
+    canonical_key,
+    cells_table,
+    grid_summary,
+    grid_summary_json,
+    group_reduce,
+    run_grid,
+    run_sweep_cached,
+    set_path,
+)
+
+
+def base_spec(**overrides) -> ExperimentSpec:
+    base = dict(app="sockshop", workload=700.0, n_steps=4, seed=0)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def small_grid(**grid_overrides) -> SweepGrid:
+    kwargs = dict(
+        name="g",
+        base=base_spec(repeats=2),
+        axes=(
+            {"name": "workload", "path": "workload", "values": [600.0, 700.0]},
+            {"name": "alpha", "path": "autoscaler.params.alpha",
+             "values": [0.4, 0.5]},
+        ),
+    )
+    kwargs.update(grid_overrides)
+    return SweepGrid(**kwargs)
+
+
+class TestSetPath:
+    def test_nested_creation(self):
+        d = {}
+        set_path(d, "a.b.c", 1)
+        assert d == {"a": {"b": {"c": 1}}}
+
+    def test_copies_values(self):
+        value = {"x": 1}
+        d = {}
+        set_path(d, "a", value)
+        value["x"] = 2
+        assert d["a"] == {"x": 1}
+
+    def test_non_mapping_descend_rejected(self):
+        with pytest.raises(ValueError, match="non-mapping"):
+            set_path({"a": 3}, "a.b", 1)
+
+    def test_malformed_path_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            set_path({}, "a..b", 1)
+
+
+class TestSweepAxis:
+    def test_scalar_labels(self):
+        axis = SweepAxis("alpha", (0.1, 0.5), path="autoscaler.params.alpha")
+        assert axis.label(0) == "0.1"
+        assert axis.overrides(1) == {"autoscaler.params.alpha": 0.5}
+
+    def test_zipped_values(self):
+        axis = SweepAxis(
+            "cell",
+            ({"label": "a@1", "app": "a", "workload": 1.0},),
+        )
+        assert axis.label(0) == "a@1"
+        assert axis.overrides(0) == {"app": "a", "workload": 1.0}
+
+    def test_zipped_without_label_uses_index(self):
+        axis = SweepAxis("cell", ({"app": "a"}, {"app": "b"}))
+        assert axis.label(1) == "1"
+
+    def test_zipped_scalar_value_rejected(self):
+        with pytest.raises(ValueError, match="override mapping"):
+            SweepAxis("cell", (1.0,))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            SweepAxis("cell", ())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SweepAxis"):
+            SweepAxis.from_dict({"name": "a", "values": [1], "nope": 2})
+
+
+class TestSweepGrid:
+    def test_cartesian_expansion_last_axis_fastest(self):
+        cells = small_grid().cells()
+        assert [c.coords for c in cells] == [
+            {"workload": "600", "alpha": "0.4"},
+            {"workload": "600", "alpha": "0.5"},
+            {"workload": "700", "alpha": "0.4"},
+            {"workload": "700", "alpha": "0.5"},
+        ]
+        assert cells[0].spec.name == "g[workload=600,alpha=0.4]"
+        assert cells[2].spec.workload.params["rps"] == 700.0
+        assert cells[1].spec.autoscaler.params["alpha"] == 0.5
+
+    def test_zipped_axis_moves_fields_together(self):
+        grid = SweepGrid(
+            name="z",
+            base=base_spec(),
+            axes=(
+                {"name": "cell", "values": [
+                    {"label": "tt", "app": "trainticket", "workload": 225.0,
+                     "seed": 7},
+                    {"label": "ss", "app": "sockshop", "workload": 700.0,
+                     "seed": 9},
+                ]},
+            ),
+        )
+        specs = grid.specs()
+        assert [s.app for s in specs] == ["trainticket", "sockshop"]
+        assert [s.seed for s in specs] == [7, 9]
+
+    def test_zero_axes_single_cell(self):
+        grid = SweepGrid(name="one", base=base_spec(name="cell0"))
+        cells = grid.cells()
+        assert len(cells) == 1 and grid.n_cells == 1
+        assert cells[0].spec.name == "cell0"  # explicit name preserved
+
+    def test_json_round_trip(self, tmp_path):
+        grid = small_grid(title="a title")
+        assert SweepGrid.from_json(grid.to_json()) == grid
+        path = grid.write(tmp_path / "grid.json")
+        assert SweepGrid.read(path) == grid
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_grid(axes=(
+                {"name": "a", "path": "seed", "values": [1]},
+                {"name": "a", "path": "n_steps", "values": [2]},
+            ))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SweepGrid"):
+            SweepGrid.from_dict(
+                {"name": "g", "base": base_spec().to_dict(), "bogus": 1}
+            )
+
+    def test_validate_resolves_registries(self):
+        grid = small_grid(axes=(
+            {"name": "engine", "path": "engine.kind", "values": ["bogus"]},
+        ))
+        with pytest.raises(KeyError, match="unknown engine"):
+            grid.validate()
+
+
+class TestSweepStore:
+    def test_round_trip_and_stats(self, tmp_path):
+        store = SweepStore(tmp_path / "cache")
+        spec = base_spec()
+        assert store.get_result(spec, 0) is None
+        payload = {"records": [{"step": 0}]}
+        store.put_result(spec, 0, payload)
+        assert store.get_result(spec, 0) == payload
+        assert len(store) == 1
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.stats.writes == 1
+
+    def test_keys_are_content_addressed(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = base_spec()
+        assert store.path_for(store.unit_key(spec, 0)) != store.path_for(
+            store.unit_key(spec, 1)
+        )
+        assert store.path_for(store.unit_key(spec, 0)) != store.path_for(
+            store.unit_key(base_spec(seed=1), 0)
+        )
+        # Same computation -> same entry, even via a different handle.
+        other = SweepStore(tmp_path)
+        assert other.path_for(other.unit_key(base_spec(), 0)) == store.path_for(
+            store.unit_key(spec, 0)
+        )
+
+    def test_canonical_key_order_independent(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = base_spec()
+        path = store.put_result(spec, 0, {"records": []})
+        path.write_text(path.read_text()[: 20])  # simulate a crashed writer
+        assert store.get_result(spec, 0) is None
+        assert store.stats.corrupt == 1
+        # Recompute-and-overwrite repairs the entry.
+        store.put_result(spec, 0, {"records": []})
+        assert store.get_result(spec, 0) == {"records": []}
+
+    def test_foreign_json_is_a_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = base_spec()
+        path = store.path_for(store.unit_key(spec, 0))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"something": "else"}))
+        assert store.get_result(spec, 0) is None
+        assert store.stats.corrupt == 1
+
+    def test_wrong_shape_payload_is_a_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = base_spec()
+        store.put_raw(store.unit_key(spec, 0), {"not": "a result"})
+        assert store.get_result(spec, 0) is None
+        assert store.stats.corrupt == 1
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put_result(base_spec(), 0, {"records": []})
+        leftovers = [
+            p for p in (tmp_path).rglob("*") if p.is_file()
+            and p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_concurrent_writers_do_not_clobber(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = base_spec()
+        payload = {"records": [{"step": i} for i in range(50)]}
+        errors = []
+
+        def write(handle):
+            try:
+                for _ in range(20):
+                    handle.put_result(spec, 0, payload)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(SweepStore(tmp_path),))
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.get_result(spec, 0) == payload
+        assert len(store) == 1
+
+    def test_clear(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put_result(base_spec(), 0, {"records": []})
+        assert store.clear() == 1
+        assert len(store) == 0
+
+
+class TestScheduler:
+    def test_matches_run_sweep(self):
+        specs = [base_spec(repeats=2), base_spec(seed=5)]
+        expected = run_sweep(specs)
+        artifacts, report = run_sweep_cached(specs)
+        assert [a.to_json() for a in artifacts] == [
+            a.to_json() for a in expected
+        ]
+        assert report.units == 3 and report.cache_hits == 0
+
+    def test_parallel_byte_identical(self, tmp_path):
+        specs = small_grid().specs()
+        serial, _ = run_sweep_cached(specs)
+        parallel, _ = run_sweep_cached(
+            specs, store=SweepStore(tmp_path), parallel=2, chunk_size=3
+        )
+        assert [a.to_json() for a in serial] == [a.to_json() for a in parallel]
+
+    def test_warm_cache_full_hits(self, tmp_path):
+        store = SweepStore(tmp_path)
+        grid = small_grid()
+        cold = run_grid(grid, store=store)
+        warm = run_grid(grid, store=store)
+        assert cold.report.cache_hits == 0
+        assert warm.report.cache_hits == warm.report.units == 8
+        assert warm.report.computed == 0
+        assert grid_summary_json(warm) == grid_summary_json(cold)
+
+    def test_reuse_false_refreshes(self, tmp_path):
+        store = SweepStore(tmp_path)
+        grid = small_grid()
+        run_grid(grid, store=store)
+        refreshed = run_grid(grid, store=store, reuse=False)
+        assert refreshed.report.cache_hits == 0
+        assert refreshed.report.computed == refreshed.report.units
+
+    def test_cache_shared_across_grids(self, tmp_path):
+        """Grids sweeping overlapping points reuse each other's cells,
+        even though each grid stamps its own name into the cell specs."""
+        store = SweepStore(tmp_path)
+        run_grid(small_grid(), store=store)
+        overlapping = small_grid(name="other_figure", axes=(
+            {"name": "workload", "path": "workload", "values": [700.0]},
+            {"name": "alpha", "path": "autoscaler.params.alpha",
+             "values": [0.4, 0.5]},
+        ))
+        assert [c.spec.name for c in overlapping.cells()] != [
+            c.spec.name for c in small_grid().cells()[:2]
+        ]
+        warm = run_grid(overlapping, store=store)
+        assert warm.report.cache_hits == warm.report.units == 4
+
+    def test_unit_key_ignores_cosmetic_name(self, tmp_path):
+        store = SweepStore(tmp_path)
+        a = store.unit_key(base_spec(name="figA[cell=1]"), 0)
+        b = store.unit_key(base_spec(name="figB[x=1,y=2]"), 0)
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_unit_key_ignores_repeat_count(self, tmp_path):
+        """Repeat r is determined by seed + r, not by how many repeats a
+        sweep asked for — a 2-repeat and 3-repeat sweep share units."""
+        store = SweepStore(tmp_path)
+        a = store.unit_key(base_spec(repeats=2), 1)
+        b = store.unit_key(base_spec(repeats=3), 1)
+        assert canonical_key(a) == canonical_key(b)
+        assert canonical_key(a) != canonical_key(
+            store.unit_key(base_spec(repeats=3), 2)
+        )
+
+    def test_progress_stream(self, tmp_path):
+        snapshots = []
+        run_sweep_cached(
+            small_grid().specs(),
+            store=SweepStore(tmp_path),
+            chunk_size=3,
+            on_progress=snapshots.append,
+        )
+        # Initial cache-scan snapshot plus one per chunk (8 units / 3).
+        assert [s.chunk for s in snapshots] == [0, 1, 2, 3]
+        assert snapshots[0].completed == 0
+        assert [s.completed for s in snapshots] == [0, 3, 6, 8]
+        assert snapshots[-1].done
+
+    def test_interrupted_sweep_resumes_byte_identical(self, tmp_path):
+        grid = small_grid()
+        uninterrupted = run_grid(grid)  # serial, storeless reference
+
+        class Killed(RuntimeError):
+            pass
+
+        store = SweepStore(tmp_path)
+
+        def die_after_first_chunk(progress):
+            if progress.chunk >= 1:
+                raise Killed()
+
+        with pytest.raises(Killed):
+            run_grid(
+                grid, store=store, chunk_size=3,
+                on_progress=die_after_first_chunk,
+            )
+        assert 0 < len(store) < 8  # partial progress persisted
+
+        resumed = run_grid(grid, store=store, chunk_size=3)
+        assert resumed.report.cache_hits == 3
+        assert resumed.report.computed == 5
+        assert grid_summary_json(resumed) == grid_summary_json(uninterrupted)
+        assert [a.to_json() for a in resumed.artifacts] == [
+            a.to_json() for a in uninterrupted.artifacts
+        ]
+
+    def test_grid_run_lookup(self):
+        run = run_grid(small_grid())
+        artifact = run.artifact(workload="600", alpha="0.5")
+        assert artifact.spec.workload.params["rps"] == 600.0
+        with pytest.raises(LookupError, match="2 cells"):
+            run.artifact(workload="600")
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError, match="parallel"):
+            run_sweep_cached([base_spec()], parallel=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_sweep_cached([base_spec()], chunk_size=0)
+
+
+class TestAggregate:
+    @pytest.fixture(scope="class")
+    def grid_run(self) -> GridRun:
+        return run_grid(small_grid())
+
+    def test_artifact_metrics(self, grid_run):
+        metrics = artifact_metrics(grid_run.artifacts[0])
+        assert set(metrics) == set(METRIC_NAMES)
+        artifact = grid_run.artifacts[0]
+        assert metrics["settled_total_mean"] == pytest.approx(
+            artifact.mean_settled_total()
+        )
+        interval = artifact.spec.interval
+        expected_cost = float(np.mean(
+            [np.sum(r.total_cpu) * interval for r in artifact.results]
+        ))
+        assert metrics["cost_cpu_seconds_mean"] == pytest.approx(expected_cost)
+
+    def test_grid_summary_shape(self, grid_run):
+        summary = grid_summary(grid_run)
+        assert summary["grid"] == "g"
+        assert summary["axes"] == ["workload", "alpha"]
+        assert len(summary["cells"]) == 4
+        cell = summary["cells"][0]
+        assert cell["coords"] == {"workload": "600", "alpha": "0.4"}
+        assert set(cell["metrics"]) == set(METRIC_NAMES)
+
+    def test_group_reduce_mean(self, grid_run):
+        rows = group_reduce(grid_run, ["workload"],
+                            metrics=["settled_total_mean"])
+        assert [r["workload"] for r in rows] == ["600", "700"]
+        assert all(r["cells"] == 2 for r in rows)
+        per_cell = [
+            artifact_metrics(a)["settled_total_mean"]
+            for a in grid_run.artifacts[:2]
+        ]
+        assert rows[0]["settled_total_mean"] == pytest.approx(
+            float(np.mean(per_cell))
+        )
+
+    def test_group_reduce_total(self, grid_run):
+        rows = group_reduce(grid_run, ["alpha"], reduce="total",
+                            metrics=["cost_cpu_seconds_mean"])
+        grand_total = sum(r["cost_cpu_seconds_mean"] for r in rows)
+        all_cells = sum(
+            artifact_metrics(a)["cost_cpu_seconds_mean"]
+            for a in grid_run.artifacts
+        )
+        assert grand_total == pytest.approx(all_cells)
+
+    def test_group_reduce_errors(self, grid_run):
+        with pytest.raises(KeyError, match="unknown axis"):
+            group_reduce(grid_run, ["nope"])
+        with pytest.raises(KeyError, match="unknown reducer"):
+            group_reduce(grid_run, ["alpha"], reduce="median")
+
+    def test_tables(self, grid_run):
+        table = cells_table(grid_run)
+        assert "workload" in table and "alpha" in table
+        assert "settled_total_mean" in table
+        by_alpha = axis_table(grid_run, "alpha")
+        assert by_alpha.count("\n") == 4  # title + header + rule + 2 rows
+
+    def test_zero_axis_table(self):
+        run = run_grid(SweepGrid(name="one", base=base_spec()))
+        table = cells_table(run)
+        assert "cell" in table and "one" in table
+
+
+class FakeSearch:
+    """Stands in for OptimumSearch: cheap, counts invocations."""
+
+    calls = 0
+
+    def __init__(self, engine, restarts=2, **_kw):
+        self.restarts = restarts
+
+    def find(self, workload):
+        type(self).calls += 1
+
+        class R:
+            total_cpu = float(workload) / 100.0
+
+        return R()
+
+
+@pytest.fixture
+def fake_optimum(monkeypatch):
+    FakeSearch.calls = 0
+    monkeypatch.setattr(repro.baselines, "OptimumSearch", FakeSearch)
+    clear_optimum_cache()
+    yield FakeSearch
+    clear_optimum_cache()
+
+
+class TestOptimumCache:
+    def test_memoizes_and_counts(self, fake_optimum):
+        assert optimum_total("sockshop", 700.0) == 7.0
+        assert optimum_total("sockshop", 700.0) == 7.0
+        assert fake_optimum.calls == 1
+        info = optimum_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["size"] == 1 and not info["store_active"]
+
+    def test_bounded(self, fake_optimum, monkeypatch):
+        monkeypatch.setattr(runner_mod, "OPTIMUM_CACHE_SIZE", 2)
+        for wl in (100.0, 200.0, 300.0):
+            optimum_total("sockshop", wl)
+        assert optimum_cache_info()["size"] == 2
+        optimum_total("sockshop", 100.0)  # evicted -> recomputed
+        assert fake_optimum.calls == 4
+
+    def test_clear_resets(self, fake_optimum):
+        optimum_total("sockshop", 700.0)
+        clear_optimum_cache()
+        info = optimum_cache_info()
+        assert info["size"] == 0 and info["hits"] == 0 and info["misses"] == 0
+        optimum_total("sockshop", 700.0)
+        assert fake_optimum.calls == 2
+
+    def test_store_persists_across_processes(self, fake_optimum, tmp_path):
+        store = SweepStore(tmp_path)
+        with optimum_store(store):
+            assert optimum_cache_info()["store_active"]
+            assert optimum_total("sockshop", 700.0) == 7.0
+        assert fake_optimum.calls == 1
+        clear_optimum_cache()  # simulate a fresh process
+        with optimum_store(SweepStore(tmp_path)):
+            assert optimum_total("sockshop", 700.0) == 7.0
+        assert fake_optimum.calls == 1  # served from disk, not recomputed
+        assert not optimum_cache_info()["store_active"]
+
+    def test_store_restored_on_error(self, fake_optimum, tmp_path):
+        with pytest.raises(RuntimeError):
+            with optimum_store(SweepStore(tmp_path)):
+                raise RuntimeError("boom")
+        assert not optimum_cache_info()["store_active"]
+
+
+class TestSweepCli:
+    @pytest.fixture
+    def grid_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        small_grid(base=base_spec(repeats=1)).write(path)
+        return path
+
+    def test_cold_then_warm(self, grid_file, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = tmp_path / "cache"
+        out1, rep1 = tmp_path / "agg1.json", tmp_path / "rep1.json"
+        out2, rep2 = tmp_path / "agg2.json", tmp_path / "rep2.json"
+        argv = ["sweep", "--grid", str(grid_file), "--cache", str(cache),
+                "--resume"]
+        assert main(argv + ["--out", str(out1), "--report", str(rep1)]) == 0
+        assert main(argv + ["--out", str(out2), "--report", str(rep2)]) == 0
+        output = capsys.readouterr().out
+        assert "4 cells, 4 units" in output
+        cold = json.loads(rep1.read_text())
+        warm = json.loads(rep2.read_text())
+        assert cold["cache_hits"] == 0 and cold["computed"] == 4
+        assert warm["cache_hits"] == warm["units"] == 4
+        # The resumed aggregate is byte-identical to the cold one.
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_resume_needs_cache(self, grid_file, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--grid", str(grid_file), "--resume"]) == 2
+        assert "--resume needs --cache" in capsys.readouterr().err
+
+    def test_chunk_size_validated(self, grid_file, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["sweep", "--grid", str(grid_file), "--chunk-size", "0"]
+        ) == 2
+        assert "--chunk-size" in capsys.readouterr().err
+
+    def test_bad_grid_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}')
+        assert main(["sweep", "--grid", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
