@@ -4,8 +4,10 @@ The ported figures are data: one ``benchmarks/grids/<name>.json``
 :class:`~repro.sweeps.SweepGrid` per figure, expanded and executed by the
 shared sweep scheduler.  Set ``REPRO_SWEEP_CACHE=<dir>`` to persist cell
 results (and optimum searches) across benchmark runs — figures that sweep
-overlapping (app, workload, seed) points then share completed cells — and
-``REPRO_SWEEP_PARALLEL=<n>`` to fan cells out over processes.
+overlapping (app, workload, seed) points then share completed cells —
+``REPRO_SWEEP_PARALLEL=<n>`` to fan cells out over processes, and
+``REPRO_SWEEP_BATCH=1`` to evaluate compatible cells as vectorized
+batches (byte-identical results either way).
 """
 
 from __future__ import annotations
@@ -14,7 +16,7 @@ import os
 from pathlib import Path
 
 from repro.experiments import optimum_store, optimum_total
-from repro.sweeps import GridRun, SweepGrid, SweepStore, run_grid
+from repro.sweeps import GridRun, SweepGrid, SweepStore, batch_from_env, run_grid
 
 GRID_DIR = Path(__file__).parent / "grids"
 
@@ -30,11 +32,17 @@ def grid_store() -> SweepStore | None:
     return SweepStore(cache_dir) if cache_dir else None
 
 
-def run_figure_grid(name: str, *, parallel: int | None = None) -> GridRun:
+def run_figure_grid(
+    name: str, *, parallel: int | None = None, batch: bool | None = None
+) -> GridRun:
     """Execute a figure's grid through the resumable scheduler."""
     if parallel is None:
         parallel = int(os.environ.get("REPRO_SWEEP_PARALLEL", "1"))
-    return run_grid(load_grid(name), store=grid_store(), parallel=parallel)
+    if batch is None:
+        batch = batch_from_env()
+    return run_grid(
+        load_grid(name), store=grid_store(), parallel=parallel, batch=batch
+    )
 
 
 def figure_optimum(app: str, workload: float) -> float:

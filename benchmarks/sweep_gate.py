@@ -1,0 +1,159 @@
+"""CI performance gate: batched sweep execution vs the scalar path.
+
+Runs one grid through ``run_sweep_cached`` in both modes and enforces the
+regression gates the CI benchmark job depends on:
+
+* **equivalence** — cold scalar and cold batched runs must produce
+  byte-identical aggregate summaries and byte-identical cache entries;
+* **cache** — a warm re-run in each mode must hit the cache for every
+  unit (100% hit rate, zero recomputation);
+* **throughput** — batched cold cells/sec must be at least
+  ``--min-speedup`` times scalar cold cells/sec (best-of ``--repeats``
+  storeless runs per mode, so a single scheduler hiccup cannot fail CI).
+
+Writes a ``BENCH_sweep.json`` artifact with the measured numbers either
+way, and exits non-zero when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep_gate.py \
+        --grid benchmarks/grids/ci_smoke.json --out BENCH_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.sweeps import (
+    SweepGrid,
+    SweepStore,
+    grid_summary_json,
+    run_grid,
+    run_sweep_cached,
+)
+
+
+def _store_bytes(store: SweepStore) -> list[bytes]:
+    return sorted(path.read_bytes() for path in store.entry_paths())
+
+
+def _timed_cells_per_sec(specs, *, batch: bool, repeats: int) -> dict:
+    """Best-of-``repeats`` cold throughput of one mode (no store I/O)."""
+    best = None
+    for _ in range(repeats):
+        _, report = run_sweep_cached(specs, batch=batch)
+        if best is None or report.seconds < best.seconds:
+            best = report
+    return {
+        "seconds": best.seconds,
+        "cells_per_sec": best.units_per_sec,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", default="benchmarks/grids/ci_smoke.json")
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--cache-root", default=None,
+                        help="directory for the two mode caches "
+                        "(default: a fresh temporary directory)")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="cold timing runs per mode (best one counts)")
+    args = parser.parse_args(argv)
+
+    grid = SweepGrid.read(args.grid)
+    cells = grid.cells()
+    units = sum(cell.spec.repeats for cell in cells)
+    tmp_cache = None
+    if args.cache_root:
+        cache_root = Path(args.cache_root)
+    else:  # don't litter the working tree with cache entries
+        tmp_cache = tempfile.TemporaryDirectory(prefix="sweep-gate-cache-")
+        cache_root = Path(tmp_cache.name)
+
+    failures: list[str] = []
+    modes: dict[str, dict] = {}
+    summaries: dict[str, str] = {}
+    stores: dict[str, SweepStore] = {}
+    for mode, batch in (("scalar", False), ("batched", True)):
+        store = stores[mode] = SweepStore(cache_root / mode)
+        store.clear()
+        cold = run_grid(grid, store=store, batch=batch, cells=cells)
+        warm = run_grid(grid, store=store, batch=batch, cells=cells)
+        summaries[mode] = grid_summary_json(cold)
+        if cold.report.cache_hits != 0:
+            failures.append(f"{mode}: cold run started with a warm cache")
+        if grid_summary_json(warm) != summaries[mode]:
+            failures.append(f"{mode}: warm aggregate differs from cold")
+        warm_hits = warm.report.cache_hits
+        if warm_hits != units or warm.report.computed != 0:
+            failures.append(
+                f"{mode}: warm hit rate {warm_hits}/{units} < 100%"
+            )
+        modes[mode] = {
+            "cold": {
+                "seconds": cold.report.seconds,
+                "cells_per_sec": cold.report.units_per_sec,
+            },
+            "warm": {
+                "seconds": warm.report.seconds,
+                "cells_per_sec": warm.report.units_per_sec,
+                "cache_hits": warm_hits,
+            },
+            "batched_units": cold.report.batched_units,
+            "scalar_units": cold.report.scalar_units,
+        }
+
+    if summaries["scalar"] != summaries["batched"]:
+        failures.append("batched aggregate differs from scalar aggregate")
+    if _store_bytes(stores["scalar"]) != _store_bytes(stores["batched"]):
+        failures.append("batched cache entries differ from scalar entries")
+
+    # Throughput gate on dedicated storeless timing runs: the equivalence
+    # runs above already warmed imports, so both modes start equal.
+    specs = [cell.spec for cell in cells]
+    for mode, batch in (("scalar", False), ("batched", True)):
+        modes[mode]["timed"] = _timed_cells_per_sec(
+            specs, batch=batch, repeats=max(args.repeats, 1)
+        )
+    scalar_rate = modes["scalar"]["timed"]["cells_per_sec"]
+    batched_rate = modes["batched"]["timed"]["cells_per_sec"]
+    speedup = batched_rate / scalar_rate if scalar_rate > 0 else float("inf")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"batched speedup {speedup:.2f}x < required "
+            f"{args.min_speedup:.2f}x ({batched_rate:.1f} vs "
+            f"{scalar_rate:.1f} cells/sec)"
+        )
+
+    bench = {
+        "grid": grid.name,
+        "units": units,
+        "scalar": modes["scalar"],
+        "batched": modes["batched"],
+        "speedup_cold": speedup,
+        "min_speedup": args.min_speedup,
+        "timing_repeats": max(args.repeats, 1),
+        "passed": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    if tmp_cache is not None:
+        tmp_cache.cleanup()
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"sweep gate passed: batched {speedup:.2f}x scalar "
+          f"({batched_rate:.1f} vs {scalar_rate:.1f} cells/sec cold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,13 @@
 """Benchmark resource-allocation strategies: OPTM, RULE, static."""
 
 from repro.baselines.optm import OptimumResult, OptimumSearch
-from repro.baselines.rule import RuleBasedAutoscaler
+from repro.baselines.rule import RuleBasedAutoscaler, RuleBatch
 from repro.baselines.static import StaticAllocator
 
 __all__ = [
     "OptimumSearch",
     "OptimumResult",
     "RuleBasedAutoscaler",
+    "RuleBatch",
     "StaticAllocator",
 ]

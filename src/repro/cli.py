@@ -120,7 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
                      "refreshes the cache)")
     swp.add_argument("--chunk-size", type=int, default=None,
                      help="units scheduled between persistence points "
-                     "(default: 4x --parallel)")
+                     "(default: 4x --parallel, 256x with --batch)")
+    swp.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="evaluate compatible cells as vectorized NumPy "
+                     "batches (byte-identical results; un-batchable cells "
+                     "silently fall back to the scalar path; default: the "
+                     "REPRO_SWEEP_BATCH environment variable)")
     swp.add_argument("--out", default=None,
                      help="write the aggregate summary (per-cell metrics) "
                      "to this JSON file")
@@ -320,6 +326,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         grid_summary_json,
         run_grid,
     )
+    from repro.sweeps.batched import batch_from_env as env_batch_default
 
     try:
         grid = SweepGrid.read(args.grid)
@@ -336,13 +343,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.chunk_size is not None and args.chunk_size < 1:
         return _error("--chunk-size must be >= 1")
     store = SweepStore(args.cache) if args.cache else None
+    batch = args.batch if args.batch is not None else env_batch_default()
     units = sum(cell.spec.repeats for cell in cells)
     print(f"# sweep {grid.name}: {len(cells)} cells, {units} units"
+          + (", batched" if batch else "")
           + (f", cache {store.root}" if store is not None else ""))
 
     def progress(p) -> None:
         print(f"[chunk {p.chunk}/{p.n_chunks}] {p.completed}/{p.total} "
-              f"units done ({p.cached} cached, {p.computed} computed)",
+              f"units done ({p.cached} cached, {p.computed} computed, "
+              f"{p.cells_completed}/{p.cells_total} cells)",
               flush=True)
 
     try:
@@ -352,6 +362,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reuse=args.resume,
             parallel=args.parallel,
             chunk_size=args.chunk_size,
+            batch=batch,
             on_progress=progress,
             cells=cells,
         )
@@ -362,8 +373,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     report = run.report
+    split = (
+        f" ({report.batched_units} batched, {report.scalar_units} scalar)"
+        if batch else ""
+    )
     print(f"\n{report.units} units: {report.cache_hits} cached, "
-          f"{report.computed} computed in {report.chunks} chunk(s), "
+          f"{report.computed} computed{split} in {report.chunks} chunk(s), "
           f"{report.seconds:.2f}s ({report.units_per_sec:.2f} units/s)")
     if args.out:
         Path(args.out).write_text(summary_json + "\n")

@@ -1,5 +1,6 @@
 """PEMA core: the paper's contribution (Algorithm 1 + workload awareness)."""
 
+from repro.core.batch import PEMABatch
 from repro.core.config import PEMAConfig
 from repro.core.controller import PEMAController, StepAction, StepResult
 from repro.core.cost import CostModel, cost_weighted_probabilities
@@ -21,6 +22,7 @@ from repro.core.workload_range import RangeTree, SplitEvent, WorkloadRange
 __all__ = [
     "PEMAConfig",
     "PEMAController",
+    "PEMABatch",
     "StepAction",
     "StepResult",
     "WorkloadAwarePEMA",

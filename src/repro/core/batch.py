@@ -1,0 +1,277 @@
+"""Vectorized PEMA bank: Algorithm 1 advanced for many cells per call.
+
+:class:`PEMABatch` carries the state of ``B`` independent
+:class:`~repro.core.controller.PEMAController` instances (one sweep cell
+each, same application) in stacked arrays — allocations, learned
+thresholds and SLOs are ``(B, S)``/``(B,)`` — and advances all of them
+with one call per control interval.  The heavy per-step math (exploration
+probabilities, Eqn. 5 inclusion probabilities, threshold ratcheting,
+reductions) runs as whole-batch array operations; only the parts that are
+inherently per-cell remain loops: the random draws (each cell owns the
+same ``default_rng(seed)`` stream the scalar controller would consume, in
+the same order) and the RHDb rollback/exploration scans (rare, and
+``O(history)`` only when they fire).
+
+Bit-exactness contract: cell ``i`` of a batch produces exactly the
+allocation sequence of a scalar ``PEMAController`` with the same seed,
+config, SLO and metrics — every float operation is the same IEEE op in
+the same order, and the stochastic call sequence (explore gate draw,
+exploration index draw, Bernoulli selection + uniform cut via the *same*
+:func:`~repro.core.selection.select_targets`) is preserved branch by
+branch.  ``tests/test_batched.py`` enforces byte-identical artifacts.
+
+Unsupported (fall back to the scalar path): per-cell cost models, and
+histories long enough to hit the RHDb's 100k-record trim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import PEMAConfig
+from repro.core.selection import select_targets
+from repro.sim.batched import BatchObservation
+
+__all__ = ["PEMABatch"]
+
+#: Tolerance constants, matching :mod:`repro.core.selection`.
+_SEL_EPS = 1e-9
+
+
+def _window_mean(window: list) -> float:
+    """``float(np.mean(tuple(window)))`` bit-for-bit.
+
+    NumPy's pairwise reduction degenerates to a plain sequential sum
+    (starting from 0.0) below 8 elements, which covers the default
+    5-sample moving average without a NumPy call; longer windows take the
+    real ``np.mean``.
+    """
+    n = len(window)
+    if n < 8:
+        s = 0.0
+        for v in window:
+            s = s + v
+        return s / n
+    return np.mean(np.asarray(window, dtype=np.float64))
+
+
+class PEMABatch:
+    """A bank of ``B`` PEMA controllers over one shared service set."""
+
+    def __init__(
+        self,
+        services: Sequence[str],
+        slos: Sequence[float],
+        allocations: np.ndarray,
+        configs: Sequence[PEMAConfig],
+        seeds: Sequence[int],
+    ) -> None:
+        self.services = tuple(services)
+        self._index = {name: j for j, name in enumerate(self.services)}
+        n_cells = len(configs)
+        allocations = np.array(allocations, dtype=np.float64)
+        if allocations.shape != (n_cells, len(self.services)):
+            raise ValueError(
+                f"allocations must be ({n_cells}, {len(self.services)}): "
+                f"{allocations.shape}"
+            )
+        if not (len(slos) == len(seeds) == n_cells):
+            raise ValueError("slos/configs/seeds lengths must agree")
+        self.slo = np.asarray([float(s) for s in slos], dtype=np.float64)
+        if np.any(self.slo <= 0):
+            raise ValueError("slo must be positive")
+        self.allocation = allocations
+        self.configs = tuple(configs)
+        self.rngs = [np.random.default_rng(int(s)) for s in seeds]
+
+        cfg = self.configs
+        self._alpha = np.asarray([c.alpha for c in cfg])
+        self._beta = np.asarray([c.beta for c in cfg])
+        self._explore_a = np.asarray([c.explore_a for c in cfg])
+        self._explore_b = np.asarray([c.explore_b for c in cfg])
+        self._buffer = np.asarray([c.response_buffer for c in cfg])
+        self._min_cpu = np.asarray([c.min_cpu for c in cfg])
+        self._gain = np.asarray([c.rollback_severity_gain for c in cfg])
+        self._window_len = [c.moving_average_window for c in cfg]
+        self._use_filter = np.asarray([c.use_bottleneck_filter for c in cfg])
+        self._dynamic = np.asarray([c.use_dynamic_thresholds for c in cfg])
+
+        shape = allocations.shape
+        self.util_th = np.empty(shape)
+        self.util_th[:] = np.asarray([c.init_util_threshold for c in cfg])[:, None]
+        self.thr_th = np.empty(shape)
+        self.thr_th[:] = np.asarray(
+            [c.init_throttle_threshold for c in cfg]
+        )[:, None]
+
+        self._windows: list[list[float]] = [[] for _ in range(n_cells)]
+        self._tainted: list[set[bytes]] = [set() for _ in range(n_cells)]
+        # RHDb, stacked: one (B,)/(B, S) snapshot per inserted step.
+        self._hist_resp: list[np.ndarray] = []
+        self._hist_total: list[np.ndarray] = []
+        self._hist_alloc: list[np.ndarray] = []
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.configs)
+
+    # -- dynamic SLO (the Fig. 20 hook) -----------------------------------------
+    def set_slo(self, cell: int, slo: float) -> None:
+        """Change one cell's SLO mid-run, like ``PEMAController.set_slo``."""
+        if slo <= 0:
+            raise ValueError(f"slo must be positive: {slo}")
+        self.slo[cell] = float(slo)
+        self._windows[cell].clear()
+
+    # -- RHDb queries ------------------------------------------------------------
+    def _best_rollback(self, cell: int, ceiling: float) -> int | None:
+        """First minimum-total safe record index (ties keep the oldest)."""
+        tainted = self._tainted[cell]
+        best: int | None = None
+        best_total = math.inf
+        for k in range(len(self._hist_resp)):
+            if self._hist_resp[k][cell] > ceiling:
+                continue
+            if tainted and self._hist_alloc[k][cell].tobytes() in tainted:
+                continue
+            total = self._hist_total[k][cell]
+            if total < best_total:
+                best_total = total
+                best = k
+        return best
+
+    def _safe_records(self, cell: int) -> list[int]:
+        tainted = self._tainted[cell]
+        slo = self.slo[cell]
+        return [
+            k
+            for k in range(len(self._hist_resp))
+            if self._hist_resp[k][cell] <= slo
+            and not (
+                tainted and self._hist_alloc[k][cell].tobytes() in tainted
+            )
+        ]
+
+    # -- one control interval for the whole batch --------------------------------
+    def step(self, obs: BatchObservation, totals: np.ndarray) -> np.ndarray:
+        """Advance every cell one interval; returns the ``(B, S)`` allocations.
+
+        ``obs`` is the batch observation produced under the *current*
+        allocations; ``totals`` is ``allocation.sum(axis=1)`` for the same
+        (the caller already computed it for its own records).
+        """
+        response = obs.latency_p95
+        util = obs.utilization
+        thr_seconds = obs.throttle_seconds
+        n_services = len(self.services)
+
+        # Line 3: log this interval into the stacked RHDb.
+        self._hist_resp.append(np.array(response))
+        self._hist_total.append(np.array(totals, dtype=np.float64))
+        self._hist_alloc.append(self.allocation.copy())
+
+        violated = response > self.slo
+        # Eqn. (8), vectorized (identical elementwise to the scalar clip).
+        p_explore = (
+            self._explore_a
+            * np.clip((self.slo - response) / (self._alpha * self.slo), 0.0, 1.0)
+            + self._explore_b
+        )
+        # Eqn. (5) inputs, vectorized; rows are consumed only by cells
+        # that reach the selection branch.
+        u_star = np.minimum(
+            util / np.maximum(self.util_th, _SEL_EPS), 1.0
+        )
+        eligible = thr_seconds <= self.thr_th + _SEL_EPS
+
+        for i in range(self.n_cells):
+            window = self._windows[i]
+            window.append(response[i])
+            if len(window) > self._window_len[i]:
+                window.pop(0)
+
+            alloc_row = self.allocation[i]
+            if violated[i]:
+                # Line 4: taint + rollback (no random draws on this path).
+                self._tainted[i].add(alloc_row.tobytes())
+                slo = self.slo[i]
+                ceiling = slo
+                if self._gain[i] > 0:
+                    overshoot = max(response[i] / slo - 1.0, 0.0)
+                    ceiling = slo * (1.0 - min(0.5, self._gain[i] * overshoot))
+                k = self._best_rollback(i, ceiling)
+                if k is None and ceiling != slo:
+                    k = self._best_rollback(i, slo)
+                if k is not None:
+                    self.allocation[i] = self._hist_alloc[k][i]
+                else:
+                    self.allocation[i] = alloc_row * 1.25
+                window.clear()
+                continue
+
+            rng = self.rngs[i]
+            # Line 6: exploration gate (always one uniform draw).
+            if rng.random() < p_explore[i]:
+                safe = self._safe_records(i)
+                if safe:
+                    k = safe[int(rng.integers(len(safe)))]
+                    self.allocation[i] = self._hist_alloc[k][i]
+                    window.clear()
+                    continue
+
+            # Line 7: reduction sizing from the moving-average response.
+            r_avg = _window_mean(window)
+            raw = (self._buffer[i] * self.slo[i] - r_avg) / (
+                self._alpha[i] * self.slo[i]
+            )
+            signal = min(max(raw, 0.0), 1.0)
+            n_t = int(math.floor(n_services * signal))
+            delta = self._beta[i] * signal
+            if n_t == 0 or delta <= 0.0:
+                continue
+
+            # Lines 8-9: bottleneck filter + inclusion probabilities.
+            if self._use_filter[i]:
+                idx = np.flatnonzero(eligible[i])
+                if idx.size:
+                    vals = u_star[i, idx]
+                    u_min = vals.min()
+                    denom = 1.0 - u_min
+                    if denom <= _SEL_EPS:
+                        probs = {self.services[j]: 1.0 for j in idx}
+                    else:
+                        p = np.clip(1.0 - (vals - u_min) / denom, 0.0, 1.0)
+                        probs = {
+                            self.services[j]: p[pos]
+                            for pos, j in enumerate(idx)
+                        }
+                else:
+                    probs = {}
+            else:
+                probs = {name: 1.0 for name in self.services}
+
+            # Line 10: the scalar selection routine drives the exact same
+            # Bernoulli-draw + uniform-cut random sequence.
+            targets = select_targets(probs, n_t, rng)
+            if targets:
+                if not 0.0 <= delta < 1.0:
+                    raise ValueError(f"fraction must be in [0, 1): {delta}")
+                cols = [self._index[t] for t in targets]
+                self.allocation[i, cols] = np.maximum(
+                    self._min_cpu[i], self.allocation[i, cols] * (1.0 - delta)
+                )
+
+        # Eqns. (6)-(7): ratchet thresholds on every SLO-satisfying cell
+        # (the scalar controller updates after selection, so this step's
+        # selection used the pre-update values — same as here).
+        ratchet = (~violated & self._dynamic)[:, None]
+        self.util_th = np.where(
+            ratchet & (util > self.util_th), util, self.util_th
+        )
+        self.thr_th = np.where(
+            ratchet & (thr_seconds > self.thr_th), thr_seconds, self.thr_th
+        )
+        return self.allocation

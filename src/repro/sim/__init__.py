@@ -1,10 +1,16 @@
 """Performance-model substrate: analytical engine, DES, shared types."""
 
+from repro.sim.batched import BatchedAnalyticalEngine, BatchObservation
 from repro.sim.cfs import CFSModel, DEFAULT_PERIOD
 from repro.sim.concurrency import ConcurrencyModel
 from repro.sim.engine import AnalyticalEngine
 from repro.sim.environment import Environment
-from repro.sim.latency import LatencyParams, end_to_end_latency, visit_latency
+from repro.sim.latency import (
+    LatencyParams,
+    end_to_end_latency,
+    end_to_end_latency_batch,
+    visit_latency,
+)
 from repro.sim.noise import NoiseModel
 from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
 
@@ -14,6 +20,8 @@ __all__ = [
     "ServiceMetrics",
     "Environment",
     "AnalyticalEngine",
+    "BatchedAnalyticalEngine",
+    "BatchObservation",
     "ConcurrencyModel",
     "CFSModel",
     "DEFAULT_PERIOD",
@@ -21,4 +29,5 @@ __all__ = [
     "NoiseModel",
     "visit_latency",
     "end_to_end_latency",
+    "end_to_end_latency_batch",
 ]

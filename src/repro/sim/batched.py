@@ -1,0 +1,183 @@
+"""Batched analytical engine: one vectorized observation for many cells.
+
+The scalar :class:`~repro.sim.engine.AnalyticalEngine` evaluates one
+(allocation, workload) pair per call; a large sweep therefore pays the
+full NumPy/scipy call overhead once per *cell* per control interval.
+:class:`BatchedAnalyticalEngine` stacks ``B`` compatible cells of the same
+application into ``(B, S)`` arrays and runs the identical closed forms
+(Gamma concurrency → throttling/overload → visit latency → end-to-end
+aggregation) once per *batch* per interval.
+
+Bit-exactness contract: every deterministic operation is the same IEEE
+float64 operation in the same order as the scalar engine, applied
+elementwise across the batch (scipy's incomplete-gamma ufuncs and NumPy's
+arithmetic/``exp``/``power`` kernels are value-deterministic regardless of
+array shape), and every *stochastic* draw comes from a dedicated per-cell
+``np.random.default_rng(seed)`` stream consumed in exactly the scalar
+call order (latency noise factor first, then the per-service usage
+normals).  Row ``i`` of a batched observation is therefore byte-identical
+to what a scalar engine seeded like cell ``i`` would observe —
+``tests/test_batched.py`` enforces this cell by cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.sim.cfs import CFSModel
+from repro.sim.concurrency import gamma_quantile, gamma_sf, tail_expectation
+from repro.sim.latency import (
+    LatencyParams,
+    end_to_end_latency_batch,
+    visit_latency,
+)
+from repro.sim.noise import NoiseModel
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
+    from repro.apps.spec import AppSpec
+
+__all__ = ["BatchObservation", "BatchedAnalyticalEngine"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class BatchObservation:
+    """One monitoring interval observed for a whole batch of cells.
+
+    The batched counterpart of ``B`` :class:`~repro.sim.types.IntervalMetrics`
+    objects, kept as arrays: scalars are ``(B,)``, per-service signals are
+    ``(B, S)`` in the app's service order.
+    """
+
+    latency_p95: np.ndarray
+    workload_rps: np.ndarray
+    utilization: np.ndarray
+    throttle_seconds: np.ndarray
+    usage_cores: np.ndarray
+    usage_p90_cores: np.ndarray
+
+    @property
+    def n_cells(self) -> int:
+        return self.latency_p95.shape[0]
+
+
+class BatchedAnalyticalEngine:
+    """Closed-form engine evaluating ``B`` same-app cells per call.
+
+    Parameters
+    ----------
+    app:
+        The (shared) application specification.
+    seeds:
+        One measurement-noise seed per cell; cell ``i`` observes the same
+        noise stream as ``AnalyticalEngine(app, seed=seeds[i])``.
+    latency_params, cfs, noise:
+        Model tunables, shared across the batch (cells whose engine params
+        differ belong in different batches).
+    """
+
+    def __init__(
+        self,
+        app: "AppSpec",
+        seeds: Sequence[int],
+        *,
+        latency_params: LatencyParams | None = None,
+        cfs: CFSModel | None = None,
+        noise: NoiseModel | None = None,
+    ) -> None:
+        if not len(seeds):
+            raise ValueError("need at least one cell seed")
+        self._app = app
+        self.latency_params = latency_params or LatencyParams()
+        self.cfs = cfs or CFSModel()
+        self.noise = noise if noise is not None else NoiseModel()
+        self._rngs = [np.random.default_rng(int(s)) for s in seeds]
+        self._visits = app.visit_array()
+        self._demands = app.demand_array()
+        self._burst = app.burstiness_array()
+        self._floors = app.floor_array()
+        self._baselines = app.baseline_array()
+        self.cpu_speed = np.ones(len(self._rngs), dtype=np.float64)
+
+    @property
+    def app(self) -> "AppSpec":
+        return self._app
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._rngs)
+
+    def set_cpu_speed(self, cell: int, speed: float) -> None:
+        """Change one cell's CPU clock (the Fig. 19 ``set_cpu_speed`` hook)."""
+        if speed <= 0:
+            raise ValueError(f"speed must be positive: {speed}")
+        self.cpu_speed[cell] = float(speed)
+
+    def observe(
+        self,
+        alloc: np.ndarray,
+        workload_rps: np.ndarray,
+        interval: np.ndarray,
+    ) -> BatchObservation:
+        """One interval's metrics for every cell, with measurement noise.
+
+        ``alloc`` is ``(B, S)`` in service order; ``workload_rps`` and
+        ``interval`` are ``(B,)``.
+        """
+        alloc = np.asarray(alloc, dtype=np.float64)
+        workload = np.asarray(workload_rps, dtype=np.float64)
+        interval = np.asarray(interval, dtype=np.float64)
+        if np.any(workload < 0):
+            raise ValueError("workload must be >= 0")
+        if np.any(interval <= 0):
+            raise ValueError("interval must be positive")
+
+        # Gamma concurrency model, stacked: same formula order as the
+        # scalar engine's ``_concurrency`` + ``ConcurrencyModel``.
+        speed = self.cpu_speed[:, None]
+        mean = (
+            workload[:, None] * self._visits * self._demands + self._baselines
+        ) / speed
+        shape = np.where(mean > _EPS, mean / self._burst, 0.0)
+        scale = self._burst
+
+        exceed = gamma_sf(alloc, shape, scale)
+        excess = tail_expectation(alloc, mean, shape, scale)
+        overload = excess / np.maximum(alloc, _EPS)
+        excess_arr = overload * np.maximum(alloc, 1e-12)
+        frac = self.cfs.throttled_fraction(exceed, excess_arr, alloc)
+        thr_seconds = frac * interval[:, None]
+        thr_seconds[thr_seconds < self.cfs.zero_floor] = 0.0
+
+        floors = self._floors / speed
+        per_visit = visit_latency(floors, overload, exceed, self.latency_params)
+        latency = end_to_end_latency_batch(self._app, per_visit)
+
+        # Stochastic draws, per cell, in the scalar engine's exact order:
+        # the latency-noise factor, then the per-service usage normals.
+        n_services = alloc.shape[1]
+        factors = np.empty(len(self._rngs), dtype=np.float64)
+        normals = np.empty_like(alloc)
+        for i, rng in enumerate(self._rngs):
+            factors[i] = self.noise.sample(rng)
+            normals[i] = rng.normal(0.0, 0.03, size=n_services)
+        latency = latency * factors
+
+        usage = np.minimum(mean, alloc)
+        svc_noise = np.exp(normals)
+        usage_noisy = usage * svc_noise
+        util = np.clip(usage_noisy / np.maximum(alloc, 1e-12), 0.0, 1.0)
+        p90 = np.minimum(alloc, gamma_quantile(0.90, shape, scale))
+
+        return BatchObservation(
+            latency_p95=latency,
+            workload_rps=workload,
+            utilization=util,
+            throttle_seconds=thr_seconds,
+            usage_cores=usage_noisy,
+            usage_p90_cores=p90,
+        )

@@ -30,7 +30,12 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.apps.spec import AppSpec
 
-__all__ = ["LatencyParams", "visit_latency", "end_to_end_latency"]
+__all__ = [
+    "LatencyParams",
+    "visit_latency",
+    "end_to_end_latency",
+    "end_to_end_latency_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -115,6 +120,33 @@ def end_to_end_latency(
         class_latency = 0.0
         for stage in rc.stages:
             branch = max(visits * lat[svc] for svc, visits in stage.parallel)
+            class_latency += branch + app.hop_latency
+        total += rc.weight * class_latency
+    return total
+
+
+def end_to_end_latency_batch(app: "AppSpec", per_visit: np.ndarray) -> np.ndarray:
+    """Batched :func:`end_to_end_latency`: ``(B, S)`` visits → ``(B,)`` p95s.
+
+    Walks the same plan in the same order as the scalar aggregation —
+    per-stage maxima, then sequential sums — with every float operation
+    applied elementwise across the batch, so each row is bit-identical to
+    the scalar result for that row.
+    """
+    per_visit = np.asarray(per_visit, dtype=np.float64)
+    if per_visit.ndim != 2 or per_visit.shape[1] != len(app.service_names):
+        raise ValueError(
+            f"per_visit must be (B, {len(app.service_names)}): {per_visit.shape}"
+        )
+    column = {name: per_visit[:, j] for j, name in enumerate(app.service_names)}
+    total = np.zeros(per_visit.shape[0], dtype=np.float64)
+    for rc in app.request_classes:
+        class_latency = np.zeros_like(total)
+        for stage in rc.stages:
+            branch: np.ndarray | None = None
+            for svc, visits in stage.parallel:
+                term = visits * column[svc]
+                branch = term if branch is None else np.maximum(branch, term)
             class_latency += branch + app.hop_latency
         total += rc.weight * class_latency
     return total

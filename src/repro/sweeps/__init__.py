@@ -16,7 +16,9 @@ file plus an incremental execution pipeline:
 * :func:`run_sweep_cached` / :func:`run_grid`
   (:mod:`repro.sweeps.scheduler`) — chunked process-parallel scheduling
   with per-chunk persistence and progress callbacks, so an interrupted
-  sweep resumes with zero recomputation;
+  sweep resumes with zero recomputation; ``batch=True`` evaluates
+  compatible cell groups as vectorized NumPy batches
+  (:mod:`repro.sweeps.batched`), byte-identical to the scalar path;
 * :mod:`repro.sweeps.aggregate` — grouped reductions (mean/p95/cost over
   seeds, per-axis tables) and a byte-stable aggregate JSON.
 
@@ -41,6 +43,12 @@ from repro.sweeps.aggregate import (
     grid_summary_json,
     group_reduce,
 )
+from repro.sweeps.batched import (
+    BATCHABLE_AUTOSCALERS,
+    batch_from_env,
+    batch_key,
+    run_units_batched,
+)
 from repro.sweeps.grid import SweepAxis, SweepCell, SweepGrid, set_path
 from repro.sweeps.scheduler import (
     GridRun,
@@ -62,6 +70,10 @@ __all__ = [
     "run_sweep_cached",
     "run_grid",
     "GridRun",
+    "BATCHABLE_AUTOSCALERS",
+    "batch_from_env",
+    "batch_key",
+    "run_units_batched",
     "SweepProgress",
     "SweepReport",
     "artifact_metrics",

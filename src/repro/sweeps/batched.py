@@ -1,0 +1,283 @@
+"""Vectorized batched evaluation of compatible sweep units.
+
+The scheduler's ``batch=True`` path partitions each chunk of pending
+(spec, repeat) units into *compatible groups* — same application, same
+autoscaler kind, same horizon, analytical engine — and hands every group
+to :func:`run_units_batched`, which advances the whole group through the
+control loop as one stack of arrays: one
+:class:`~repro.sim.batched.BatchedAnalyticalEngine` observation and one
+:class:`~repro.core.batch.PEMABatch`/
+:class:`~repro.baselines.rule.RuleBatch` decision per interval, instead
+of one full scalar Python loop per cell.
+
+Byte-identity: every per-cell float operation and random draw is
+replicated in the scalar order (see the bit-exactness notes in
+:mod:`repro.sim.batched` and :mod:`repro.core.batch`), so the payload
+dicts returned here are exactly what
+``repro.experiments.runner._run_unit_worker`` returns for the same unit —
+the same JSON bytes land in the sweep store either way.
+
+Cells that :func:`batch_key` cannot place in a group (DES engine, custom
+engine params, unknown autoscalers/hooks, invalid component params) run
+through the scalar worker unchanged — silent fallback, never an error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.apps import build_app
+from repro.baselines.rule import RuleBasedAutoscaler, RuleBatch
+from repro.core.batch import PEMABatch
+from repro.core.config import PEMAConfig
+from repro.experiments.registry import HOOKS, WORKLOADS
+from repro.experiments.spec import ExperimentSpec
+from repro.sim.batched import BatchedAnalyticalEngine
+from repro.sim.concurrency import gamma_quantile
+from repro.sim.types import Allocation
+
+__all__ = [
+    "BATCHABLE_AUTOSCALERS",
+    "batch_key",
+    "batch_from_env",
+    "run_units_batched",
+]
+
+
+def batch_from_env(default: bool = False) -> bool:
+    """The ``REPRO_SWEEP_BATCH`` default: ``1/true/yes/on`` enable it."""
+    import os
+
+    value = os.environ.get("REPRO_SWEEP_BATCH")
+    if value is None:
+        return default
+    return value.strip().lower() in ("1", "true", "yes", "on")
+
+#: Autoscaler kinds with a vectorized implementation.
+BATCHABLE_AUTOSCALERS = ("pema", "rule", "static")
+
+#: Hook kinds the batched loop can dispatch (``set_slo`` only drives a
+#: PEMA bank; other autoscalers have no ``set_slo``, exactly as scalar).
+_BATCHABLE_HOOKS = ("set_slo", "set_cpu_speed")
+
+
+def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
+    """The compatibility-group key of ``spec``, or None if un-batchable.
+
+    Units sharing a key can be stacked into one batch: same app (service
+    set and calibration), same autoscaler kind (one vectorized bank), and
+    same horizon (one time loop).  Everything else — workload level and
+    kind, α/β and other autoscaler params, CPU speed and SLO hooks,
+    interval, SLO, headroom, seeds — varies freely *within* a batch.
+
+    Component params are probed against their scalar constructors so a
+    spec the scalar path would reject at build time falls back to the
+    scalar path and fails there, with the same error.
+    """
+    if spec.engine.kind != "analytical" or spec.engine.params:
+        return None
+    kind = spec.autoscaler.kind
+    if kind not in BATCHABLE_AUTOSCALERS:
+        return None
+    # PEMABatch keeps the full history; past the scalar RHDb's trim point
+    # (ResourceHistoryDB.max_records) the two would diverge.
+    if kind == "pema" and spec.n_steps > 100_000:
+        return None
+    for hook in spec.hooks:
+        if hook.kind not in _BATCHABLE_HOOKS:
+            return None
+        if hook.kind == "set_slo" and kind != "pema":
+            return None
+        try:
+            HOOKS.build(hook.kind, **hook.params)
+        except (TypeError, ValueError, KeyError):
+            return None
+    try:
+        if kind == "pema":
+            PEMAConfig(**spec.autoscaler.params)
+        elif kind == "rule":
+            RuleBasedAutoscaler(
+                Allocation({"probe": 1.0}), **spec.autoscaler.params
+            )
+        elif spec.autoscaler.params:  # static takes no params
+            return None
+    except (TypeError, ValueError):
+        return None
+    return (spec.app, kind, spec.n_steps)
+
+
+def _generous_batch(app, rates: np.ndarray, headrooms: np.ndarray) -> np.ndarray:
+    """``AppSpec.generous_allocation`` for every cell in one array pass.
+
+    Same formula order as the scalar method (Gamma bottleneck at the 97th
+    percentile, scaled by headroom, floored at 0.2 cores), elementwise
+    across the batch.
+    """
+    mean = (
+        rates[:, None] * app.visit_array() * app.demand_array()
+        + app.baseline_array()
+    )
+    burst = app.burstiness_array()
+    shape = np.where(mean > 1e-12, mean / burst, 0.0)
+    base = gamma_quantile(0.97, shape, burst)
+    return np.maximum(base * headrooms[:, None], 0.2)
+
+
+def run_units_batched(
+    units: Sequence[tuple[ExperimentSpec, int]],
+) -> list[dict[str, Any]]:
+    """Run one compatible group of (spec, repeat) units as a single batch.
+
+    Returns one ``loop_result_to_dict``-shaped payload per unit, in
+    input order, byte-identical to the scalar worker's payloads.
+    """
+    if not units:
+        return []
+    specs = [spec for spec, _ in units]
+    key = batch_key(specs[0])
+    if key is None or any(batch_key(s) != key for s in specs[1:]):
+        raise ValueError("units do not form one compatible batch group")
+    app_name, kind, n_steps = key
+    app = build_app(app_name)
+    names = app.service_names
+    n_cells = len(units)
+
+    for spec in specs:
+        spec.validate()
+    seeds = [spec.seed + repeat for spec, repeat in units]
+    engine_seeds = [
+        seed + spec.engine.seed_offset for seed, spec in zip(seeds, specs)
+    ]
+    traces = [
+        WORKLOADS.build(s.workload.kind, **s.workload.params) for s in specs
+    ]
+    intervals = np.asarray([s.interval for s in specs], dtype=np.float64)
+    slos = [s.slo if s.slo is not None else app.slo for s in specs]
+    start_rates = np.asarray(
+        [trace.rate(0.0) for trace in traces], dtype=np.float64
+    )
+    if np.any(start_rates < 0):
+        raise ValueError("workload must be >= 0")
+    start = _generous_batch(
+        app,
+        start_rates,
+        np.asarray([s.headroom for s in specs], dtype=np.float64),
+    )
+    engine = BatchedAnalyticalEngine(app, engine_seeds)
+
+    if kind == "pema":
+        configs = [
+            PEMAConfig(**s.autoscaler.params) if s.autoscaler.params
+            else PEMAConfig()
+            for s in specs
+        ]
+        bank: PEMABatch | RuleBatch | None = PEMABatch(
+            names, slos, start, configs, seeds
+        )
+        allocation = bank.allocation
+    elif kind == "rule":
+        scalers = [
+            RuleBasedAutoscaler(
+                Allocation.from_array(names, start[i]), **s.autoscaler.params
+            )
+            for i, s in enumerate(specs)
+        ]
+        bank = RuleBatch(start, scalers)
+        allocation = bank.allocation
+    else:  # static — the allocation simply never changes
+        bank = None
+        allocation = start
+
+    # Hook schedule: (cell, fire-step, hook-kind, value), in spec order.
+    hook_entries = [
+        (
+            i,
+            hook.params["at"],
+            hook.kind,
+            hook.params["slo" if hook.kind == "set_slo" else "speed"],
+        )
+        for i, spec in enumerate(specs)
+        for hook in spec.hooks
+    ]
+
+    fixed_slo = np.asarray(slos, dtype=np.float64)
+    resp = np.empty((n_steps, n_cells))
+    totals = np.empty((n_steps, n_cells))
+    workloads = np.empty((n_steps, n_cells))
+    slo_rec = np.empty((n_steps, n_cells))
+    violated = np.empty((n_steps, n_cells), dtype=bool)
+    alloc_hist: list[np.ndarray] = []
+
+    for step in range(n_steps):
+        for cell, at, hook_kind, value in hook_entries:
+            if step == at:
+                if hook_kind == "set_slo":
+                    assert isinstance(bank, PEMABatch)
+                    bank.set_slo(cell, value)
+                else:
+                    engine.set_cpu_speed(cell, value)
+        rates = np.asarray(
+            [
+                traces[i].rate(step * intervals[i])
+                for i in range(n_cells)
+            ],
+            dtype=np.float64,
+        )
+        obs = engine.observe(allocation, rates, intervals)
+        step_totals = allocation.sum(axis=1)
+        # The PEMA bank's SLO is live (set_slo hooks show up in records),
+        # like the scalar loop's live getter; others record the fixed SLO.
+        slo_now = bank.slo.copy() if isinstance(bank, PEMABatch) else fixed_slo
+        resp[step] = obs.latency_p95
+        totals[step] = step_totals
+        workloads[step] = rates
+        slo_rec[step] = slo_now
+        violated[step] = obs.latency_p95 > slo_now
+        alloc_hist.append(allocation.copy())
+        if isinstance(bank, PEMABatch):
+            allocation = bank.step(obs, step_totals)
+        elif isinstance(bank, RuleBatch):
+            allocation = bank.step(obs.usage_cores, obs.usage_p90_cores)
+
+    payloads: list[dict[str, Any]] = []
+    for i in range(n_cells):
+        interval = intervals[i]
+        resp_col = resp[:, i].tolist()
+        total_col = totals[:, i].tolist()
+        work_col = workloads[:, i].tolist()
+        slo_col = slo_rec[:, i].tolist()
+        viol_col = violated[:, i].tolist()
+        alloc_rows = [alloc_hist[step][i].tolist() for step in range(n_steps)]
+        payloads.append(
+            {
+                "records": [
+                    {
+                        "step": step,
+                        "time": float(step * interval),
+                        "workload": work_col[step],
+                        "response": resp_col[step],
+                        "total_cpu": total_col[step],
+                        "violated": viol_col[step],
+                        "slo": slo_col[step],
+                        "allocation": [
+                            list(pair)
+                            for pair in zip(names, alloc_rows[step])
+                        ],
+                    }
+                    for step in range(n_steps)
+                ]
+            }
+        )
+    return payloads
+
+
+def _run_batch_worker(units_data: Sequence[Sequence[Any]]) -> list[dict]:
+    """Module-level worker: plain-data in/out so it pickles anywhere."""
+    return run_units_batched(
+        [
+            (ExperimentSpec.from_dict(spec_data), int(repeat))
+            for spec_data, repeat in units_data
+        ]
+    )

@@ -9,10 +9,18 @@ chunk lands, instead of one giant end-of-run gather.  Killing a sweep
 between chunks therefore loses at most one chunk of work, and re-running
 with the same store recomputes only the units that never completed.
 
+``batch=True`` additionally partitions every chunk into compatible
+groups (same app, autoscaler kind, and horizon — see
+:func:`repro.sweeps.batched.batch_key`) and evaluates each group as one
+NumPy-vectorized batch inside a single worker call; units no group can
+hold (DES engine, custom engine params, unknown hooks) silently fall back
+to the scalar worker.  Batched and scalar execution produce byte-identical
+payloads, so a store is freely shared between the two modes.
+
 Every unit rebuilds its components from the serialized spec whether it
 runs inline, in a worker, or comes back from the cache (results round-trip
-losslessly through JSON), so serial, parallel, cold, and resumed runs all
-produce byte-identical artifacts.
+losslessly through JSON), so serial, parallel, cold, resumed, and batched
+runs all produce byte-identical artifacts.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.bench.parallel import run_parallel
 from repro.experiments.artifact import ExperimentArtifact
@@ -43,7 +51,14 @@ OnProgress = Callable[["SweepProgress"], None]
 
 @dataclass(frozen=True)
 class SweepProgress:
-    """A snapshot delivered after the cache scan and after every chunk."""
+    """A snapshot delivered after the cache scan and after every chunk.
+
+    ``completed``/``cached``/``computed`` count *units* — (spec, repeat)
+    pairs — and are exact even when the final chunk is partial or a chunk
+    mixes batched groups with scalar units.  ``cells_completed`` counts
+    specs whose every repeat has finished, so multi-repeat sweeps can
+    report cell-level progress too.
+    """
 
     total: int
     completed: int
@@ -51,6 +66,8 @@ class SweepProgress:
     computed: int
     chunk: int
     n_chunks: int
+    cells_total: int = 0
+    cells_completed: int = 0
 
     @property
     def done(self) -> bool:
@@ -67,6 +84,8 @@ class SweepReport:
     computed: int
     chunks: int
     seconds: float
+    batched_units: int = 0
+    scalar_units: int = 0
 
     @property
     def units_per_sec(self) -> float:
@@ -81,12 +100,61 @@ class SweepReport:
             "chunks": self.chunks,
             "seconds": self.seconds,
             "units_per_sec": self.units_per_sec,
+            "batched_units": self.batched_units,
+            "scalar_units": self.scalar_units,
         }
 
 
 def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
     for start in range(0, len(items), size):
         yield items[start : start + size]
+
+
+def _partition_chunk(
+    chunk: Sequence[tuple[int, ExperimentSpec, int]],
+    batch: bool,
+    parallel: int,
+) -> list[tuple[bool, list[tuple[int, ExperimentSpec, int]]]]:
+    """Split one chunk of units into ``(batched?, units)`` worker tasks.
+
+    Scalar mode keeps the historical one-unit-per-task granularity.
+    Batch mode groups compatible units (first-appearance order) and caps
+    each group at an even share of the chunk so ``parallel`` workers all
+    get work even when the whole chunk is one compatible family.
+    """
+    if not batch:
+        return [(False, [unit]) for unit in chunk]
+    from repro.sweeps.batched import batch_key
+
+    tasks: list[tuple[bool, list[tuple[int, ExperimentSpec, int]]]] = []
+    groups: dict[tuple, list[tuple[int, ExperimentSpec, int]]] = {}
+    for unit in chunk:
+        key = batch_key(unit[1])
+        if key is None:
+            tasks.append((False, [unit]))
+        else:
+            groups.setdefault(key, []).append(unit)
+    cap = max(1, -(-len(chunk) // max(parallel, 1)))  # ceil division
+    for units in groups.values():
+        for start in range(0, len(units), cap):
+            tasks.append((True, units[start : start + cap]))
+    return tasks
+
+
+def _run_sweep_task(task: dict[str, Any]) -> list[dict]:
+    """Worker entry point: one scalar unit or one batched group of units.
+
+    Returns one payload per unit, in task order (plain data in/out, so it
+    pickles under any start method).
+    """
+    units = task["units"]
+    if task["batched"]:
+        from repro.sweeps.batched import _run_batch_worker
+
+        return _run_batch_worker(units)
+    return [
+        _run_unit_worker(spec_data, repeat) for spec_data, repeat in units
+    ]
 
 
 def run_sweep_cached(
@@ -96,6 +164,7 @@ def run_sweep_cached(
     reuse: bool = True,
     parallel: int = 1,
     chunk_size: int | None = None,
+    batch: bool = False,
     on_progress: OnProgress | None = None,
 ) -> tuple[list[ExperimentArtifact], SweepReport]:
     """Run every (spec, repeat) unit, reusing and filling ``store``.
@@ -103,14 +172,17 @@ def run_sweep_cached(
     ``reuse=False`` ignores existing entries (a refresh run) but still
     persists fresh results.  ``chunk_size`` bounds how much work is in
     flight between persistence points; the default keeps every worker busy
-    without batching the whole sweep into one gather.
+    without batching the whole sweep into one gather.  ``batch=True``
+    evaluates compatible unit groups as vectorized batches (byte-identical
+    results; un-batchable units silently run scalar) — the default chunk
+    grows accordingly, since a chunk is also the largest possible batch.
     """
     start_time = perf_counter()
     specs = list(specs)
     if parallel < 1:
         raise ValueError("parallel must be >= 1")
     if chunk_size is None:
-        chunk_size = max(parallel, 1) * 4
+        chunk_size = max(parallel, 1) * (256 if batch else 4)
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
 
@@ -121,6 +193,8 @@ def run_sweep_cached(
     ]
     results: dict[tuple[int, int], dict] = {}
     pending: list[tuple[int, ExperimentSpec, int]] = []
+    unit_counts = [spec.repeats for spec in specs]
+    remaining = list(unit_counts)
     cached = 0
     for spec_index, spec, repeat in tasks:
         payload = (
@@ -128,9 +202,13 @@ def run_sweep_cached(
         )
         if payload is not None:
             results[(spec_index, repeat)] = payload
+            remaining[spec_index] -= 1
             cached += 1
         else:
             pending.append((spec_index, spec, repeat))
+
+    def cells_completed() -> int:
+        return sum(1 for left in remaining if left == 0)
 
     chunks = list(_chunked(pending, chunk_size))
     if on_progress is not None:
@@ -142,9 +220,13 @@ def run_sweep_cached(
                 computed=0,
                 chunk=0,
                 n_chunks=len(chunks),
+                cells_total=len(specs),
+                cells_completed=cells_completed(),
             )
         )
     computed = 0
+    batched_units = 0
+    scalar_units = 0
     # One long-lived pool for the whole sweep: workers are spawned once,
     # not once per chunk (chunking only bounds the persistence interval).
     pool = (
@@ -154,20 +236,37 @@ def run_sweep_cached(
     )
     try:
         for chunk_index, chunk in enumerate(chunks, start=1):
+            worker_tasks = _partition_chunk(chunk, batch, parallel)
             raw = run_parallel(
-                _run_unit_worker,
+                _run_sweep_task,
                 [
-                    dict(spec_data=spec.to_dict(), repeat=repeat)
-                    for _, spec, repeat in chunk
+                    dict(
+                        task={
+                            "batched": batched,
+                            "units": [
+                                [spec.to_dict(), repeat]
+                                for _, spec, repeat in units
+                            ],
+                        }
+                    )
+                    for batched, units in worker_tasks
                 ],
                 max_workers=parallel,
                 pool=pool,
             )
-            for (spec_index, spec, repeat), payload in zip(chunk, raw):
-                if store is not None:
-                    store.put_result(spec, repeat, payload)
-                results[(spec_index, repeat)] = payload
-                computed += 1
+            for (batched, units), payloads in zip(worker_tasks, raw):
+                for (spec_index, spec, repeat), payload in zip(
+                    units, payloads
+                ):
+                    if store is not None:
+                        store.put_result(spec, repeat, payload)
+                    results[(spec_index, repeat)] = payload
+                    remaining[spec_index] -= 1
+                    computed += 1
+                    if batched:
+                        batched_units += 1
+                    else:
+                        scalar_units += 1
             if on_progress is not None:
                 on_progress(
                     SweepProgress(
@@ -177,6 +276,8 @@ def run_sweep_cached(
                         computed=computed,
                         chunk=chunk_index,
                         n_chunks=len(chunks),
+                        cells_total=len(specs),
+                        cells_completed=cells_completed(),
                     )
                 )
     finally:
@@ -200,6 +301,8 @@ def run_sweep_cached(
         computed=computed,
         chunks=len(chunks),
         seconds=perf_counter() - start_time,
+        batched_units=batched_units,
+        scalar_units=scalar_units,
     )
     return artifacts, report
 
@@ -238,6 +341,7 @@ def run_grid(
     reuse: bool = True,
     parallel: int = 1,
     chunk_size: int | None = None,
+    batch: bool = False,
     on_progress: OnProgress | None = None,
     cells: Sequence[SweepCell] | None = None,
 ) -> GridRun:
@@ -256,6 +360,7 @@ def run_grid(
             reuse=reuse,
             parallel=parallel,
             chunk_size=chunk_size,
+            batch=batch,
             on_progress=on_progress,
         )
     return GridRun(
