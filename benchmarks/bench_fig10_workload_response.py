@@ -3,33 +3,41 @@
 Paper: response grows with workload roughly linearly over the operating
 band, which is what justifies the linear dynamic response target of
 Eqn. (9) and the slope regression PEMA runs at startup.
+
+The 2 apps x 10 workload points are
+``benchmarks/grids/fig10_workload_response.json``: static cells pinned at
+the band-high bottleneck allocation (x1.15) on a noise-free analytical
+engine, so each cell's recorded response is exactly the noiseless scan
+the figure plots.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import run_figure_grid
 from benchmarks._report import emit
 from repro.apps import build_app
 from repro.bench import format_table
 from repro.core.target import learn_slope
-from repro.sim import AnalyticalEngine
 
 BANDS = {"trainticket": (150.0, 320.0), "sockshop": (400.0, 1000.0)}
 
 
 def run_fig10():
+    run = run_figure_grid("fig10_workload_response")
+    cells = list(run)
     rows = []
     fits = {}
+    cursor = 0
     for app_name, (lo, hi) in BANDS.items():
         app = build_app(app_name)
-        engine = AnalyticalEngine(app)
-        mid = 0.5 * (lo + hi)
-        alloc = engine.bottleneck_allocation(hi).scale(1.15)
         workloads = np.linspace(lo, hi, 10)
         responses = [
-            engine.noiseless_latency(alloc, float(w)) for w in workloads
+            cells[cursor + k][1].results[0].records[0].response
+            for k in range(10)
         ]
+        cursor += 10
         slope = learn_slope(workloads, responses)
         # Linearity: r^2 of the linear fit.
         pred = np.polyval(np.polyfit(workloads, responses, 1), workloads)

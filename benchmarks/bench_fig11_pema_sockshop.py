@@ -5,54 +5,55 @@ generous, walks down in ~20 iterations, occasionally jumps back up via
 exploration (high setting: A=0.1, B=0.01; low: A=0.05, B=0.005), and both
 settle near the optimum within 70 iterations with only a few unintentional
 SLO violations.
+
+The two exploration settings are
+``benchmarks/grids/fig11_pema_sockshop.json``; OPTM is the analytical
+exhaustive search at the same point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import figure_optimum, run_figure_grid
 from benchmarks._report import emit
-from repro.bench import format_table, optimum_total, pema_run
-from repro.core import PEMAConfig
+from repro.bench import format_table
 
 WORKLOAD = 700.0
 ITERS = 70
 
 
 def run_fig11():
-    runs = {}
-    for label, config, seed in (
-        ("high", PEMAConfig.high_exploration(), 11),
-        ("low", PEMAConfig.low_exploration(), 12),
-    ):
-        runs[label] = pema_run(
-            "sockshop", WORKLOAD, ITERS, config=config, seed=seed
-        )
-    optimum = optimum_total("sockshop", WORKLOAD)
-    return runs, optimum
+    run = run_figure_grid("fig11_pema_sockshop")
+    results = {
+        cell.coords["exploration"]: artifact.results[0]
+        for cell, artifact in run
+    }
+    optimum = figure_optimum("sockshop", WORKLOAD)
+    return results, optimum
 
 
 def test_fig11_pema_sockshop(benchmark):
-    runs, optimum = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    results, optimum = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
     rows = []
     for it in range(0, ITERS, 5):
         rows.append(
             [
                 it,
-                round(float(runs["high"].result.total_cpu[it]), 2),
-                round(float(runs["high"].result.responses[it] * 1000), 0),
-                round(float(runs["low"].result.total_cpu[it]), 2),
-                round(float(runs["low"].result.responses[it] * 1000), 0),
+                round(float(results["high"].total_cpu[it]), 2),
+                round(float(results["high"].responses[it] * 1000), 0),
+                round(float(results["low"].total_cpu[it]), 2),
+                round(float(results["low"].responses[it] * 1000), 0),
             ]
         )
     summary = [
         [
             label,
-            round(run.result.settled_total(), 2),
-            round(run.result.settled_total() / optimum, 2),
-            run.result.violation_count(),
+            round(result.settled_total(), 2),
+            round(result.settled_total() / optimum, 2),
+            result.violation_count(),
         ]
-        for label, run in runs.items()
+        for label, result in results.items()
     ]
     emit(
         "fig11_pema_sockshop",
@@ -69,8 +70,7 @@ def test_fig11_pema_sockshop(benchmark):
             title="Convergence summary",
         ),
     )
-    for label, run in runs.items():
-        result = run.result
+    for label, result in results.items():
         # Walks down from the generous start...
         assert result.settled_total() < result.total_cpu[0] * 0.7
         # ...to near the optimum (paper: both settings converge)...

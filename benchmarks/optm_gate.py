@@ -1,0 +1,224 @@
+"""CI performance gate: vectorized OPTM search vs the scalar reference.
+
+Runs the fig. 15 grid's (app, workload) points through both OPTM
+implementations and enforces the regression gates the CI benchmark job
+depends on:
+
+* **equivalence** — the frontier-vectorized ``OptimumSearch.find`` and
+  the lockstep ``OptimumBatch.find_many`` must produce results identical
+  to ``OptimumSearch.find_reference`` (allocations, total CPU,
+  evaluation counts, latencies) at every point, in the default
+  configuration (``restarts=2``, what ``optimum_total`` runs) and the
+  deep-polish configuration (``restarts=3, deep=True``);
+* **throughput** — combined vectorized evaluations/sec must be at least
+  ``--min-speedup`` times the scalar reference (best-of ``--repeats``
+  runs per mode, so a scheduler hiccup cannot fail CI).
+
+Writes a ``BENCH_optm.json`` artifact with the measured numbers either
+way, and exits non-zero when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/optm_gate.py --out BENCH_optm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+from repro.apps import build_app
+from repro.baselines import OptimumBatch, OptimumRequest, OptimumSearch
+from repro.sim import AnalyticalEngine
+from repro.sweeps import SweepGrid
+
+
+def fig15_points(grid_path: str) -> list[tuple[str, float]]:
+    """The unique (app, workload) cells of the fig. 15 comparison grid."""
+    grid = SweepGrid.read(grid_path)
+    points: list[tuple[str, float]] = []
+    for cell in grid.cells():
+        point = (cell.spec.app, float(cell.spec.workload.params["rps"]))
+        if point not in points:
+            points.append(point)
+    return points
+
+
+def _result_tuple(result) -> tuple:
+    return (
+        tuple(result.allocation.items()),
+        result.total_cpu,
+        result.evaluations,
+        result.latency,
+    )
+
+
+def run_mode(
+    label: str,
+    cells: list[tuple[str, float]],
+    *,
+    restarts: int,
+    deep: bool,
+    repeats: int,
+) -> tuple[dict, list[str]]:
+    """Equivalence + best-of-``repeats`` timing of one configuration."""
+    failures: list[str] = []
+    engines = {app: AnalyticalEngine(build_app(app)) for app, _ in cells}
+    searches = {
+        (app, workload): OptimumSearch(
+            engines[app], restarts=restarts, deep=deep
+        )
+        for app, workload in cells
+    }
+
+    evaluations = 0
+    for (app, workload), search in searches.items():
+        vec = search.find(workload)
+        ref = search.find_reference(workload)
+        if _result_tuple(vec) != _result_tuple(ref):
+            failures.append(
+                f"{label}: vectorized result diverges from scalar at "
+                f"{app}@{workload:g}"
+            )
+        evaluations += ref.evaluations
+
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = perf_counter()
+            for (app, workload), search in searches.items():
+                fn(search, workload)
+            best = min(best, perf_counter() - start)
+        return best
+
+    vec_seconds = timed(lambda search, workload: search.find(workload))
+    ref_seconds = timed(
+        lambda search, workload: search.find_reference(workload)
+    )
+    speedup = ref_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+    return {
+        "cells": len(cells),
+        "restarts": restarts,
+        "deep": deep,
+        "evaluations": evaluations,
+        "vectorized": {
+            "seconds": vec_seconds,
+            "evals_per_sec": evaluations / vec_seconds,
+        },
+        "scalar": {
+            "seconds": ref_seconds,
+            "evals_per_sec": evaluations / ref_seconds,
+        },
+        "speedup": speedup,
+    }, failures
+
+
+def run_batch_check(cells: list[tuple[str, float]]) -> tuple[dict, list[str]]:
+    """OptimumBatch lockstep drive vs per-cell find, per app."""
+    failures: list[str] = []
+    seconds = 0.0
+    n_cells = 0
+    for app in dict.fromkeys(app for app, _ in cells):
+        workloads = [w for a, w in cells if a == app]
+        engine = AnalyticalEngine(build_app(app))
+        batch = OptimumBatch(engine)
+        requests = [OptimumRequest(w, restarts=2) for w in workloads]
+        start = perf_counter()
+        results = batch.find_many(requests)
+        seconds += perf_counter() - start
+        n_cells += len(results)
+        search = OptimumSearch(engine, restarts=2)
+        for workload, result in zip(workloads, results):
+            if _result_tuple(result) != _result_tuple(
+                search.find(workload)
+            ):
+                failures.append(
+                    f"batch: OptimumBatch diverges from per-cell find at "
+                    f"{app}@{workload:g}"
+                )
+    return {"cells": n_cells, "seconds": seconds}, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--grid", default="benchmarks/grids/fig15_comparison.json"
+    )
+    parser.add_argument("--out", default="BENCH_optm.json")
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing runs per mode (best one counts)")
+    args = parser.parse_args(argv)
+
+    points = fig15_points(args.grid)
+    # Deep polish is expensive on the scalar side; one representative
+    # (middle) workload per app keeps the gate fast while still covering
+    # redistribution and multi-restart memoization.
+    by_app: dict[str, list[float]] = {}
+    for app, workload in points:
+        by_app.setdefault(app, []).append(workload)
+    deep_points = [
+        (app, sorted(workloads)[len(workloads) // 2])
+        for app, workloads in by_app.items()
+    ]
+
+    failures: list[str] = []
+    repeats = max(args.repeats, 1)
+    modes: dict[str, dict] = {}
+    modes["default"], mode_failures = run_mode(
+        "default", points, restarts=2, deep=False, repeats=repeats
+    )
+    failures += mode_failures
+    modes["deep"], mode_failures = run_mode(
+        "deep", deep_points, restarts=3, deep=True, repeats=repeats
+    )
+    failures += mode_failures
+    batch_info, batch_failures = run_batch_check(points)
+    failures += batch_failures
+
+    total_evals = sum(m["evaluations"] for m in modes.values())
+    vec_seconds = sum(m["vectorized"]["seconds"] for m in modes.values())
+    ref_seconds = sum(m["scalar"]["seconds"] for m in modes.values())
+    speedup = ref_seconds / vec_seconds if vec_seconds > 0 else float("inf")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"vectorized OPTM speedup {speedup:.2f}x < required "
+            f"{args.min_speedup:.2f}x ({total_evals / vec_seconds:.0f} vs "
+            f"{total_evals / ref_seconds:.0f} evals/sec)"
+        )
+
+    bench = {
+        "grid": args.grid,
+        "points": len(points),
+        "modes": modes,
+        "batch": batch_info,
+        "evaluations": total_evals,
+        "evals_per_sec_vectorized": total_evals / vec_seconds,
+        "evals_per_sec_scalar": total_evals / ref_seconds,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+        "timing_repeats": repeats,
+        "passed": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"optm gate passed: vectorized {speedup:.2f}x scalar "
+        f"({total_evals / vec_seconds:.0f} vs "
+        f"{total_evals / ref_seconds:.0f} evals/sec; "
+        f"default {modes['default']['speedup']:.2f}x, "
+        f"deep {modes['deep']['speedup']:.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

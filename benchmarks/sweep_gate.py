@@ -28,6 +28,7 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.experiments import clear_optimum_cache
 from repro.sweeps import (
     SweepGrid,
     SweepStore,
@@ -83,6 +84,9 @@ def main(argv=None) -> int:
     for mode, batch in (("scalar", False), ("batched", True)):
         store = stores[mode] = SweepStore(cache_root / mode)
         store.clear()
+        # Each mode starts from a cold in-process OPTM cache too, so
+        # grids with optimum cells do comparable baseline work.
+        clear_optimum_cache()
         cold = run_grid(grid, store=store, batch=batch, cells=cells)
         warm = run_grid(grid, store=store, batch=batch, cells=cells)
         summaries[mode] = grid_summary_json(cold)
@@ -107,7 +111,21 @@ def main(argv=None) -> int:
             },
             "batched_units": cold.report.batched_units,
             "scalar_units": cold.report.scalar_units,
+            "optimum": dict(cold.report.optimum),
         }
+
+    # Grids with OPTM columns must trigger identical baseline work in
+    # both modes (the store-bytes check below then proves the entries
+    # themselves match).
+    if (
+        modes["scalar"]["optimum"]["solved"]
+        != modes["batched"]["optimum"]["solved"]
+    ):
+        failures.append(
+            "batched OPTM solve count differs from scalar "
+            f"({modes['batched']['optimum']['solved']} vs "
+            f"{modes['scalar']['optimum']['solved']})"
+        )
 
     if summaries["scalar"] != summaries["batched"]:
         failures.append("batched aggregate differs from scalar aggregate")

@@ -1,12 +1,20 @@
 """Benchmark resource-allocation strategies: OPTM, RULE, static."""
 
 from repro.baselines.optm import OptimumResult, OptimumSearch
+from repro.baselines.optm_batch import (
+    OptimumAllocator,
+    OptimumBatch,
+    OptimumRequest,
+)
 from repro.baselines.rule import RuleBasedAutoscaler, RuleBatch
 from repro.baselines.static import StaticAllocator
 
 __all__ = [
     "OptimumSearch",
     "OptimumResult",
+    "OptimumAllocator",
+    "OptimumBatch",
+    "OptimumRequest",
     "RuleBasedAutoscaler",
     "RuleBatch",
     "StaticAllocator",

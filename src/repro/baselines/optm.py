@@ -10,11 +10,30 @@ service orderings and multiple restarts to avoid order artifacts.
 As the paper notes, OPTM is not a practical manager — it causes many
 violations while probing — it is the upper bound on achievable resource
 efficiency that PEMA is measured against (Fig. 15).
+
+Execution model
+---------------
+The search is written as a *frontier generator*
+(:meth:`OptimumSearch.frontier`): a coroutine that yields ``(K, S)``
+batches of candidate allocations and receives their noiseless latencies.
+Every structural decision (shuffle order, acceptance, evaluation
+counting) lives in the generator; every latency comes from the shared
+:class:`~repro.sim.latency.NoiselessLatencyKernel`, which evaluates a
+whole batch elementwise in one NumPy call.  :meth:`OptimumSearch.find`
+drives one cell's generator (batching each service's shrink ladder, each
+redistribution pass, and the feasibility/summary probes);
+:class:`~repro.baselines.optm_batch.OptimumBatch` drives many cells'
+generators in lockstep, stacking their pending frontiers into single
+kernel calls.  Both are bit-identical — same allocations, totals, and
+evaluation counts — to the straight-line scalar search, which is kept as
+:meth:`OptimumSearch.find_reference` for equivalence gating
+(``benchmarks/optm_gate.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Generator
 
 import numpy as np
 
@@ -22,6 +41,17 @@ from repro.sim.engine import AnalyticalEngine
 from repro.sim.types import Allocation
 
 __all__ = ["OptimumResult", "OptimumSearch"]
+
+#: The frontier-generator protocol: yields (K, S) candidate batches,
+#: receives (K,) noiseless latencies, returns the search outcome.
+Frontier = Generator[np.ndarray, np.ndarray, "OptimumResult"]
+
+#: Initial frontier-slice sizes.  Slices double while no decision point
+#: (violation / acceptance) is found, so a slice wastes at most as many
+#: probes as the scalar search needed — without ever paying one kernel
+#: call per probe.
+_DESCEND_CHUNK = 8
+_PAIR_CHUNK = 32
 
 
 @dataclass(frozen=True)
@@ -70,6 +100,7 @@ class OptimumSearch:
         self.seed = seed
         self.deep = deep
 
+    # -- vectorized search -------------------------------------------------------
     def find(
         self, workload_rps: float, start: Allocation | None = None
     ) -> OptimumResult:
@@ -81,6 +112,344 @@ class OptimumSearch:
         With ``deep=True``, a pairwise-redistribution stage (3) escapes
         boundary points plain descent gets stuck on; either way the result
         satisfies the paper's local-optimality definition.
+
+        Candidate frontiers (a service's whole shrink ladder, a
+        redistribution pass, a bisection probe) are evaluated as single
+        batched kernel calls; the outcome is bit-identical to
+        :meth:`find_reference`, the one-probe-at-a-time scalar search.
+        """
+        gen = self.frontier(workload_rps, start)
+        evaluate = self.evaluator(workload_rps)
+        latencies: np.ndarray | None = None
+        try:
+            while True:
+                rows = gen.send(latencies) if latencies is not None else next(gen)
+                latencies = evaluate(rows)
+        except StopIteration as stop:
+            return stop.value
+
+    def evaluator(self, workload: float):
+        """A ``(K, S) rows → (K,) latencies`` frontier evaluator.
+
+        Analytical engines get a memoizing
+        :class:`~repro.sim.latency.CellKernel` pinned to this workload
+        and the engine's current CPU speed; anything else falls back to
+        row-by-row ``noiseless_latency`` calls (still the same values).
+        """
+        kernel = getattr(self.engine, "noiseless_kernel", None)
+        if kernel is not None:
+            return kernel.cell(workload, self.engine.cpu_speed).latency
+
+        def rowwise(rows: np.ndarray) -> np.ndarray:
+            names = self.engine.app.service_names
+            return np.asarray(
+                [
+                    self.engine.noiseless_latency(
+                        Allocation.from_array(names, row), workload
+                    )
+                    for row in rows
+                ],
+                dtype=np.float64,
+            )
+
+        return rowwise
+
+    def frontier(
+        self, workload_rps: float, start: Allocation | None = None
+    ) -> Frontier:
+        """The search as a coroutine over candidate-allocation batches.
+
+        Yields ``(K, S)`` arrays of candidates and expects their ``(K,)``
+        noiseless latencies in return; returns the
+        :class:`OptimumResult` via ``StopIteration.value``.  The driver
+        chooses how frontiers are evaluated (single cell or stacked
+        across many cells) — the search trajectory is fully determined
+        in here, so every driver produces identical results.
+        """
+        app = self.engine.app
+        slo = app.slo
+        names = app.service_names
+        base = start if start is not None else app.generous_allocation(workload_rps)
+        base_arr = base.as_array(names)
+        feasible = yield base_arr[None, :]
+        if float(feasible[0]) > slo:
+            raise ValueError(
+                "starting allocation already violates the SLO; "
+                "increase headroom or lower the workload"
+            )
+        # All boundary restarts bisect from the same start, so the ladder
+        # is evaluated once and reused (identical inputs, identical path).
+        boundary: np.ndarray | None = None
+        best: OptimumResult | None = None
+        evaluations = 0
+        for restart in range(self.restarts):
+            rng = np.random.default_rng((self.seed, restart))
+            # The balanced scale-to-boundary entry dominates raw descent;
+            # keep one raw-descent restart for diversity when available.
+            if restart != 1:
+                if boundary is None:
+                    boundary = yield from self._boundary_frontier(base_arr, slo)
+                arr = boundary.copy()
+            else:
+                arr = base_arr.copy()
+            arr, evals = yield from self._descend_frontier(
+                arr, names, slo, rng, near_boundary=restart != 1
+            )
+            evaluations += evals
+            if self.deep:
+                arr, evals = yield from self._redistribute_frontier(
+                    arr, names, slo, rng
+                )
+                evaluations += evals
+                # Redistribution may open new descent directions.
+                arr, evals = yield from self._descend_frontier(
+                    arr, names, slo, rng, near_boundary=True
+                )
+                evaluations += evals
+            latency = float((yield arr[None, :])[0])
+            candidate = OptimumResult(
+                allocation=Allocation.from_array(names, arr),
+                latency=latency,
+                workload=workload_rps,
+                evaluations=evaluations,
+            )
+            if best is None or candidate.total_cpu < best.total_cpu:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _boundary_frontier(
+        self, base_arr: np.ndarray, slo: float
+    ) -> Generator[np.ndarray, np.ndarray, np.ndarray]:
+        """Largest uniform shrink of the start that still satisfies the SLO.
+
+        The bisection ladder is inherently sequential for one cell (each
+        probe depends on the previous outcome), so each level is a
+        one-row frontier — stacked across cells by ``OptimumBatch``.
+        """
+        lo, hi = 0.05, 1.0
+        for _ in range(30):
+            mid = 0.5 * (lo + hi)
+            trial = np.maximum(base_arr * mid, self.min_cpu)
+            lat = float((yield trial[None, :])[0])
+            if lat <= slo:
+                hi = mid
+            else:
+                lo = mid
+        return np.maximum(base_arr * hi, self.min_cpu)
+
+    def _ladder(self, value: float) -> list[float]:
+        """The exact scalar float shrink ladder from ``value``.
+
+        Each level is the previous one minus ``step`` (not
+        ``value - k*step``, which rounds differently).
+        """
+        ladder: list[float] = []
+        v = value
+        while v - self.step >= self.min_cpu - 1e-12:
+            v = v - self.step
+            ladder.append(v)
+        return ladder
+
+    def _resolve_ladder(
+        self,
+        arr: np.ndarray,
+        j: int,
+        ladder: list[float],
+        slo: float,
+        head_latencies: np.ndarray | None,
+    ) -> Generator[np.ndarray, np.ndarray, tuple[int, int]]:
+        """Deepest non-violating prefix of one service's ladder.
+
+        ``head_latencies`` optionally covers the first levels (from a
+        speculative pass frontier); the remainder is evaluated in
+        geometrically growing slices.  Returns ``(accepted_levels,
+        evaluations)`` where evaluations counts exactly the probes the
+        scalar loop would have made: everything up to and including the
+        first violating level, or the whole ladder when none violates.
+        """
+        cursor = 0
+        chunk = _DESCEND_CHUNK
+        if head_latencies is not None and len(head_latencies):
+            violating = head_latencies > slo
+            if violating.any():
+                first = int(np.argmax(violating))
+                return first, first + 1
+            cursor = len(head_latencies)
+            chunk = 2 * _DESCEND_CHUNK
+        while cursor < len(ladder):
+            upto = min(cursor + chunk, len(ladder))
+            rows = np.repeat(arr[None, :], upto - cursor, axis=0)
+            rows[:, j] = ladder[cursor:upto]
+            latencies = yield rows
+            violating = latencies > slo
+            if violating.any():
+                first = int(np.argmax(violating))
+                return cursor + first, cursor + first + 1
+            cursor = upto
+            chunk *= 2
+        return len(ladder), len(ladder)
+
+    def _descend_frontier(
+        self,
+        arr: np.ndarray,
+        names: tuple[str, ...],
+        slo: float,
+        rng: np.random.Generator,
+        *,
+        near_boundary: bool,
+    ) -> Generator[np.ndarray, np.ndarray, tuple[np.ndarray, int]]:
+        """Greedy coordinate descent over batched shrink ladders.
+
+        Accepting the deepest non-violating ladder prefix is exactly the
+        greedy outcome of probing one step at a time, because the scalar
+        loop stops at the first violating level and never looks past it.
+
+        Low-acceptance passes (descents near the SLO boundary, and every
+        converged final pass) evaluate *speculatively*: the ladder heads
+        of all services still pending in the pass form one frontier, so a
+        pass that accepts nothing — whose levels the previous pass already
+        memoized — costs a single evaluator call.  An acceptance changes
+        the allocation, which invalidates the later services' speculative
+        rows; the frontier is rebuilt from that service on.  Passes
+        expected to accept a lot (the raw descent from the generous
+        start, or any pass after a high-acceptance one) resolve each
+        service individually instead, where speculation would mostly be
+        discarded.
+        """
+        order = list(names)
+        index = {name: j for j, name in enumerate(names)}
+        evals = 0
+        improved = True
+        accepts_prev: int | None = None
+        while improved:
+            improved = False
+            rng.shuffle(order)
+            accepts_pass = 0
+            speculate = (
+                near_boundary
+                if accepts_prev is None
+                else accepts_prev <= max(1, len(order) // 8)
+            )
+            pos = 0
+            while pos < len(order):
+                heads: list[np.ndarray | None]
+                ladders: list[list[float]] = []
+                if speculate:
+                    spans: list[tuple[int, int]] = []
+                    rows_parts: list[np.ndarray] = []
+                    offset = 0
+                    for name in order[pos:]:
+                        j = index[name]
+                        ladder = self._ladder(float(arr[j]))
+                        ladders.append(ladder)
+                        head = ladder[:_DESCEND_CHUNK]
+                        spans.append((offset, len(head)))
+                        if head:
+                            part = np.repeat(arr[None, :], len(head), axis=0)
+                            part[:, j] = head
+                            rows_parts.append(part)
+                            offset += len(head)
+                    if offset == 0:
+                        break  # every pending ladder is empty: pass over
+                    latencies = yield np.concatenate(rows_parts, axis=0)
+                    heads = [
+                        latencies[start : start + length]
+                        for start, length in spans
+                    ]
+                else:
+                    ladders = [
+                        self._ladder(float(arr[index[order[pos]]]))
+                    ]
+                    heads = [None]
+                for ladder, head_latencies in zip(ladders, heads):
+                    j = index[order[pos]]
+                    pos += 1
+                    if not ladder:
+                        continue
+                    accepted, probes = yield from self._resolve_ladder(
+                        arr, j, ladder, slo, head_latencies
+                    )
+                    evals += probes
+                    if accepted:
+                        arr = arr.copy()
+                        arr[j] = ladder[accepted - 1]
+                        improved = True
+                        accepts_pass += 1
+                        if speculate:
+                            break  # later speculative rows are stale
+            accepts_prev = accepts_pass
+        return arr, evals
+
+    def _redistribute_frontier(
+        self,
+        arr: np.ndarray,
+        names: tuple[str, ...],
+        slo: float,
+        rng: np.random.Generator,
+    ) -> Generator[np.ndarray, np.ndarray, tuple[np.ndarray, int]]:
+        """Net-negative pair moves: grow one service a step, shrink another two.
+
+        All (grow, shrink) pairs still pending in the pass are evaluated
+        against the current allocation as one frontier; the first
+        acceptance (in shuffle order) applies and the remainder of the
+        pass re-batches against the updated allocation — the same
+        trajectory as accepting mid-scan one probe at a time.
+        """
+        order = list(names)
+        index = {name: j for j, name in enumerate(names)}
+        evals = 0
+        improved = True
+        while improved:
+            improved = False
+            rng.shuffle(order)
+            pairs = [
+                (index[g], index[s]) for g in order for s in order if g != s
+            ]
+            pos = 0
+            chunk = _PAIR_CHUNK
+            while pos < len(pairs):
+                # Next slice of evaluable pairs (min-CPU skips consume no
+                # evaluation, exactly as in the scalar scan).
+                rows: list[np.ndarray] = []
+                evaluated: list[int] = []
+                p = pos
+                while p < len(pairs) and len(rows) < chunk:
+                    jg, js = pairs[p]
+                    reduced = float(arr[js]) - 2.0 * self.step
+                    if reduced >= self.min_cpu - 1e-12:
+                        row = arr.copy()
+                        row[jg] = float(arr[jg]) + self.step
+                        row[js] = reduced
+                        rows.append(row)
+                        evaluated.append(p)
+                    p += 1
+                if not rows:
+                    break
+                latencies = yield np.stack(rows)
+                accepts = latencies <= slo
+                if accepts.any():
+                    first = int(np.argmax(accepts))
+                    evals += first + 1
+                    arr = rows[first]
+                    improved = True
+                    pos = evaluated[first] + 1
+                    chunk = _PAIR_CHUNK
+                else:
+                    evals += len(rows)
+                    pos = p
+                    chunk *= 2
+        return arr, evals
+
+    # -- scalar reference --------------------------------------------------------
+    def find_reference(
+        self, workload_rps: float, start: Allocation | None = None
+    ) -> OptimumResult:
+        """The original one-probe-per-call scalar search, kept verbatim.
+
+        This is the semantic definition the vectorized :meth:`find` must
+        reproduce bit-for-bit (allocations, totals, evaluation counts);
+        the CI gate and the equivalence property tests compare against it.
         """
         app = self.engine.app
         base = start if start is not None else app.generous_allocation(workload_rps)
@@ -93,8 +462,6 @@ class OptimumSearch:
         evaluations = 0
         for restart in range(self.restarts):
             rng = np.random.default_rng((self.seed, restart))
-            # The balanced scale-to-boundary entry dominates raw descent;
-            # keep one raw-descent restart for diversity when available.
             alloc = (
                 self._scale_to_boundary(base, workload_rps)
                 if restart != 1
@@ -105,7 +472,6 @@ class OptimumSearch:
             if self.deep:
                 alloc, evals = self._redistribute(alloc, workload_rps, rng)
                 evaluations += evals
-                # Redistribution may open new descent directions.
                 alloc, evals = self._descend(alloc, workload_rps, rng)
                 evaluations += evals
             latency = self.engine.noiseless_latency(alloc, workload_rps)
@@ -182,16 +548,23 @@ class OptimumSearch:
                     improved = True
         return alloc, evals
 
+    # -- optimality check --------------------------------------------------------
     def is_local_optimum(self, allocation: Allocation, workload: float) -> bool:
         """The paper's optimality check: any single -0.1 step violates."""
         app = self.engine.app
-        if self.engine.noiseless_latency(allocation, workload) > app.slo:
+        arr = allocation.as_array(app.service_names)
+        evaluate = self.evaluator(workload)
+        if float(evaluate(arr[None, :])[0]) > app.slo:
             return False
-        for name in app.service_names:
-            reduced = allocation[name] - self.step
+        rows = []
+        for j in range(len(arr)):
+            reduced = float(arr[j]) - self.step
             if reduced < self.min_cpu - 1e-12:
                 continue
-            trial = allocation.with_value(name, reduced)
-            if self.engine.noiseless_latency(trial, workload) <= app.slo:
-                return False
-        return True
+            row = arr.copy()
+            row[j] = reduced
+            rows.append(row)
+        if not rows:
+            return True
+        latencies = evaluate(np.stack(rows))
+        return bool(np.all(latencies > app.slo))

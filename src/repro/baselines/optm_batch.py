@@ -1,0 +1,185 @@
+"""Multi-cell OPTM drivers: lockstep frontier search and the allocator.
+
+:class:`OptimumBatch` advances many (workload, restarts, seed, deep)
+cells of one application through their
+:meth:`~repro.baselines.optm.OptimumSearch.frontier` generators in
+lockstep: each round stacks every active cell's pending candidate batch,
+evaluates each cell's slice on its own memoizing
+:class:`~repro.sim.latency.CellKernel` (cells differ in workload, so
+their Gamma parameters differ), and feeds the latencies back.  Because a
+frontier's trajectory is fully determined inside the generator and every
+latency comes from the shared noiseless kernel, the results are
+bit-identical to running :meth:`OptimumSearch.find` per cell — and to the
+scalar reference search.
+
+:class:`OptimumAllocator` packages OPTM as an autoscaler: it pins the
+noiseless optimum allocation for the workload it observes, re-solving
+only when the observed workload changes.  It routes every solve through
+:func:`repro.experiments.runner.optimum_result`, so solves hit the same
+in-process LRU cache and persistent ``optimum_store`` as
+``optimum_total`` — an "optimum" experiment unit warms exactly the cache
+entries the figure benchmarks read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.baselines.optm import OptimumResult, OptimumSearch
+from repro.sim.engine import AnalyticalEngine
+from repro.sim.types import Allocation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.spec import AppSpec
+
+__all__ = ["OptimumBatch", "OptimumAllocator", "OptimumRequest"]
+
+
+class OptimumRequest:
+    """One cell of a batched optimum search."""
+
+    __slots__ = ("workload", "restarts", "seed", "deep", "start")
+
+    def __init__(
+        self,
+        workload: float,
+        *,
+        restarts: int = 3,
+        seed: int = 0,
+        deep: bool = False,
+        start: Allocation | None = None,
+    ) -> None:
+        self.workload = float(workload)
+        self.restarts = int(restarts)
+        self.seed = int(seed)
+        self.deep = bool(deep)
+        self.start = start
+
+
+class OptimumBatch:
+    """Lockstep OPTM search over many cells of one application.
+
+    All cells share the engine's app, latency params, and CPU speed —
+    exactly the regime of a sweep's OPTM column, where one app is probed
+    at many workloads.
+    """
+
+    def __init__(
+        self,
+        engine: AnalyticalEngine,
+        *,
+        step: float = 0.1,
+        min_cpu: float = 0.05,
+    ) -> None:
+        self.engine = engine
+        self.step = step
+        self.min_cpu = min_cpu
+
+    @property
+    def app(self) -> "AppSpec":
+        return self.engine.app
+
+    def find_many(
+        self, requests: Sequence[OptimumRequest]
+    ) -> list[OptimumResult]:
+        """All cells' optimum results, advanced one frontier round at a time.
+
+        Each round evaluates every active cell's pending candidate batch;
+        a cell whose generator finishes drops out.  Identical cells (same
+        workload, restarts, seed, deep, start) share one search.
+        """
+        results: list[OptimumResult | None] = [None] * len(requests)
+        # Dedup identical cells: the search is deterministic in its
+        # request, so aliases simply copy the first cell's result.
+        owners: dict[tuple, int] = {}
+        alias: dict[int, int] = {}
+        active = []
+        for i, req in enumerate(requests):
+            key = (
+                req.workload,
+                req.restarts,
+                req.seed,
+                req.deep,
+                req.start,
+            )
+            if key in owners:
+                alias[i] = owners[key]
+                continue
+            owners[key] = i
+            search = OptimumSearch(
+                self.engine,
+                step=self.step,
+                min_cpu=self.min_cpu,
+                restarts=req.restarts,
+                seed=req.seed,
+                deep=req.deep,
+            )
+            gen = search.frontier(req.workload, req.start)
+            evaluate = search.evaluator(req.workload)
+            active.append([i, gen, evaluate, None])
+        while active:
+            still_active = []
+            for entry in active:
+                i, gen, evaluate, latencies = entry
+                try:
+                    rows = (
+                        gen.send(latencies)
+                        if latencies is not None
+                        else next(gen)
+                    )
+                except StopIteration as stop:
+                    results[i] = stop.value
+                    continue
+                entry[3] = evaluate(rows)
+                still_active.append(entry)
+            active = still_active
+        for i, owner in alias.items():
+            results[i] = results[owner]
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+
+class OptimumAllocator:
+    """OPTM as a pinned autoscaler (the ``"optimum"`` registry kind).
+
+    Holds its starting allocation until the first observation arrives,
+    then pins the cached noiseless optimum for the observed workload —
+    re-solving only when the workload changes.  Solves go through
+    :func:`repro.experiments.runner.optimum_result`: deterministic
+    (search seed 0 on a noiseless engine, like ``optimum_total``), LRU-
+    cached in process, and persisted to the active ``optimum_store``.
+    The controller seed is deliberately unused — the paper's OPTM is a
+    property of (app, workload), not of the run.
+    """
+
+    def __init__(
+        self,
+        app: "AppSpec",
+        start: Allocation,
+        *,
+        restarts: int = 2,
+    ) -> None:
+        if restarts < 1:
+            raise ValueError(f"restarts must be >= 1: {restarts}")
+        self._app = app
+        self.restarts = int(restarts)
+        self._allocation = start
+        self._workload: float | None = None
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    def decide(self, metrics) -> Allocation:
+        workload = float(metrics.workload_rps)
+        if self._workload is None or workload != self._workload:
+            from repro.experiments.runner import optimum_result
+
+            payload = optimum_result(
+                self._app.name, workload, restarts=self.restarts
+            )
+            self._allocation = Allocation(dict(payload["allocation"]))
+            self._workload = workload
+        return self._allocation

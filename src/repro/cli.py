@@ -349,10 +349,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           + (", batched" if batch else "")
           + (f", cache {store.root}" if store is not None else ""))
 
+    from repro.experiments import optimum_cache_info
+
+    optimum_start = optimum_cache_info()
+
+    def optimum_delta() -> dict:
+        now = optimum_cache_info()
+        return {k: now[k] - optimum_start[k]
+                for k in ("hits", "misses", "store_hits", "solved")}
+
     def progress(p) -> None:
+        optm = optimum_delta()
+        optm_note = (
+            f", optm {optm['solved']} solved/"
+            f"{optm['hits'] + optm['store_hits']} cached"
+            if any(optm.values()) else ""
+        )
         print(f"[chunk {p.chunk}/{p.n_chunks}] {p.completed}/{p.total} "
               f"units done ({p.cached} cached, {p.computed} computed, "
-              f"{p.cells_completed}/{p.cells_total} cells)",
+              f"{p.cells_completed}/{p.cells_total} cells{optm_note})",
               flush=True)
 
     try:
@@ -380,6 +395,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\n{report.units} units: {report.cache_hits} cached, "
           f"{report.computed} computed{split} in {report.chunks} chunk(s), "
           f"{report.seconds:.2f}s ({report.units_per_sec:.2f} units/s)")
+    if any(report.optimum.values()):
+        optm = report.optimum
+        print(f"optimum searches: {optm['solved']} solved, "
+              f"{optm['hits']} cache hits, {optm['store_hits']} "
+              f"store-backed, {optm['misses']} misses")
     if args.out:
         Path(args.out).write_text(summary_json + "\n")
         print(f"aggregate written to {args.out}")

@@ -43,6 +43,8 @@ from repro.experiments.runner import (
     clear_optimum_cache,
     derive_rule_spec,
     optimum_cache_info,
+    optimum_result,
+    optimum_results,
     optimum_store,
     optimum_total,
     run_comparison,
@@ -81,6 +83,8 @@ __all__ = [
     "run_comparison",
     "derive_rule_spec",
     "optimum_total",
+    "optimum_result",
+    "optimum_results",
     "clear_optimum_cache",
     "optimum_cache_info",
     "set_optimum_store",

@@ -80,9 +80,14 @@ HOOKS = Registry("hook")
 # -- engine backends -----------------------------------------------------------
 @ENGINES.register("analytical")
 def _analytical_engine(app, *, seed: int = 0, **params):
-    from repro.sim import AnalyticalEngine
+    from repro.sim import AnalyticalEngine, NoiseModel
 
-    return AnalyticalEngine(app, seed=seed, **params)
+    noise = params.pop("noise", None)
+    if noise is not None:
+        # Declarative noise override, e.g. {"sigma": 0, "anomaly_prob": 0}
+        # for the noise-free scans of Fig. 10.
+        noise = NoiseModel(**noise)
+    return AnalyticalEngine(app, seed=seed, noise=noise, **params)
 
 
 @ENGINES.register("des")
@@ -112,9 +117,48 @@ def _rule(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
 def _static(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
     from repro.baselines import StaticAllocator
 
+    bottleneck_rps = params.pop("bottleneck_rps", None)
+    scale = params.pop("scale", 1.0)
     if params:
-        raise TypeError(f"static autoscaler takes no params: {sorted(params)}")
+        raise TypeError(f"unknown static autoscaler params: {sorted(params)}")
+    if bottleneck_rps is not None:
+        # Pin the engine-model bottleneck allocation at a declared
+        # workload (scaled), e.g. the fixed-allocation scans of Fig. 10 —
+        # instead of the headroom-scaled generous start.
+        from repro.sim import AnalyticalEngine
+
+        start = AnalyticalEngine(app).bottleneck_allocation(
+            float(bottleneck_rps)
+        )
+        if scale != 1.0:
+            start = start.scale(scale)
+    elif scale != 1.0:
+        raise TypeError("static 'scale' needs 'bottleneck_rps'")
     return StaticAllocator(start)
+
+
+@AUTOSCALERS.register("optimum")
+def _optimum(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    from repro.baselines import OptimumAllocator
+
+    return OptimumAllocator(app, start, **params)
+
+
+@AUTOSCALERS.register("workload_aware_pema")
+def _workload_aware_pema(app, start, slo, *, seed: int = 0, **params):
+    from repro.core import PEMAConfig, WorkloadAwarePEMA
+
+    start_rps = params.pop("start_rps", None)
+    if start_rps is not None:
+        # The dynamic-range figures start from the generous allocation of
+        # a declared band-high workload, not of the trace's first rate.
+        start = app.generous_allocation(float(start_rps))
+    config = params.pop("config", None)
+    if config is not None:
+        config = PEMAConfig(**config)
+    return WorkloadAwarePEMA(
+        app.service_names, slo, start, config=config, seed=seed, **params
+    )
 
 
 # -- workload traces -----------------------------------------------------------
@@ -169,6 +213,28 @@ def _noisy(**params):
     base = params.pop("base")
     trace = WORKLOADS.build(base["kind"], **base.get("params", {}))
     return NoisyTrace(trace, **params)
+
+
+@WORKLOADS.register("phased")
+def _phased(**params):
+    from repro.workload import PhasedTrace
+
+    phases = []
+    for ph in params.pop("phases"):
+        extra = set(ph) - {"base", "duration"}
+        if extra:
+            raise TypeError(f"unknown phase fields: {sorted(extra)}")
+        phases.append(
+            (
+                WORKLOADS.build(
+                    ph["base"]["kind"], **ph["base"].get("params", {})
+                ),
+                ph.get("duration"),
+            )
+        )
+    if params:
+        raise TypeError(f"unknown phased params: {sorted(params)}")
+    return PhasedTrace(phases)
 
 
 # -- mid-run hooks -------------------------------------------------------------

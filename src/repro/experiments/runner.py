@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
+from copy import deepcopy
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -48,6 +49,8 @@ __all__ = [
     "run_comparison",
     "derive_rule_spec",
     "optimum_total",
+    "optimum_result",
+    "optimum_results",
     "clear_optimum_cache",
     "optimum_cache_info",
     "set_optimum_store",
@@ -60,10 +63,13 @@ OnStep = Callable[[int, ControlLoop], None]
 # (app, workload) points, so results are cached per process — LRU-bounded
 # so open-ended sweeps cannot grow it without limit, and optionally backed
 # by a persistent sweep store (see ``optimum_store``) so searches survive
-# across processes and runs.
+# across processes and runs.  Cache values are full result payloads
+# (total, allocation, evaluations, latency); legacy store entries that
+# only carry ``total_cpu`` still serve ``optimum_total`` and are upgraded
+# in place the first time the full allocation is needed.
 OPTIMUM_CACHE_SIZE = 256
-_OPTM_CACHE: OrderedDict[tuple[str, float, int], float] = OrderedDict()
-_OPTM_STATS = {"hits": 0, "misses": 0}
+_OPTM_CACHE: OrderedDict[tuple[str, float, int], dict[str, Any]] = OrderedDict()
+_OPTM_STATS = {"hits": 0, "misses": 0, "store_hits": 0, "solved": 0}
 _OPTM_STORE: Any | None = None
 
 
@@ -242,48 +248,147 @@ def optimum_store(store: Any | None) -> Iterator[Any | None]:
         set_optimum_store(previous)
 
 
+def _optimum_cache_put(
+    key: tuple[str, float, int], payload: dict[str, Any]
+) -> None:
+    _OPTM_CACHE[key] = payload
+    while len(_OPTM_CACHE) > OPTIMUM_CACHE_SIZE:
+        _OPTM_CACHE.popitem(last=False)
+
+
+def _optimum_lookup(
+    key: tuple[str, float, int], *, need_allocation: bool
+) -> dict[str, Any] | None:
+    """One cell's payload from the LRU cache or the store, with stats."""
+    payload = _OPTM_CACHE.get(key)
+    if payload is not None and (
+        not need_allocation or "allocation" in payload
+    ):
+        _OPTM_STATS["hits"] += 1
+        _OPTM_CACHE.move_to_end(key)
+        return payload
+    _OPTM_STATS["misses"] += 1
+    if _OPTM_STORE is not None:
+        app_name, workload, restarts = key
+        raw = _OPTM_STORE.get_raw(
+            _OPTM_STORE.optimum_key(app_name, workload, restarts)
+        )
+        if (
+            isinstance(raw, dict)
+            and "total_cpu" in raw
+            and (not need_allocation or "allocation" in raw)
+        ):
+            _OPTM_STATS["store_hits"] += 1
+            _optimum_cache_put(key, raw)
+            return raw
+    return None
+
+
+def _optimum_solve(
+    app_name: str, cells: Sequence[tuple[tuple[str, float, int], float]]
+) -> list[dict[str, Any]]:
+    """Batch-solve cells as one lockstep frontier; cache and persist all."""
+    from repro.baselines import OptimumBatch, OptimumRequest
+    from repro.sim import AnalyticalEngine
+
+    app = build_app(app_name)
+    batch = OptimumBatch(AnalyticalEngine(app))
+    results = batch.find_many(
+        [
+            OptimumRequest(workload, restarts=key[2])
+            for key, workload in cells
+        ]
+    )
+    payloads = []
+    for (key, _workload), result in zip(cells, results):
+        _OPTM_STATS["solved"] += 1
+        payload: dict[str, Any] = {
+            "total_cpu": result.total_cpu,
+            "allocation": [
+                [name, value] for name, value in result.allocation.items()
+            ],
+            "evaluations": result.evaluations,
+            "latency": result.latency,
+            "workload": result.workload,
+        }
+        _optimum_cache_put(key, payload)
+        if _OPTM_STORE is not None:
+            _OPTM_STORE.put_raw(
+                _OPTM_STORE.optimum_key(key[0], key[1], key[2]), payload
+            )
+        payloads.append(payload)
+    return payloads
+
+
+def optimum_results(
+    app_name: str, cells: Sequence[tuple[float, int]]
+) -> list[dict[str, Any]]:
+    """Full OPTM payloads for many (workload, restarts) cells of one app.
+
+    Cache and store are consulted per cell; every miss is solved in one
+    :class:`~repro.baselines.OptimumBatch` lockstep frontier drive and
+    written back to both.  Payloads carry ``total_cpu``, the
+    ``allocation`` (name/value pairs in service order), ``evaluations``,
+    ``latency``, and ``workload``.
+    """
+    indices: dict[tuple[str, float, int], list[int]] = {}
+    order: list[tuple[tuple[str, float, int], float]] = []
+    for i, (workload, restarts) in enumerate(cells):
+        key = (app_name, round(float(workload), 6), int(restarts))
+        occurrences = indices.setdefault(key, [])
+        occurrences.append(i)
+        if len(occurrences) == 1:
+            order.append((key, float(workload)))
+    resolved: dict[tuple[str, float, int], dict[str, Any]] = {}
+    missing: list[tuple[tuple[str, float, int], float]] = []
+    for key, workload in order:
+        payload = _optimum_lookup(key, need_allocation=True)
+        if payload is not None:
+            resolved[key] = payload
+        else:
+            missing.append((key, workload))
+    if missing:
+        for (key, _workload), payload in zip(
+            missing, _optimum_solve(app_name, missing)
+        ):
+            resolved[key] = payload
+    payloads: list[dict[str, Any] | None] = [None] * len(cells)
+    for key, occurrences in indices.items():
+        # Repeat occurrences would have hit the cache as sequential calls.
+        _OPTM_STATS["hits"] += len(occurrences) - 1
+        for i in occurrences:
+            # Defensive copy: the cached dict must not alias what callers
+            # receive (and possibly mutate).
+            payloads[i] = deepcopy(resolved[key])
+    assert all(p is not None for p in payloads)
+    return payloads  # type: ignore[return-value]
+
+
+def optimum_result(
+    app_name: str, workload: float, *, restarts: int = 2
+) -> dict[str, Any]:
+    """The full cached OPTM payload for one (app, workload) cell."""
+    return optimum_results(app_name, [(workload, restarts)])[0]
+
+
 def optimum_total(
     app_name: str, workload: float, *, restarts: int = 2
 ) -> float:
     """Cached OPTM total CPU for (app, workload) on the noiseless model."""
-    from repro.baselines import OptimumSearch
-    from repro.sim import AnalyticalEngine
-
-    key = (app_name, round(float(workload), 6), restarts)
-    if key in _OPTM_CACHE:
-        _OPTM_STATS["hits"] += 1
-        _OPTM_CACHE.move_to_end(key)
-        return _OPTM_CACHE[key]
-    _OPTM_STATS["misses"] += 1
-    total: float | None = None
-    if _OPTM_STORE is not None:
-        payload = _OPTM_STORE.get_raw(
-            _OPTM_STORE.optimum_key(app_name, workload, restarts)
-        )
-        if isinstance(payload, dict) and "total_cpu" in payload:
-            total = float(payload["total_cpu"])
-    if total is None:
-        app = build_app(app_name)
-        engine = AnalyticalEngine(app)
-        total = OptimumSearch(engine, restarts=restarts).find(
-            workload
-        ).total_cpu
-        if _OPTM_STORE is not None:
-            _OPTM_STORE.put_raw(
-                _OPTM_STORE.optimum_key(app_name, workload, restarts),
-                {"total_cpu": total},
-            )
-    _OPTM_CACHE[key] = total
-    while len(_OPTM_CACHE) > OPTIMUM_CACHE_SIZE:
-        _OPTM_CACHE.popitem(last=False)
-    return total
+    key = (app_name, round(float(workload), 6), int(restarts))
+    # Legacy store entries carrying only ``total_cpu`` still satisfy this
+    # query, so don't demand the full allocation.
+    payload = _optimum_lookup(key, need_allocation=False)
+    if payload is None:
+        payload = _optimum_solve(app_name, [(key, float(workload))])[0]
+    return float(payload["total_cpu"])
 
 
 def clear_optimum_cache() -> None:
     """Reset the OPTM cache (tests that tweak calibration need this)."""
     _OPTM_CACHE.clear()
-    _OPTM_STATS["hits"] = 0
-    _OPTM_STATS["misses"] = 0
+    for counter in _OPTM_STATS:
+        _OPTM_STATS[counter] = 0
 
 
 def optimum_cache_info() -> dict[str, Any]:
@@ -293,6 +398,8 @@ def optimum_cache_info() -> dict[str, Any]:
         "max_size": OPTIMUM_CACHE_SIZE,
         "hits": _OPTM_STATS["hits"],
         "misses": _OPTM_STATS["misses"],
+        "store_hits": _OPTM_STATS["store_hits"],
+        "solved": _OPTM_STATS["solved"],
         "store_active": _OPTM_STORE is not None,
     }
 

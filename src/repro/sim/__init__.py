@@ -6,7 +6,10 @@ from repro.sim.concurrency import ConcurrencyModel
 from repro.sim.engine import AnalyticalEngine
 from repro.sim.environment import Environment
 from repro.sim.latency import (
+    CellKernel,
+    KernelSignals,
     LatencyParams,
+    NoiselessLatencyKernel,
     end_to_end_latency,
     end_to_end_latency_batch,
     visit_latency,
@@ -26,6 +29,9 @@ __all__ = [
     "CFSModel",
     "DEFAULT_PERIOD",
     "LatencyParams",
+    "NoiselessLatencyKernel",
+    "CellKernel",
+    "KernelSignals",
     "NoiseModel",
     "visit_latency",
     "end_to_end_latency",

@@ -28,20 +28,14 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.sim.cfs import CFSModel
-from repro.sim.concurrency import gamma_quantile, gamma_sf, tail_expectation
-from repro.sim.latency import (
-    LatencyParams,
-    end_to_end_latency_batch,
-    visit_latency,
-)
+from repro.sim.concurrency import gamma_quantile
+from repro.sim.latency import LatencyParams, NoiselessLatencyKernel
 from repro.sim.noise import NoiseModel
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package import cycle
     from repro.apps.spec import AppSpec
 
 __all__ = ["BatchObservation", "BatchedAnalyticalEngine"]
-
-_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -96,11 +90,7 @@ class BatchedAnalyticalEngine:
         self.cfs = cfs or CFSModel()
         self.noise = noise if noise is not None else NoiseModel()
         self._rngs = [np.random.default_rng(int(s)) for s in seeds]
-        self._visits = app.visit_array()
-        self._demands = app.demand_array()
-        self._burst = app.burstiness_array()
-        self._floors = app.floor_array()
-        self._baselines = app.baseline_array()
+        self._kernel = NoiselessLatencyKernel(app, params=self.latency_params)
         self.cpu_speed = np.ones(len(self._rngs), dtype=np.float64)
 
     @property
@@ -136,26 +126,15 @@ class BatchedAnalyticalEngine:
         if np.any(interval <= 0):
             raise ValueError("interval must be positive")
 
-        # Gamma concurrency model, stacked: same formula order as the
-        # scalar engine's ``_concurrency`` + ``ConcurrencyModel``.
-        speed = self.cpu_speed[:, None]
-        mean = (
-            workload[:, None] * self._visits * self._demands + self._baselines
-        ) / speed
-        shape = np.where(mean > _EPS, mean / self._burst, 0.0)
-        scale = self._burst
-
-        exceed = gamma_sf(alloc, shape, scale)
-        excess = tail_expectation(alloc, mean, shape, scale)
-        overload = excess / np.maximum(alloc, _EPS)
-        excess_arr = overload * np.maximum(alloc, 1e-12)
-        frac = self.cfs.throttled_fraction(exceed, excess_arr, alloc)
+        # Deterministic closed forms: the shared noiseless kernel (same
+        # formula order as the scalar engine's ``_concurrency`` +
+        # ``ConcurrencyModel`` + ``_latency_from``).
+        sig = self._kernel.evaluate(alloc, workload, self.cpu_speed)
+        excess_arr = sig.overload * np.maximum(alloc, 1e-12)
+        frac = self.cfs.throttled_fraction(sig.exceed, excess_arr, alloc)
         thr_seconds = frac * interval[:, None]
         thr_seconds[thr_seconds < self.cfs.zero_floor] = 0.0
-
-        floors = self._floors / speed
-        per_visit = visit_latency(floors, overload, exceed, self.latency_params)
-        latency = end_to_end_latency_batch(self._app, per_visit)
+        latency = sig.latency
 
         # Stochastic draws, per cell, in the scalar engine's exact order:
         # the latency-noise factor, then the per-service usage normals.
@@ -167,11 +146,11 @@ class BatchedAnalyticalEngine:
             normals[i] = rng.normal(0.0, 0.03, size=n_services)
         latency = latency * factors
 
-        usage = np.minimum(mean, alloc)
+        usage = np.minimum(sig.mean, alloc)
         svc_noise = np.exp(normals)
         usage_noisy = usage * svc_noise
         util = np.clip(usage_noisy / np.maximum(alloc, 1e-12), 0.0, 1.0)
-        p90 = np.minimum(alloc, gamma_quantile(0.90, shape, scale))
+        p90 = np.minimum(alloc, gamma_quantile(0.90, sig.shape, sig.scale))
 
         return BatchObservation(
             latency_p95=latency,

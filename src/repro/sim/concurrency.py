@@ -94,12 +94,21 @@ def gamma_quantile(
 
 
 def tail_expectation(
-    x: np.ndarray, mean: np.ndarray, shape: np.ndarray, scale: np.ndarray
+    x: np.ndarray,
+    mean: np.ndarray,
+    shape: np.ndarray,
+    scale: np.ndarray,
+    sf: np.ndarray | None = None,
 ) -> np.ndarray:
     """E[(N - x)+] — expected excess concurrency above the allocation.
 
     Uses the Gamma identity ``E[N * 1{N > x}] = mean * SF(x; shape+1, scale)``
     so the whole computation stays in regularized incomplete gammas.
+
+    ``sf`` optionally reuses an already-computed ``gamma_sf(x, shape,
+    scale)`` — the second incomplete gamma below is exactly that value, so
+    callers that need both (every latency evaluation does) skip one ufunc
+    pass with bit-identical results.
     """
     x, mean, shape, scale = _as_arrays(x, mean, shape, scale)
     out = np.zeros(np.broadcast_shapes(x.shape, mean.shape, shape.shape, scale.shape))
@@ -110,7 +119,12 @@ def tail_expectation(
     cs = np.broadcast_to(scale, out.shape)
     xv = np.maximum(xs[valid], 0.0)
     upper = ms[valid] * _sc.gammaincc(ss[valid] + 1.0, xv / cs[valid])
-    out[valid] = np.maximum(upper - xv * _sc.gammaincc(ss[valid], xv / cs[valid]), 0.0)
+    lower = (
+        _sc.gammaincc(ss[valid], xv / cs[valid])
+        if sf is None
+        else np.broadcast_to(np.asarray(sf, dtype=np.float64), out.shape)[valid]
+    )
+    out[valid] = np.maximum(upper - xv * lower, 0.0)
     return out
 
 

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.sim.cfs import CFSModel
 from repro.sim.concurrency import ConcurrencyModel
-from repro.sim.latency import LatencyParams, end_to_end_latency, visit_latency
+from repro.sim.latency import (
+    LatencyParams,
+    NoiselessLatencyKernel,
+    end_to_end_latency,
+    visit_latency,
+)
 from repro.sim.noise import NoiseModel
 from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
 
@@ -70,6 +75,7 @@ class AnalyticalEngine:
         self._floors = app.floor_array()
         self._baselines = app.baseline_array()
         self._cache: dict[tuple[float, float], ConcurrencyModel] = {}
+        self._kernel = NoiselessLatencyKernel(app, params=self.latency_params)
 
     # -- Environment protocol --------------------------------------------------
     @property
@@ -118,13 +124,31 @@ class AnalyticalEngine:
         )
 
     # -- noise-free evaluation (search / tests) ---------------------------------
+    @property
+    def noiseless_kernel(self) -> NoiselessLatencyKernel:
+        """The shared deterministic latency kernel (OPTM evaluates on it)."""
+        return self._kernel
+
     def noiseless_latency(self, allocation: Allocation, workload_rps: float) -> float:
         """Deterministic p95 latency — what OPTM's trial-and-error measures."""
         alloc = allocation.as_array(self._app.service_names)
-        model = self._concurrency(workload_rps)
-        exceed = model.exceed_probability(alloc)
-        overload = model.overload(alloc)
-        return self._latency_from(model, alloc, overload, exceed)
+        return float(self.noiseless_latency_batch(alloc[None, :], workload_rps)[0])
+
+    def noiseless_latency_batch(
+        self, allocs: np.ndarray, workload_rps: float | np.ndarray
+    ) -> np.ndarray:
+        """Noise-free p95 of ``(B, S)`` allocation rows in one kernel call.
+
+        ``workload_rps`` is a scalar shared by the batch or a per-row
+        ``(B,)`` array.  Row ``i`` is bit-identical to
+        ``noiseless_latency`` of that row — both run the shared
+        :class:`~repro.sim.latency.NoiselessLatencyKernel`.
+        """
+        allocs = np.asarray(allocs, dtype=np.float64)
+        workload = np.asarray(workload_rps, dtype=np.float64)
+        if workload.ndim == 0:
+            workload = np.full(allocs.shape[0], float(workload))
+        return self._kernel.latency(allocs, workload, self._cpu_speed)
 
     def bottleneck_allocation(self, workload_rps: float) -> Allocation:
         """Per-service bottleneck resources at this workload (Fig. 8 knee)."""

@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.sim.concurrency import gamma_sf, tail_expectation
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.apps.spec import AppSpec
 
@@ -35,7 +37,12 @@ __all__ = [
     "visit_latency",
     "end_to_end_latency",
     "end_to_end_latency_batch",
+    "KernelSignals",
+    "NoiselessLatencyKernel",
+    "CellKernel",
 ]
+
+_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -150,3 +157,305 @@ def end_to_end_latency_batch(app: "AppSpec", per_visit: np.ndarray) -> np.ndarra
             class_latency += branch + app.hop_latency
         total += rc.weight * class_latency
     return total
+
+
+class _AggregationPlan:
+    """Index-array form of an app's execution plans for fast aggregation.
+
+    ``aggregate`` computes exactly what :func:`end_to_end_latency_batch`
+    computes — per-entry terms, left-folded stage maxima, left-folded
+    stage sums per class, weighted class sum — via ``ufunc.reduceat``
+    (which applies the ufunc sequentially over each slice, preserving the
+    walk's operation order bit-for-bit) instead of ~4 NumPy calls per
+    plan entry.
+    """
+
+    def __init__(self, app: "AppSpec") -> None:
+        index = {name: j for j, name in enumerate(app.service_names)}
+        svc: list[int] = []
+        visits: list[float] = []
+        stage_starts: list[int] = []
+        class_stages: list[list[int]] = []
+        weights: list[float] = []
+        for rc in app.request_classes:
+            weights.append(rc.weight)
+            stages: list[int] = []
+            for stage in rc.stages:
+                stages.append(len(stage_starts))
+                stage_starts.append(len(svc))
+                for name, count in stage.parallel:
+                    svc.append(index[name])
+                    visits.append(count)
+            class_stages.append(stages)
+        self._svc = np.asarray(svc, dtype=np.intp)
+        self._visits = np.asarray(visits, dtype=np.float64)
+        self._stage_starts = np.asarray(stage_starts, dtype=np.intp)
+        self._n_stages = len(stage_starts)
+        # (C, M) stage-column gather map, right-padded with a sentinel
+        # column that holds exactly 0.0 — ``x + 0.0`` is bitwise ``x`` for
+        # the positive stage latencies, so padding preserves the fold.
+        width = max(len(stages) for stages in class_stages)
+        self._stage_index = np.asarray(
+            [
+                stages + [self._n_stages] * (width - len(stages))
+                for stages in class_stages
+            ],
+            dtype=np.intp,
+        )
+        self._weights = weights
+        self._hop = app.hop_latency
+
+    def aggregate(self, per_visit: np.ndarray) -> np.ndarray:
+        """``(B, S)`` per-visit latencies → ``(B,)`` end-to-end p95s.
+
+        ``maximum.reduceat`` is order-independent bit-for-bit (the max of
+        a set of non-NaN floats is one of them); the stage-sum fold and
+        the weighted class sum run in the walk's exact sequential order.
+        """
+        batch = per_visit.shape[0]
+        terms = per_visit[:, self._svc] * self._visits
+        stage_max = np.maximum.reduceat(terms, self._stage_starts, axis=1)
+        stage_latency = np.empty((batch, self._n_stages + 1), dtype=np.float64)
+        stage_latency[:, : self._n_stages] = stage_max + self._hop
+        stage_latency[:, self._n_stages] = 0.0
+        padded = stage_latency[:, self._stage_index]  # (B, C, M)
+        class_latency = padded[:, :, 0].copy()
+        for m in range(1, padded.shape[2]):
+            class_latency += padded[:, :, m]
+        total = np.zeros(batch, dtype=np.float64)
+        for c, weight in enumerate(self._weights):
+            total += weight * class_latency[:, c]
+        return total
+
+
+@dataclass(frozen=True)
+class KernelSignals:
+    """Deterministic signals of one batched noiseless evaluation.
+
+    Everything downstream evaluators need beyond the latency itself:
+    scalars are ``(B,)``, per-service signals ``(B, S)`` (``scale`` is the
+    workload-independent ``(S,)`` Gamma scale).
+    """
+
+    mean: np.ndarray
+    shape: np.ndarray
+    scale: np.ndarray
+    exceed: np.ndarray
+    overload: np.ndarray
+    per_visit: np.ndarray
+    latency: np.ndarray
+
+
+class NoiselessLatencyKernel:
+    """The one deterministic ``(B, S) → (B,)`` p95-latency implementation.
+
+    Scalar :meth:`repro.sim.engine.AnalyticalEngine.noiseless_latency`,
+    the :class:`~repro.sim.batched.BatchedAnalyticalEngine` observation
+    path, and the OPTM frontier search all evaluate allocations through
+    this kernel, so a latency computed anywhere in the codebase is the
+    same IEEE float64 value: the Gamma concurrency closed forms, the
+    visit-latency inflation, and the end-to-end aggregation are applied
+    elementwise across the batch in the exact scalar operation order.
+    """
+
+    def __init__(self, app: "AppSpec", *, params: LatencyParams | None = None):
+        self._app = app
+        self.params = params or LatencyParams()
+        self._visits = app.visit_array()
+        self._demands = app.demand_array()
+        self._burst = app.burstiness_array()
+        self._floors = app.floor_array()
+        self._baselines = app.baseline_array()
+        self._plan = _AggregationPlan(app)
+
+    @property
+    def app(self) -> "AppSpec":
+        return self._app
+
+    def evaluate(
+        self,
+        alloc: np.ndarray,
+        workload_rps: np.ndarray,
+        cpu_speed: float | np.ndarray = 1.0,
+    ) -> KernelSignals:
+        """All deterministic signals for a ``(B, S)`` batch of allocations.
+
+        ``workload_rps`` is ``(B,)``; ``cpu_speed`` is a scalar shared by
+        the batch or a per-row ``(B,)`` array.
+        """
+        alloc = np.asarray(alloc, dtype=np.float64)
+        workload = np.asarray(workload_rps, dtype=np.float64)
+        n_services = len(self._app.service_names)
+        if alloc.ndim != 2 or alloc.shape[1] != n_services:
+            raise ValueError(
+                f"alloc must be (B, {n_services}): {alloc.shape}"
+            )
+        if workload.shape != (alloc.shape[0],):
+            raise ValueError(
+                f"workload must be ({alloc.shape[0]},): {workload.shape}"
+            )
+        if np.any(workload < 0):
+            raise ValueError("workload must be >= 0")
+        speed = np.asarray(cpu_speed, dtype=np.float64)
+        col = speed if speed.ndim == 0 else speed[:, None]
+
+        mean = (
+            workload[:, None] * self._visits * self._demands + self._baselines
+        ) / col
+        shape = np.where(mean > _EPS, mean / self._burst, 0.0)
+        scale = self._burst
+        exceed = gamma_sf(alloc, shape, scale)
+        excess = tail_expectation(alloc, mean, shape, scale, sf=exceed)
+        overload = excess / np.maximum(alloc, _EPS)
+        floors = self._floors / col
+        per_visit = visit_latency(floors, overload, exceed, self.params)
+        latency = self._plan.aggregate(per_visit)
+        return KernelSignals(
+            mean=mean,
+            shape=shape,
+            scale=scale,
+            exceed=exceed,
+            overload=overload,
+            per_visit=per_visit,
+            latency=latency,
+        )
+
+    def latency(
+        self,
+        alloc: np.ndarray,
+        workload_rps: np.ndarray,
+        cpu_speed: float | np.ndarray = 1.0,
+    ) -> np.ndarray:
+        """Noise-free p95 latency of every row — what OPTM probes measure."""
+        return self.evaluate(alloc, workload_rps, cpu_speed).latency
+
+    def cell(
+        self, workload_rps: float, cpu_speed: float = 1.0
+    ) -> "CellKernel":
+        """A fixed-(workload, speed) evaluator with per-level memoization."""
+        return CellKernel(self, workload_rps, cpu_speed)
+
+
+class CellKernel:
+    """Frontier evaluator for one (workload, cpu-speed) operating point.
+
+    A coordinate search probes allocations that differ from their
+    neighbours in one or two services, so the same per-service
+    ``(service, level) → visit latency`` values recur thousands of times.
+    Visit latency is elementwise in the allocation, so this evaluator
+    memoizes it per (service, level): cold pairs are computed through the
+    same Gamma closed forms as :meth:`NoiselessLatencyKernel.evaluate`
+    (gathered into one vectorized call per batch), warm pairs come from
+    the memo, and only the end-to-end aggregation runs per row.  Every
+    returned latency is bit-identical to a fresh
+    :meth:`NoiselessLatencyKernel.latency` call on the same rows — the
+    memo only skips recomputing IEEE-identical elementwise values.
+    """
+
+    def __init__(
+        self, kernel: NoiselessLatencyKernel, workload_rps: float, cpu_speed: float
+    ) -> None:
+        if workload_rps < 0:
+            raise ValueError("workload must be >= 0")
+        self._app = kernel.app
+        self.params = kernel.params
+        speed = np.float64(cpu_speed)
+        self._mean = (
+            np.float64(workload_rps) * kernel._visits * kernel._demands
+            + kernel._baselines
+        ) / speed
+        self._shape = np.where(
+            self._mean > _EPS, self._mean / kernel._burst, 0.0
+        )
+        self._scale = kernel._burst
+        self._floors = kernel._floors / speed
+        self._plan = kernel._plan
+        # Wrapper-free Gamma path: the degenerate-service masks of
+        # gamma_sf / tail_expectation depend only on (shape, scale, mean),
+        # fixed here, so they are precomputed once.  When every service is
+        # non-degenerate (the calibrated apps), the ufuncs apply directly —
+        # masked assignment into zeros with an all-true mask is the same
+        # values, so this is bitwise what the wrappers produce.
+        self._sf_valid = (self._shape > _EPS) & (self._scale > _EPS)
+        self._te_valid = self._sf_valid & (self._mean > _EPS)
+        self._all_valid = bool(self._te_valid.all())
+        self._memo: list[dict[float, float]] = [
+            {} for _ in kernel._visits
+        ]
+
+    def _fill_memo(self, services: list[int], levels: list[float]) -> None:
+        """Compute the missing (service, level) visit latencies, vectorized."""
+        from scipy import special as _sc
+
+        jv = np.asarray(services, dtype=np.intp)
+        xv = np.asarray(levels, dtype=np.float64)
+        shape = self._shape[jv]
+        scale = self._scale[jv]
+        mean = self._mean[jv]
+        if self._all_valid:
+            xs = np.maximum(xv, 0.0)
+            exceed = _sc.gammaincc(shape, xs / scale)
+            upper = mean * _sc.gammaincc(shape + 1.0, xs / scale)
+            excess = np.maximum(upper - xs * exceed, 0.0)
+        else:
+            exceed = gamma_sf(xv, shape, scale)
+            excess = tail_expectation(xv, mean, shape, scale, sf=exceed)
+        overload = excess / np.maximum(xv, _EPS)
+        values = visit_latency(self._floors[jv], overload, exceed, self.params)
+        for j, level, value in zip(services, levels, values):
+            self._memo[j][level] = float(value)
+
+    def latency(self, alloc: np.ndarray) -> np.ndarray:
+        """Noise-free p95 latency of ``(K, S)`` allocation rows."""
+        rows = np.asarray(alloc, dtype=np.float64)
+        n_services = len(self._app.service_names)
+        if rows.ndim != 2 or rows.shape[1] != n_services:
+            raise ValueError(f"alloc must be (K, {n_services}): {rows.shape}")
+        if rows.shape[0] == 1:
+            # Single probe (bisection levels, feasibility/summary checks):
+            # straight memo lookups, no column analysis.
+            row = rows[0]
+            miss = [j for j in range(n_services) if float(row[j]) not in self._memo[j]]
+            if miss:
+                self._fill_memo(miss, [float(row[j]) for j in miss])
+            per_visit = np.asarray(
+                [self._memo[j][float(row[j])] for j in range(n_services)]
+            )
+            return self._plan.aggregate(per_visit[None, :])
+        # Most columns hold a single level across the whole batch (the
+        # frontier varies one or two services per row): detect them in one
+        # vectorized pass, resolve them by memo lookup, and np.unique only
+        # the varying columns.
+        first_row = rows[0]
+        constant = (rows == first_row).all(axis=0)
+        varying: list[tuple[int, list[float], np.ndarray]] = []
+        miss_j: list[int] = []
+        miss_v: list[float] = []
+        for j in np.flatnonzero(~constant):
+            unique, inverse = np.unique(rows[:, j], return_inverse=True)
+            levels = [float(u) for u in unique]
+            memo = self._memo[j]
+            # Levels are unique within a column, so no duplicate misses.
+            for level in levels:
+                if level not in memo:
+                    miss_j.append(j)
+                    miss_v.append(level)
+            varying.append((j, levels, inverse))
+        for j in np.flatnonzero(constant):
+            if float(first_row[j]) not in self._memo[j]:
+                miss_j.append(j)
+                miss_v.append(float(first_row[j]))
+        if miss_j:
+            self._fill_memo(miss_j, miss_v)
+        per_visit = np.empty_like(rows)
+        const_values = [
+            self._memo[j][float(first_row[j])]
+            for j in np.flatnonzero(constant)
+        ]
+        per_visit[:, constant] = const_values
+        for j, levels, inverse in varying:
+            memo = self._memo[j]
+            per_visit[:, j] = np.asarray([memo[level] for level in levels])[
+                inverse
+            ]
+        return self._plan.aggregate(per_visit)

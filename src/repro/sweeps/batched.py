@@ -56,7 +56,7 @@ def batch_from_env(default: bool = False) -> bool:
     return value.strip().lower() in ("1", "true", "yes", "on")
 
 #: Autoscaler kinds with a vectorized implementation.
-BATCHABLE_AUTOSCALERS = ("pema", "rule", "static")
+BATCHABLE_AUTOSCALERS = ("pema", "rule", "static", "optimum")
 
 #: Hook kinds the batched loop can dispatch (``set_slo`` only drives a
 #: PEMA bank; other autoscalers have no ``set_slo``, exactly as scalar).
@@ -101,11 +101,59 @@ def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
             RuleBasedAutoscaler(
                 Allocation({"probe": 1.0}), **spec.autoscaler.params
             )
+        elif kind == "optimum":
+            params = dict(spec.autoscaler.params)
+            restarts = params.pop("restarts", 2)
+            if params or not isinstance(restarts, int) or restarts < 1:
+                return None
         elif spec.autoscaler.params:  # static takes no params
             return None
     except (TypeError, ValueError):
         return None
     return (spec.app, kind, spec.n_steps)
+
+
+class _OptimumBank:
+    """Vectorized :class:`~repro.baselines.OptimumAllocator` bank.
+
+    Each cell pins the cached noiseless optimum for its observed
+    workload, re-solving only when the workload changes.  All cells'
+    pending solves go through one ``optimum_results`` call per step —
+    cache/store read-through plus a single lockstep
+    :class:`~repro.baselines.OptimumBatch` frontier drive for the misses
+    — so a sweep's OPTM column warms exactly the entries the scalar
+    allocator would.
+    """
+
+    def __init__(self, app, restarts: Sequence[int], start: np.ndarray) -> None:
+        self._app = app
+        self._restarts = list(restarts)
+        self.allocation = start.copy()
+        self._workloads: list[float | None] = [None] * len(self._restarts)
+        self._order = {name: j for j, name in enumerate(app.service_names)}
+
+    def step(self, workloads: np.ndarray) -> np.ndarray:
+        pending = [
+            i
+            for i, w in enumerate(workloads)
+            if self._workloads[i] is None or float(w) != self._workloads[i]
+        ]
+        if pending:
+            from repro.experiments.runner import optimum_results
+
+            payloads = optimum_results(
+                self._app.name,
+                [(float(workloads[i]), self._restarts[i]) for i in pending],
+            )
+            allocation = self.allocation.copy()
+            for i, payload in zip(pending, payloads):
+                values = dict(payload["allocation"])
+                allocation[i] = [
+                    values[name] for name in self._app.service_names
+                ]
+                self._workloads[i] = float(workloads[i])
+            self.allocation = allocation
+        return self.allocation
 
 
 def _generous_batch(app, rates: np.ndarray, headrooms: np.ndarray) -> np.ndarray:
@@ -173,7 +221,7 @@ def run_units_batched(
             else PEMAConfig()
             for s in specs
         ]
-        bank: PEMABatch | RuleBatch | None = PEMABatch(
+        bank: PEMABatch | RuleBatch | _OptimumBank | None = PEMABatch(
             names, slos, start, configs, seeds
         )
         allocation = bank.allocation
@@ -185,6 +233,13 @@ def run_units_batched(
             for i, s in enumerate(specs)
         ]
         bank = RuleBatch(start, scalers)
+        allocation = bank.allocation
+    elif kind == "optimum":
+        bank = _OptimumBank(
+            app,
+            [int(s.autoscaler.params.get("restarts", 2)) for s in specs],
+            start,
+        )
         allocation = bank.allocation
     else:  # static — the allocation simply never changes
         bank = None
@@ -240,6 +295,8 @@ def run_units_batched(
             allocation = bank.step(obs, step_totals)
         elif isinstance(bank, RuleBatch):
             allocation = bank.step(obs.usage_cores, obs.usage_p90_cores)
+        elif isinstance(bank, _OptimumBank):
+            allocation = bank.step(obs.workload_rps)
 
     payloads: list[dict[str, Any]] = []
     for i in range(n_cells):

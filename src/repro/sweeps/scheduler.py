@@ -26,13 +26,17 @@ runs all produce byte-identical artifacts.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.bench.parallel import run_parallel
 from repro.experiments.artifact import ExperimentArtifact
-from repro.experiments.runner import _run_unit_worker, optimum_store
+from repro.experiments.runner import (
+    _run_unit_worker,
+    optimum_cache_info,
+    optimum_store,
+)
 from repro.experiments.spec import ExperimentSpec
 from repro.metrics.export import loop_result_from_dict
 from repro.sweeps.grid import SweepCell, SweepGrid
@@ -86,12 +90,16 @@ class SweepReport:
     seconds: float
     batched_units: int = 0
     scalar_units: int = 0
+    optimum: dict[str, Any] = field(default_factory=dict)
+    """In-process OPTM cache activity during the sweep: hits, misses,
+    store-backed loads, and fresh solves (``optimum_cache_info`` deltas;
+    solves inside scalar worker processes are not visible here)."""
 
     @property
     def units_per_sec(self) -> float:
         return self.units / self.seconds if self.seconds > 0 else 0.0
 
-    def to_dict(self) -> dict[str, float | int]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "specs": self.specs,
             "units": self.units,
@@ -102,6 +110,7 @@ class SweepReport:
             "units_per_sec": self.units_per_sec,
             "batched_units": self.batched_units,
             "scalar_units": self.scalar_units,
+            "optimum": dict(self.optimum),
         }
 
 
@@ -178,6 +187,7 @@ def run_sweep_cached(
     grows accordingly, since a chunk is also the largest possible batch.
     """
     start_time = perf_counter()
+    optimum_before = optimum_cache_info()
     specs = list(specs)
     if parallel < 1:
         raise ValueError("parallel must be >= 1")
@@ -294,6 +304,7 @@ def run_sweep_cached(
         )
         for spec_index, spec in enumerate(specs)
     ]
+    optimum_after = optimum_cache_info()
     report = SweepReport(
         specs=len(specs),
         units=len(tasks),
@@ -303,6 +314,10 @@ def run_sweep_cached(
         seconds=perf_counter() - start_time,
         batched_units=batched_units,
         scalar_units=scalar_units,
+        optimum={
+            counter: optimum_after[counter] - optimum_before[counter]
+            for counter in ("hits", "misses", "store_hits", "solved")
+        },
     )
     return artifacts, report
 

@@ -7,12 +7,19 @@ from repro.workload.generators import (
     SinusoidalWorkload,
     StepWorkload,
 )
-from repro.workload.trace import NoisyTrace, ScaledTrace, WorkloadTrace, sample_range
+from repro.workload.trace import (
+    NoisyTrace,
+    PhasedTrace,
+    ScaledTrace,
+    WorkloadTrace,
+    sample_range,
+)
 from repro.workload.wikipedia import WikipediaTrace
 
 __all__ = [
     "WorkloadTrace",
     "NoisyTrace",
+    "PhasedTrace",
     "ScaledTrace",
     "sample_range",
     "ConstantWorkload",

@@ -12,7 +12,13 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["WorkloadTrace", "NoisyTrace", "ScaledTrace", "sample_range"]
+__all__ = [
+    "WorkloadTrace",
+    "NoisyTrace",
+    "ScaledTrace",
+    "PhasedTrace",
+    "sample_range",
+]
 
 
 @runtime_checkable
@@ -50,6 +56,42 @@ class NoisyTrace:
         bucket = int(np.floor(t / self.period))
         rng = np.random.default_rng((self.seed, bucket))
         return max(0.0, base * float(np.exp(rng.normal(0.0, self.sigma))))
+
+
+class PhasedTrace:
+    """Sequential phases, each with its own trace and a restarted clock.
+
+    ``phases`` is a list of ``(trace, duration)`` pairs; the last phase
+    may have ``duration=None`` (open-ended).  Each phase's trace is
+    queried with time measured from its own start, so a multi-stage
+    scenario (train on a sinusoid, then replay a burst) reproduces the
+    exact per-phase rates of running the phases as separate loops.
+    """
+
+    def __init__(
+        self, phases: list[tuple[WorkloadTrace, float | None]]
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        for i, (_trace, duration) in enumerate(phases):
+            if duration is None:
+                if i != len(phases) - 1:
+                    raise ValueError(
+                        "only the last phase may be open-ended"
+                    )
+            elif duration <= 0:
+                raise ValueError("phase durations must be positive")
+        self.phases = list(phases)
+
+    def rate(self, t: float) -> float:
+        start = 0.0
+        for trace, duration in self.phases:
+            if duration is None or t < start + duration:
+                return trace.rate(t - start)
+            start += duration
+        # Past the end of a fully-bounded schedule: the last phase holds,
+        # clocked from its own start.
+        return self.phases[-1][0].rate(t - (start - self.phases[-1][1]))
 
 
 class ScaledTrace:

@@ -359,6 +359,25 @@ class TestGridEquivalence:
         ]
         assert grid_summary_json(scalar) == grid_summary_json(batched)
 
+    def test_ported_figure_grids_validate_and_partition(self):
+        # fig10 cells carry static params + engine noise overrides and
+        # fig18 uses the workload-aware manager: scalar fallback.  fig11
+        # is plain PEMA: batchable.
+        from repro.sweeps.batched import batch_key
+
+        for name, batchable in (
+            ("fig10_workload_response", False),
+            ("fig11_pema_sockshop", True),
+            ("fig18_burst", False),
+        ):
+            grid = SweepGrid.read(f"benchmarks/grids/{name}.json")
+            grid.validate()
+            keys = {batch_key(cell.spec) for cell in grid.cells()}
+            if batchable:
+                assert None not in keys, name
+            else:
+                assert keys == {None}, name
+
     def test_fig15_grid_byte_identical(self):
         # The acceptance-criterion grid: three apps, PEMA (3 repeats) and
         # RULE (30-step) cells — six batch groups.

@@ -135,6 +135,71 @@ class TestRegistry:
         )
         assert noisy.rate(0.0) == 100.0
 
+    def test_phased_workload_builder(self):
+        trace = WORKLOADS.build(
+            "phased",
+            phases=[
+                {"duration": 60.0,
+                 "base": {"kind": "constant", "params": {"rps": 5.0}}},
+                {"base": {"kind": "ramp",
+                          "params": {"start_rps": 10.0, "end_rps": 20.0,
+                                     "duration": 100.0}}},
+            ],
+        )
+        assert trace.rate(30.0) == 5.0
+        assert trace.rate(60.0) == 10.0  # phase clock restarts
+        with pytest.raises(TypeError, match="unknown phased"):
+            WORKLOADS.build("phased", phases=[], bogus=1)
+
+    def test_analytical_noise_override(self):
+        from repro.apps import build_app
+
+        app = build_app("sockshop")
+        engine = ENGINES.build(
+            "analytical", app, seed=0,
+            noise={"sigma": 0.0, "anomaly_prob": 0.0},
+        )
+        alloc = app.generous_allocation(700.0)
+        metrics = engine.observe(alloc, 700.0)
+        # noise factor is exactly 1.0: observed == noiseless
+        assert metrics.latency_p95 == engine.noiseless_latency(alloc, 700.0)
+
+    def test_static_bottleneck_params(self):
+        from repro.apps import build_app
+        from repro.sim import AnalyticalEngine
+
+        app = build_app("sockshop")
+        scaler = AUTOSCALERS.build(
+            "static", app, app.generous_allocation(400.0), app.slo,
+            bottleneck_rps=1000.0, scale=1.15,
+        )
+        expected = AnalyticalEngine(app).bottleneck_allocation(1000.0)
+        assert scaler.allocation == expected.scale(1.15)
+        with pytest.raises(TypeError, match="needs 'bottleneck_rps'"):
+            AUTOSCALERS.build(
+                "static", app, app.generous_allocation(400.0), app.slo,
+                scale=1.15,
+            )
+        with pytest.raises(TypeError, match="unknown static"):
+            AUTOSCALERS.build(
+                "static", app, app.generous_allocation(400.0), app.slo,
+                bogus=1,
+            )
+
+    def test_workload_aware_pema_builder(self):
+        from repro.apps import build_app
+        from repro.core import WorkloadAwarePEMA
+
+        app = build_app("sockshop")
+        manager = AUTOSCALERS.build(
+            "workload_aware_pema", app, app.generous_allocation(400.0),
+            app.slo, seed=51, start_rps=800.0, workload_low=300.0,
+            workload_high=800.0, min_range_width=62.5, split_after=8,
+            slope_samples=5,
+        )
+        assert isinstance(manager, WorkloadAwarePEMA)
+        assert manager.allocation == app.generous_allocation(800.0)
+
 
 class TestRunner:
     def test_artifact_shape(self):

@@ -463,29 +463,38 @@ class TestAggregate:
         assert "cell" in table and "one" in table
 
 
-class FakeSearch:
-    """Stands in for OptimumSearch: cheap, counts invocations."""
+class FakeBatch:
+    """Stands in for OptimumBatch: cheap, counts solved cells."""
 
     calls = 0
 
-    def __init__(self, engine, restarts=2, **_kw):
-        self.restarts = restarts
+    def __init__(self, engine, **_kw):
+        self.engine = engine
 
-    def find(self, workload):
-        type(self).calls += 1
+    def find_many(self, requests):
+        from repro.baselines import OptimumResult
+        from repro.sim import Allocation
 
-        class R:
-            total_cpu = float(workload) / 100.0
-
-        return R()
+        results = []
+        for req in requests:
+            type(self).calls += 1
+            results.append(
+                OptimumResult(
+                    allocation=Allocation({"svc": req.workload / 100.0}),
+                    latency=0.1,
+                    workload=req.workload,
+                    evaluations=5,
+                )
+            )
+        return results
 
 
 @pytest.fixture
 def fake_optimum(monkeypatch):
-    FakeSearch.calls = 0
-    monkeypatch.setattr(repro.baselines, "OptimumSearch", FakeSearch)
+    FakeBatch.calls = 0
+    monkeypatch.setattr(repro.baselines, "OptimumBatch", FakeBatch)
     clear_optimum_cache()
-    yield FakeSearch
+    yield FakeBatch
     clear_optimum_cache()
 
 

@@ -7,6 +7,7 @@ from repro.workload import (
     BurstWorkload,
     ConstantWorkload,
     NoisyTrace,
+    PhasedTrace,
     RampWorkload,
     ScaledTrace,
     SinusoidalWorkload,
@@ -128,3 +129,45 @@ class TestWikipedia:
             WikipediaTrace(low_rps=500.0, high_rps=400.0)
         with pytest.raises(ValueError):
             WikipediaTrace(jitter=-0.1)
+
+
+class TestPhasedTrace:
+    def test_clock_restarts_per_phase(self):
+        ramp = RampWorkload(start_rps=100.0, end_rps=200.0, duration=50.0)
+        trace = PhasedTrace([(ConstantWorkload(10.0), 30.0), (ramp, None)])
+        assert trace.rate(0.0) == 10.0
+        assert trace.rate(29.9) == 10.0
+        # phase 2 sees its own t=0: the ramp starts over
+        assert trace.rate(30.0) == ramp.rate(0.0)
+        assert trace.rate(55.0) == ramp.rate(25.0)
+
+    def test_bounded_schedule_holds_last_phase(self):
+        trace = PhasedTrace(
+            [(ConstantWorkload(10.0), 30.0), (ConstantWorkload(20.0), 30.0)]
+        )
+        assert trace.rate(45.0) == 20.0
+        # past the end: the last phase keeps its own clock
+        assert trace.rate(500.0) == 20.0
+
+    def test_matches_sequential_loops(self):
+        """A phased trace replays exactly what separate loops would see."""
+        noisy = NoisyTrace(
+            SinusoidalWorkload(low=50.0, high=150.0, period=600.0),
+            sigma=0.1,
+            seed=7,
+        )
+        burst = BurstWorkload(40.0, [(120.0, 60.0, 90.0)])
+        trace = PhasedTrace([(noisy, 600.0), (burst, None)])
+        for step in range(5):
+            assert trace.rate(step * 120.0) == noisy.rate(step * 120.0)
+        for step in range(5):
+            assert trace.rate(600.0 + step * 120.0) == burst.rate(step * 120.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedTrace([])
+        with pytest.raises(ValueError):
+            PhasedTrace([(ConstantWorkload(1.0), None),
+                         (ConstantWorkload(2.0), 10.0)])
+        with pytest.raises(ValueError):
+            PhasedTrace([(ConstantWorkload(1.0), 0.0)])
