@@ -5,44 +5,34 @@ trace; PEMA's total CPU tracks the workload (it is not a simple
 proportional scaling — distribution matters), and the normalized response
 stays at or below the SLO almost everywhere, with the moving average
 smoothing transient dips.
+
+The whole scenario is ``benchmarks/grids/fig14_extended.json``: one
+1080-interval replay cell (the synthetic Wikipedia diurnal trace as a
+declarative ``replay`` segment bounded at 36 hours) with the
+``manager_state`` channel captured, so the range-tree refinement this
+report asserts comes from the persisted artifact.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from benchmarks._grids import run_figure_grid
 from benchmarks._report import emit
-from repro.apps import build_app
 from repro.bench import format_table
-from repro.core import ControlLoop, WorkloadAwarePEMA
-from repro.sim import AnalyticalEngine
-from repro.workload import WikipediaTrace
 
 HOURS = 36
 STEPS = HOURS * 30  # 2-minute control intervals
 
 
 def run_fig14():
-    app = build_app("sockshop")
-    manager = WorkloadAwarePEMA(
-        app.service_names,
-        app.slo,
-        app.generous_allocation(1100.0),
-        workload_low=200.0,
-        workload_high=1100.0,
-        min_range_width=112.5,
-        split_after=10,
-        slope_samples=6,
-        seed=41,
-    )
-    trace = WikipediaTrace(low_rps=200.0, high_rps=1100.0, seed=42)
-    engine = AnalyticalEngine(app, seed=43)
-    result = ControlLoop(engine, manager, trace, slo=app.slo).run(STEPS)
-    return manager, result
+    run = run_figure_grid("fig14_extended")
+    artifact = run.artifacts[0]
+    return artifact.manager_state(0), artifact.results[0]
 
 
 def test_fig14_extended(benchmark):
-    manager, result = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    state, result = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
     rows = []
     for hour in range(0, HOURS, 2):
         idx = hour * 30
@@ -58,6 +48,9 @@ def test_fig14_extended(benchmark):
     corr = float(
         np.corrcoef(result.workloads[60:], result.total_cpu[60:])[0, 1]
     )
+    range_labels = [
+        f"{r['low']:g}~{r['high']:g}" for r in state["ranges"]
+    ]
     emit(
         "fig14_extended",
         format_table(
@@ -67,11 +60,11 @@ def test_fig14_extended(benchmark):
             f"(CPU-vs-workload correlation {corr:.2f}; "
             f"violations {result.violation_count()}/{len(result)})",
         )
-        + f"\n\nfinal ranges: {', '.join(manager.range_labels())}",
+        + f"\n\nfinal ranges: {', '.join(range_labels)}",
     )
     # CPU tracks the diurnal workload.
     assert corr > 0.6
     # QoS: response below SLO almost everywhere.
     assert result.violation_rate() < 0.10
     # The workload range tree was actually refined.
-    assert len(manager.tree.splits) >= 3
+    assert len(state["splits"]) >= 3

@@ -1,0 +1,180 @@
+"""CI performance gate: trace-replay sweep cells, batched vs scalar.
+
+The replay-specific counterpart of ``sweep_gate.py``:
+
+* **equivalence** — cold scalar and cold batched runs of the replay
+  smoke grid must produce byte-identical aggregate summaries and
+  byte-identical cache entries;
+* **manager state** — every unit of the manager-state grid (replay cells
+  under the workload-aware manager with the ``manager_state`` channel
+  captured) must persist a non-null range-tree snapshot, byte-identical
+  across modes and present after a warm (all-cache-hit) rerun;
+* **throughput** — batched cold replay cells/sec must be at least
+  ``--min-speedup`` times scalar (best-of ``--repeats`` storeless runs).
+
+Writes a ``BENCH_replay.json`` artifact with the measured numbers either
+way, and exits non-zero when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/replay_gate.py \
+        --out BENCH_replay.json --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.sweeps import (
+    SweepGrid,
+    SweepStore,
+    grid_summary_json,
+    run_grid,
+    run_sweep_cached,
+)
+
+
+def _store_bytes(store: SweepStore) -> list[bytes]:
+    return sorted(path.read_bytes() for path in store.entry_paths())
+
+
+def _timed_cells_per_sec(specs, *, batch: bool, repeats: int) -> dict:
+    """Best-of-``repeats`` cold throughput of one mode (no store I/O)."""
+    best = None
+    for _ in range(repeats):
+        _, report = run_sweep_cached(specs, batch=batch)
+        if best is None or report.seconds < best.seconds:
+            best = report
+    return {
+        "seconds": best.seconds,
+        "cells_per_sec": best.units_per_sec,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid", default="benchmarks/grids/ci_replay_smoke.json")
+    parser.add_argument("--state-grid",
+                        default="benchmarks/grids/ci_replay_state.json")
+    parser.add_argument("--out", default="BENCH_replay.json")
+    parser.add_argument("--cache-root", default=None,
+                        help="directory for the per-mode caches "
+                        "(default: a fresh temporary directory)")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="cold timing runs per mode (best one counts)")
+    args = parser.parse_args(argv)
+
+    tmp_cache = None
+    if args.cache_root:
+        cache_root = Path(args.cache_root)
+    else:  # don't litter the working tree with cache entries
+        tmp_cache = tempfile.TemporaryDirectory(prefix="replay-gate-cache-")
+        cache_root = Path(tmp_cache.name)
+
+    failures: list[str] = []
+    bench: dict = {"min_speedup": args.min_speedup}
+
+    for label, grid_path in (("smoke", args.grid), ("state", args.state_grid)):
+        grid = SweepGrid.read(grid_path)
+        cells = grid.cells()
+        units = sum(cell.spec.repeats for cell in cells)
+        summaries: dict[str, str] = {}
+        stores: dict[str, SweepStore] = {}
+        section: dict = {"grid": grid.name, "units": units}
+        for mode, batch in (("scalar", False), ("batched", True)):
+            store = stores[mode] = SweepStore(cache_root / label / mode)
+            store.clear()
+            cold = run_grid(grid, store=store, batch=batch, cells=cells)
+            warm = run_grid(grid, store=store, batch=batch, cells=cells)
+            summaries[mode] = grid_summary_json(cold)
+            if cold.report.cache_hits != 0:
+                failures.append(f"{label}/{mode}: cold run was warm")
+            if warm.report.cache_hits != units or warm.report.computed != 0:
+                failures.append(
+                    f"{label}/{mode}: warm hit rate "
+                    f"{warm.report.cache_hits}/{units} < 100%"
+                )
+            if grid_summary_json(warm) != summaries[mode]:
+                failures.append(f"{label}/{mode}: warm aggregate differs")
+            if cold.report.replay_units != units:
+                failures.append(
+                    f"{label}/{mode}: expected every unit to be a replay "
+                    f"cell, got {cold.report.replay_units}/{units}"
+                )
+            section[mode] = {
+                "cold_seconds": cold.report.seconds,
+                "batched_units": cold.report.batched_units,
+                "scalar_units": cold.report.scalar_units,
+                "replay_units": cold.report.replay_units,
+                "manager_states": cold.report.manager_states,
+            }
+            if label == "state":
+                # Every unit carries a non-null range-tree snapshot,
+                # cold and warm (i.e. the payload survives the store).
+                for run_label, run in (("cold", cold), ("warm", warm)):
+                    states = [
+                        ms
+                        for artifact in run.artifacts
+                        for ms in artifact.manager_states
+                    ]
+                    good = [
+                        ms
+                        for ms in states
+                        if isinstance(ms, dict) and "splits" in ms
+                    ]
+                    if len(good) != units:
+                        failures.append(
+                            f"{label}/{mode}/{run_label}: "
+                            f"{len(good)}/{units} units carry a "
+                            f"manager-state snapshot"
+                        )
+        if summaries["scalar"] != summaries["batched"]:
+            failures.append(f"{label}: batched aggregate differs from scalar")
+        if _store_bytes(stores["scalar"]) != _store_bytes(stores["batched"]):
+            failures.append(
+                f"{label}: batched cache entries differ from scalar entries"
+            )
+        bench[label] = section
+
+    # Throughput gate on the smoke grid only (the state grid is tiny).
+    specs = [cell.spec for cell in SweepGrid.read(args.grid).cells()]
+    timed = {}
+    for mode, batch in (("scalar", False), ("batched", True)):
+        timed[mode] = _timed_cells_per_sec(
+            specs, batch=batch, repeats=max(args.repeats, 1)
+        )
+    scalar_rate = timed["scalar"]["cells_per_sec"]
+    batched_rate = timed["batched"]["cells_per_sec"]
+    speedup = batched_rate / scalar_rate if scalar_rate > 0 else float("inf")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"batched replay speedup {speedup:.2f}x < required "
+            f"{args.min_speedup:.2f}x ({batched_rate:.1f} vs "
+            f"{scalar_rate:.1f} cells/sec)"
+        )
+    bench["timed"] = timed
+    bench["speedup_cold"] = speedup
+    bench["timing_repeats"] = max(args.repeats, 1)
+    bench["passed"] = not failures
+    bench["failures"] = failures
+
+    Path(args.out).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    if tmp_cache is not None:
+        tmp_cache.cleanup()
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"replay gate passed: batched {speedup:.2f}x scalar "
+          f"({batched_rate:.1f} vs {scalar_rate:.1f} cells/sec cold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ Commands
 ``sweep``
     Expand a :class:`~repro.sweeps.SweepGrid` JSON file and run every
     cell through the resumable, content-addressed sweep scheduler.
+``registry``
+    List every registered experiment kind (engines, autoscalers,
+    workload traces, hooks) with its one-line description — the
+    discoverability surface behind the spec files.
 
 ``run``, ``compare``, ``experiment`` and ``sweep`` all execute through
 the shared experiment runner, so the same spec reproduces the same
@@ -133,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--report", default=None,
                      help="write the execution report (units, cache hits, "
                      "throughput) to this JSON file")
+
+    reg = sub.add_parser(
+        "registry",
+        help="list the registered experiment kinds and their descriptions",
+    )
+    reg.add_argument("--kind", default=None,
+                     choices=["engines", "autoscalers", "workloads", "hooks"],
+                     help="restrict the listing to one registry")
+    reg.add_argument("--json", action="store_true",
+                     help="emit the listing as JSON instead of a table")
     return parser
 
 
@@ -395,6 +409,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\n{report.units} units: {report.cache_hits} cached, "
           f"{report.computed} computed{split} in {report.chunks} chunk(s), "
           f"{report.seconds:.2f}s ({report.units_per_sec:.2f} units/s)")
+    if report.replay_units or report.manager_states:
+        print(f"replay: {report.replay_units} trace-replay unit(s), "
+              f"{report.manager_states} manager-state payload(s) captured")
     if any(report.optimum.values()):
         optm = report.optimum
         print(f"optimum searches: {optm['solved']} solved, "
@@ -411,6 +428,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
         print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.experiments import AUTOSCALERS, ENGINES, HOOKS, WORKLOADS
+
+    registries = {
+        "engines": ENGINES,
+        "autoscalers": AUTOSCALERS,
+        "workloads": WORKLOADS,
+        "hooks": HOOKS,
+    }
+    if args.kind is not None:
+        registries = {args.kind: registries[args.kind]}
+    if args.json:
+        print(json.dumps(
+            {
+                group: dict(registry.entries())
+                for group, registry in registries.items()
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    for i, (group, registry) in enumerate(registries.items()):
+        if i:
+            print()
+        print(f"{group} ({registry.label}):")
+        for name, description in registry.entries():
+            print(f"  {name:22s} {description}")
     return 0
 
 
@@ -441,6 +487,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

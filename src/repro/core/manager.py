@@ -166,6 +166,42 @@ class WorkloadAwarePEMA:
             leaf.label() for leaf in sorted(self.tree.leaves, key=lambda r: r.low)
         )
 
+    def state_snapshot(self) -> dict:
+        """JSON-ready internal state: the manager-state artifact channel.
+
+        Everything the Fig. 13/14 reports inspect — the learned
+        latency-per-rps slope, every recorded range split, and the final
+        leaf ranges (sorted by lower bound) — as plain data that
+        round-trips losslessly through the artifact/store JSON codecs.
+        """
+        slope = self.slope
+        return {
+            "kind": "workload_aware_pema",
+            "slo": float(self.slo),
+            "slope": None if slope is None else float(slope),
+            "splits": [
+                {
+                    "step": int(s.step),
+                    "parent": [float(s.parent[0]), float(s.parent[1])],
+                    "lower": [float(s.lower[0]), float(s.lower[1])],
+                    "upper": [float(s.upper[0]), float(s.upper[1])],
+                    "lower_pema_id": int(s.lower_pema_id),
+                    "upper_pema_id": int(s.upper_pema_id),
+                }
+                for s in self.tree.splits
+            ],
+            "ranges": [
+                {
+                    "low": float(leaf.low),
+                    "high": float(leaf.high),
+                    "pema_id": int(leaf.pema_id),
+                    "iterations": int(leaf.iterations),
+                }
+                for leaf in sorted(self.tree.leaves, key=lambda r: r.low)
+            ],
+            "n_processes": int(self.tree.n_processes()),
+        }
+
     def last_action(self) -> str:
         return self.history[-1].action if self.history else "none"
 

@@ -40,6 +40,7 @@ from repro.experiments.registry import (
 from repro.experiments.runner import (
     ExperimentUnit,
     build_unit,
+    capture_manager_state,
     clear_optimum_cache,
     derive_rule_spec,
     optimum_cache_info,
@@ -54,6 +55,8 @@ from repro.experiments.runner import (
     set_optimum_store,
 )
 from repro.experiments.spec import (
+    CAPTURE_CHANNELS,
+    SPEC_FIELDS,
     AutoscalerSpec,
     ComponentSpec,
     EngineSpec,
@@ -69,6 +72,8 @@ __all__ = [
     "EngineSpec",
     "HookSpec",
     "ComponentSpec",
+    "CAPTURE_CHANNELS",
+    "SPEC_FIELDS",
     "ExperimentArtifact",
     "ExperimentUnit",
     "Registry",
@@ -77,6 +82,7 @@ __all__ = [
     "WORKLOADS",
     "HOOKS",
     "build_unit",
+    "capture_manager_state",
     "run_unit",
     "run_experiment",
     "run_sweep",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -26,10 +26,17 @@ __all__ = ["ExperimentArtifact"]
 
 @dataclass(frozen=True)
 class ExperimentArtifact:
-    """The outcome of ``run_experiment``: one ``LoopResult`` per repeat."""
+    """The outcome of ``run_experiment``: one ``LoopResult`` per repeat.
+
+    When the spec's ``capture`` requested the ``manager_state`` channel,
+    ``manager_states`` carries one JSON-ready snapshot per repeat (the
+    workload-aware manager's range-tree splits/slope; None for
+    autoscalers without internal state) — empty otherwise.
+    """
 
     spec: ExperimentSpec
     results: tuple[LoopResult, ...]
+    manager_states: tuple[Any, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))
@@ -37,6 +44,28 @@ class ExperimentArtifact:
             raise ValueError(
                 f"expected {self.spec.repeats} results, got {len(self.results)}"
             )
+        object.__setattr__(
+            self, "manager_states", tuple(self.manager_states)
+        )
+        if self.manager_states and len(self.manager_states) != len(
+            self.results
+        ):
+            raise ValueError(
+                f"expected {len(self.results)} manager states, "
+                f"got {len(self.manager_states)}"
+            )
+
+    def manager_state(self, repeat: int = 0) -> Any:
+        """Repeat ``repeat``'s captured manager-state payload.
+
+        Raises LookupError when the spec did not request the channel.
+        """
+        if not self.manager_states:
+            raise LookupError(
+                "no manager state captured (add 'manager_state' to the "
+                "spec's capture list)"
+            )
+        return self.manager_states[repeat]
 
     # -- summary statistics ------------------------------------------------------
     def settled_totals(self, tail: int = 5) -> np.ndarray:
@@ -76,13 +105,41 @@ class ExperimentArtifact:
         """Canonical summary encoding (stable key order — diffable)."""
         return json.dumps(self.summary(), sort_keys=True)
 
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def from_payloads(
+        cls, spec: ExperimentSpec, payloads: Sequence[dict[str, Any]]
+    ) -> "ExperimentArtifact":
+        """Assemble an artifact from per-repeat unit worker payloads.
+
+        ``payloads`` are ``loop_result_to_dict`` dicts (one per repeat, in
+        repeat order), each optionally carrying the ``manager_state`` key
+        when the spec's ``capture`` requested that channel — exactly what
+        the experiment runner, the sweep scheduler, and the sweep store
+        hand around.
+        """
+        return cls(
+            spec=spec,
+            results=tuple(loop_result_from_dict(p) for p in payloads),
+            manager_states=(
+                tuple(p.get("manager_state") for p in payloads)
+                if "manager_state" in spec.capture
+                else ()
+            ),
+        )
+
     # -- serialization -----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "spec": self.spec.to_dict(),
             "results": [loop_result_to_dict(r) for r in self.results],
             "summary": self.summary(),
         }
+        # Present only when captured, so capture-free artifacts keep
+        # their historical byte encoding.
+        if self.manager_states:
+            data["manager_states"] = list(self.manager_states)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentArtifact":
@@ -91,6 +148,7 @@ class ExperimentArtifact:
             results=tuple(
                 loop_result_from_dict(r) for r in data["results"]
             ),
+            manager_states=tuple(data.get("manager_states", ())),
         )
 
     def to_json(self, *, indent: int | None = None) -> str:

@@ -28,23 +28,39 @@ __all__ = ["Registry", "ENGINES", "AUTOSCALERS", "WORKLOADS", "HOOKS"]
 
 
 class Registry:
-    """A named mapping from string keys to factory callables."""
+    """A named mapping from string keys to factory callables.
+
+    Every entry carries a one-line human-readable description (explicit
+    ``description=`` at registration, else the first line of the
+    factory's docstring) — the ``repro registry`` CLI listing surfaces
+    them, so a spec author can discover every kind without reading
+    source.
+    """
 
     def __init__(self, label: str) -> None:
         self.label = label
         self._factories: dict[str, Callable[..., Any]] = {}
+        self._descriptions: dict[str, str] = {}
 
     def register(
-        self, name: str, factory: Callable[..., Any] | None = None
+        self,
+        name: str,
+        factory: Callable[..., Any] | None = None,
+        *,
+        description: str | None = None,
     ) -> Callable[..., Any]:
         """Register ``factory`` under ``name``; usable as a decorator."""
         if factory is None:
-            return lambda fn: self.register(name, fn)
+            return lambda fn: self.register(name, fn, description=description)
         if not name:
             raise ValueError(f"{self.label} key must be a non-empty string")
         if name in self._factories:
             raise ValueError(f"{self.label} {name!r} is already registered")
+        if description is None:
+            doc = (factory.__doc__ or "").strip()
+            description = doc.splitlines()[0].strip() if doc else ""
         self._factories[name] = factory
+        self._descriptions[name] = description
         return factory
 
     def get(self, name: str) -> Callable[..., Any]:
@@ -60,6 +76,15 @@ class Registry:
     def build(self, name: str, /, *args: Any, **kwargs: Any) -> Any:
         """Look up ``name`` and call its factory."""
         return self.get(name)(*args, **kwargs)
+
+    def describe(self, name: str) -> str:
+        """The one-line description of ``name`` (KeyError when unknown)."""
+        self.get(name)
+        return self._descriptions[name]
+
+    def entries(self) -> list[tuple[str, str]]:
+        """Sorted ``(name, description)`` pairs — the CLI listing's rows."""
+        return [(name, self._descriptions[name]) for name in self.names()]
 
     def names(self) -> tuple[str, ...]:
         return tuple(sorted(self._factories))
@@ -80,6 +105,7 @@ HOOKS = Registry("hook")
 # -- engine backends -----------------------------------------------------------
 @ENGINES.register("analytical")
 def _analytical_engine(app, *, seed: int = 0, **params):
+    """Closed-form Gamma/CFS latency model with measurement noise (default)."""
     from repro.sim import AnalyticalEngine, NoiseModel
 
     noise = params.pop("noise", None)
@@ -92,6 +118,7 @@ def _analytical_engine(app, *, seed: int = 0, **params):
 
 @ENGINES.register("des")
 def _des_engine(app, *, seed: int = 0, **params):
+    """Request-level discrete-event simulator (slow, validation-grade)."""
     from repro.sim.des.engine import DESEngine
 
     return DESEngine(app, seed=seed, **params)
@@ -100,6 +127,7 @@ def _des_engine(app, *, seed: int = 0, **params):
 # -- autoscalers / baselines ---------------------------------------------------
 @AUTOSCALERS.register("pema")
 def _pema(app, start, slo, *, seed: int = 0, **params):
+    """The paper's PEMA controller (Algorithm 1); params are PEMAConfig fields."""
     from repro.core import PEMAConfig, PEMAController
 
     config = PEMAConfig(**params) if params else None
@@ -108,6 +136,7 @@ def _pema(app, start, slo, *, seed: int = 0, **params):
 
 @AUTOSCALERS.register("rule")
 def _rule(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    """Threshold rule baseline (K8s VPA-style utilization/p90 scaling)."""
     from repro.baselines import RuleBasedAutoscaler
 
     return RuleBasedAutoscaler(start, **params)
@@ -115,6 +144,7 @@ def _rule(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
 
 @AUTOSCALERS.register("static")
 def _static(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    """Fixed allocation: the start, or a pinned bottleneck_rps allocation."""
     from repro.baselines import StaticAllocator
 
     bottleneck_rps = params.pop("bottleneck_rps", None)
@@ -139,6 +169,7 @@ def _static(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
 
 @AUTOSCALERS.register("optimum")
 def _optimum(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    """OPTM baseline: pins the cached noiseless-optimum allocation per workload."""
     from repro.baselines import OptimumAllocator
 
     return OptimumAllocator(app, start, **params)
@@ -146,6 +177,7 @@ def _optimum(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
 
 @AUTOSCALERS.register("workload_aware_pema")
 def _workload_aware_pema(app, start, slo, *, seed: int = 0, **params):
+    """Dynamic-workload-range manager (S3.4): range-tree of PEMA processes."""
     from repro.core import PEMAConfig, WorkloadAwarePEMA
 
     start_rps = params.pop("start_rps", None)
@@ -162,8 +194,29 @@ def _workload_aware_pema(app, start, slo, *, seed: int = 0, **params):
 
 
 # -- workload traces -----------------------------------------------------------
+def _nested_trace(data, what: str):
+    """Build a nested ``{"kind": ..., "params": ...}`` workload reference.
+
+    Shared by the composing kinds (``noisy``/``phased``/``replay``) so a
+    misspelled key inside the reference fails loudly instead of silently
+    building the all-defaults trace.
+    """
+    try:
+        fields = set(data)
+    except TypeError:
+        raise TypeError(f"{what} must be a {{'kind': ..., 'params': ...}} "
+                        f"mapping: {data!r}") from None
+    extra = fields - {"kind", "params"}
+    if extra:
+        raise TypeError(f"unknown {what} fields: {sorted(extra)}")
+    if "kind" not in data:
+        raise TypeError(f"{what} needs 'kind'")
+    return WORKLOADS.build(data["kind"], **data.get("params", {}))
+
+
 @WORKLOADS.register("constant")
 def _constant(**params):
+    """Fixed offered load: {"rps": ...} (the single-workload figures)."""
     from repro.workload import ConstantWorkload
 
     return ConstantWorkload(**params)
@@ -171,6 +224,7 @@ def _constant(**params):
 
 @WORKLOADS.register("step")
 def _step(**params):
+    """Piecewise-constant load: {"steps": [[t_start, rps], ...]}."""
     from repro.workload import StepWorkload
 
     steps = [tuple(s) for s in params.pop("steps")]
@@ -179,6 +233,7 @@ def _step(**params):
 
 @WORKLOADS.register("ramp")
 def _ramp(**params):
+    """Linear ramp: {"start_rps", "end_rps", "duration"} seconds."""
     from repro.workload import RampWorkload
 
     return RampWorkload(**params)
@@ -186,6 +241,7 @@ def _ramp(**params):
 
 @WORKLOADS.register("sinusoid")
 def _sinusoid(**params):
+    """Sinusoid between {"low"} and {"high"} with the given {"period"}."""
     from repro.workload import SinusoidalWorkload
 
     return SinusoidalWorkload(**params)
@@ -193,6 +249,7 @@ def _sinusoid(**params):
 
 @WORKLOADS.register("burst")
 def _burst(**params):
+    """Base load plus rectangular bursts: {"base_rps", "bursts": [[t, dur, rps]]}."""
     from repro.workload import BurstWorkload
 
     bursts = [tuple(b) for b in params.pop("bursts")]
@@ -201,6 +258,7 @@ def _burst(**params):
 
 @WORKLOADS.register("wikipedia")
 def _wikipedia(**params):
+    """Synthetic Wikipedia-like diurnal trace scaled to [low_rps, high_rps]."""
     from repro.workload import WikipediaTrace
 
     return WikipediaTrace(**params)
@@ -208,15 +266,15 @@ def _wikipedia(**params):
 
 @WORKLOADS.register("noisy")
 def _noisy(**params):
+    """Multiplicative jitter around a nested {"base": {"kind": ...}} trace."""
     from repro.workload import NoisyTrace
 
-    base = params.pop("base")
-    trace = WORKLOADS.build(base["kind"], **base.get("params", {}))
-    return NoisyTrace(trace, **params)
+    return NoisyTrace(_nested_trace(params.pop("base"), "noisy 'base'"), **params)
 
 
 @WORKLOADS.register("phased")
 def _phased(**params):
+    """Sequential phases with restarted clocks: {"phases": [{"base", "duration"}]}."""
     from repro.workload import PhasedTrace
 
     phases = []
@@ -225,16 +283,50 @@ def _phased(**params):
         if extra:
             raise TypeError(f"unknown phase fields: {sorted(extra)}")
         phases.append(
-            (
-                WORKLOADS.build(
-                    ph["base"]["kind"], **ph["base"].get("params", {})
-                ),
-                ph.get("duration"),
-            )
+            (_nested_trace(ph["base"], "phase 'base'"), ph.get("duration"))
         )
     if params:
         raise TypeError(f"unknown phased params: {sorted(params)}")
     return PhasedTrace(phases)
+
+
+@WORKLOADS.register("replay")
+def _replay(**params):
+    """Long-horizon trace replay: ordered {"segments"}, optional {"loop"}.
+
+    Each segment is ``{"source": {"kind": ..., "params": ...}}`` plus at
+    most one of ``"duration"`` (seconds) or ``"hours"``; the last segment
+    may omit both (open-ended).  ``{"loop": true}`` wraps time modulo the
+    schedule length (every duration must then be bounded) — the Fig. 14
+    evaluation mode: replay a finite recording for as long as the run
+    needs.
+    """
+    from repro.workload import ReplaySegment, ReplayTrace
+
+    segment_data = params.pop("segments")
+    loop = bool(params.pop("loop", False))
+    if params:
+        raise TypeError(f"unknown replay params: {sorted(params)}")
+    if not isinstance(segment_data, (list, tuple)) or not segment_data:
+        raise TypeError("replay needs a non-empty 'segments' list")
+    segments = []
+    for seg in segment_data:
+        extra = set(seg) - {"source", "duration", "hours"}
+        if extra:
+            raise TypeError(f"unknown replay segment fields: {sorted(extra)}")
+        if "source" not in seg:
+            raise TypeError("replay segment needs 'source'")
+        if "duration" in seg and "hours" in seg:
+            raise TypeError(
+                "replay segment takes 'duration' or 'hours', not both"
+            )
+        duration = seg.get("duration")
+        if duration is None and "hours" in seg:
+            duration = float(seg["hours"]) * 3600.0
+        segments.append(
+            ReplaySegment(_nested_trace(seg["source"], "replay 'source'"), duration)
+        )
+    return ReplayTrace(segments, loop=loop)
 
 
 # -- mid-run hooks -------------------------------------------------------------

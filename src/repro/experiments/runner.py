@@ -43,6 +43,7 @@ from repro.workload.trace import WorkloadTrace
 __all__ = [
     "ExperimentUnit",
     "build_unit",
+    "capture_manager_state",
     "run_unit",
     "run_experiment",
     "run_sweep",
@@ -87,6 +88,10 @@ class ExperimentUnit:
     slo: float
     loop: ControlLoop
     result: LoopResult | None = None
+    manager_state: dict[str, Any] | None = None
+    """The autoscaler's post-run state snapshot, when the spec's
+    ``capture`` requested the ``manager_state`` channel (None otherwise,
+    and None for autoscalers that expose no snapshot)."""
 
 
 def build_unit(
@@ -163,6 +168,18 @@ def _combined_on_step(
     return dispatch
 
 
+def capture_manager_state(autoscaler: Any) -> dict[str, Any] | None:
+    """The autoscaler's JSON-ready state snapshot, or None.
+
+    The ``manager_state`` artifact channel: autoscalers that expose a
+    ``state_snapshot()`` method (the workload-aware manager's range-tree
+    splits/slope) contribute a payload; plain controllers and baselines
+    contribute None.
+    """
+    snapshot = getattr(autoscaler, "state_snapshot", None)
+    return snapshot() if callable(snapshot) else None
+
+
 def run_unit(
     spec: ExperimentSpec,
     repeat: int = 0,
@@ -175,14 +192,22 @@ def run_unit(
     unit.result = unit.loop.run(
         spec.n_steps, on_step=_combined_on_step(spec, on_step)
     )
+    if "manager_state" in spec.capture:
+        unit.manager_state = capture_manager_state(unit.autoscaler)
     return unit
 
 
 def _run_unit_worker(spec_data: dict[str, Any], repeat: int) -> dict[str, Any]:
     # Module-level, plain-data in/out: pickles under any start method.
-    unit = run_unit(ExperimentSpec.from_dict(spec_data), repeat)
+    spec = ExperimentSpec.from_dict(spec_data)
+    unit = run_unit(spec, repeat)
     assert unit.result is not None
-    return loop_result_to_dict(unit.result)
+    payload = loop_result_to_dict(unit.result)
+    # The channel key only exists when requested, so capture-free unit
+    # payloads (and their sweep-store bytes) are unchanged.
+    if "manager_state" in spec.capture:
+        payload["manager_state"] = unit.manager_state
+    return payload
 
 
 def run_sweep(
@@ -208,12 +233,9 @@ def run_sweep(
     artifacts: list[ExperimentArtifact] = []
     cursor = 0
     for spec in specs:
-        results = tuple(
-            loop_result_from_dict(raw[cursor + r])
-            for r in range(spec.repeats)
-        )
+        payloads = [raw[cursor + r] for r in range(spec.repeats)]
         cursor += spec.repeats
-        artifacts.append(ExperimentArtifact(spec=spec, results=results))
+        artifacts.append(ExperimentArtifact.from_payloads(spec, payloads))
     return artifacts
 
 

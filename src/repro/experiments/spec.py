@@ -28,7 +28,23 @@ __all__ = [
     "EngineSpec",
     "HookSpec",
     "ExperimentSpec",
+    "CAPTURE_CHANNELS",
+    "SPEC_FIELDS",
 ]
+
+#: Opt-in artifact channels a spec may request via ``capture``.  Each
+#: channel adds a payload alongside the run history in unit results,
+#: artifacts, and sweep-store entries.  ``manager_state`` carries the
+#: workload-aware manager's range-tree splits/slope snapshot (None for
+#: autoscalers without one).
+CAPTURE_CHANNELS = ("manager_state",)
+
+#: Every legal top-level :class:`ExperimentSpec` field (the sweep grids
+#: validate their dotted override paths against this).
+SPEC_FIELDS = frozenset({
+    "name", "app", "workload", "autoscaler", "engine", "n_steps",
+    "interval", "slo", "headroom", "seed", "repeats", "hooks", "capture",
+})
 
 
 def _frozen_params(params: Mapping[str, Any] | None) -> dict[str, Any]:
@@ -153,6 +169,7 @@ class ExperimentSpec:
     seed: int = 0
     repeats: int = 1
     hooks: tuple[HookSpec, ...] = ()
+    capture: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         # Plain mappings (and bare workload rates) coerce to their spec
@@ -184,6 +201,17 @@ class ExperimentSpec:
             raise ValueError(f"headroom must be positive: {self.headroom}")
         if self.slo is not None and self.slo <= 0:
             raise ValueError(f"slo must be positive: {self.slo}")
+        object.__setattr__(
+            self, "capture", tuple(str(c) for c in self.capture)
+        )
+        for channel in self.capture:
+            if channel not in CAPTURE_CHANNELS:
+                raise ValueError(
+                    f"unknown capture channel {channel!r} "
+                    f"(known: {', '.join(CAPTURE_CHANNELS)})"
+                )
+        if len(set(self.capture)) != len(self.capture):
+            raise ValueError(f"duplicate capture channels: {self.capture}")
 
     # -- registry validation -----------------------------------------------------
     def validate(self) -> "ExperimentSpec":
@@ -208,7 +236,7 @@ class ExperimentSpec:
 
     # -- serialization -----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "app": self.app,
             "workload": self.workload.to_dict(),
@@ -222,14 +250,15 @@ class ExperimentSpec:
             "repeats": self.repeats,
             "hooks": [h.to_dict() for h in self.hooks],
         }
+        # Only serialized when requested: capture-free specs keep their
+        # historical encoding (and therefore their sweep-store hashes).
+        if self.capture:
+            data["capture"] = list(self.capture)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        known = {
-            "name", "app", "workload", "autoscaler", "engine", "n_steps",
-            "interval", "slo", "headroom", "seed", "repeats", "hooks",
-        }
-        extra = set(data) - known
+        extra = set(data) - SPEC_FIELDS
         if extra:
             raise ValueError(f"unknown ExperimentSpec fields: {sorted(extra)}")
         for required in ("app", "workload", "n_steps"):
@@ -253,6 +282,7 @@ class ExperimentSpec:
             hooks=tuple(
                 HookSpec.from_dict(h) for h in data.get("hooks", ())
             ),
+            capture=tuple(data.get("capture", ())),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

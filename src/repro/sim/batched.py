@@ -92,6 +92,14 @@ class BatchedAnalyticalEngine:
         self._rngs = [np.random.default_rng(int(s)) for s in seeds]
         self._kernel = NoiselessLatencyKernel(app, params=self.latency_params)
         self.cpu_speed = np.ones(len(self._rngs), dtype=np.float64)
+        # Scalar-cache replica: ``AnalyticalEngine._concurrency`` memoizes
+        # its model per (round(workload, 9), cpu_speed), so two workloads
+        # equal to 9 decimals but one ulp apart observe the *first* one's
+        # model.  Each cell keeps the same canonical-workload mapping so
+        # those collisions resolve identically here (bit-exactness).
+        self._canonical_workloads: list[dict[tuple[float, float], float]] = [
+            {} for _ in self._rngs
+        ]
 
     @property
     def app(self) -> "AppSpec":
@@ -106,6 +114,8 @@ class BatchedAnalyticalEngine:
         if speed <= 0:
             raise ValueError(f"speed must be positive: {speed}")
         self.cpu_speed[cell] = float(speed)
+        # The scalar engine clears its concurrency-model cache here.
+        self._canonical_workloads[cell].clear()
 
     def observe(
         self,
@@ -128,8 +138,20 @@ class BatchedAnalyticalEngine:
 
         # Deterministic closed forms: the shared noiseless kernel (same
         # formula order as the scalar engine's ``_concurrency`` +
-        # ``ConcurrencyModel`` + ``_latency_from``).
-        sig = self._kernel.evaluate(alloc, workload, self.cpu_speed)
+        # ``ConcurrencyModel`` + ``_latency_from``).  The model workload is
+        # canonicalized through the scalar cache's round-to-9-decimals key
+        # first (the recorded/observed workload stays exact).
+        model_workload = workload.copy()
+        for i, seen in enumerate(self._canonical_workloads):
+            key = (round(float(workload[i]), 9), float(self.cpu_speed[i]))
+            canonical = seen.get(key)
+            if canonical is None:
+                if len(seen) > 4096:  # the scalar cache's size bound
+                    seen.clear()
+                seen[key] = float(workload[i])
+            else:
+                model_workload[i] = canonical
+        sig = self._kernel.evaluate(alloc, model_workload, self.cpu_speed)
         excess_arr = sig.overload * np.maximum(alloc, 1e-12)
         frac = self.cfs.throttled_fraction(sig.exceed, excess_arr, alloc)
         thr_seconds = frac * interval[:, None]

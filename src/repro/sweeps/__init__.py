@@ -49,7 +49,13 @@ from repro.sweeps.batched import (
     batch_key,
     run_units_batched,
 )
-from repro.sweeps.grid import SweepAxis, SweepCell, SweepGrid, set_path
+from repro.sweeps.grid import (
+    SweepAxis,
+    SweepCell,
+    SweepGrid,
+    set_path,
+    validate_override_path,
+)
 from repro.sweeps.scheduler import (
     GridRun,
     SweepProgress,
@@ -64,6 +70,7 @@ __all__ = [
     "SweepAxis",
     "SweepCell",
     "set_path",
+    "validate_override_path",
     "SweepStore",
     "StoreStats",
     "canonical_key",

@@ -32,11 +32,13 @@ from repro.apps import build_app
 from repro.baselines.rule import RuleBasedAutoscaler, RuleBatch
 from repro.core.batch import PEMABatch
 from repro.core.config import PEMAConfig
-from repro.experiments.registry import HOOKS, WORKLOADS
+from repro.experiments.registry import AUTOSCALERS, HOOKS, WORKLOADS
+from repro.experiments.runner import capture_manager_state
 from repro.experiments.spec import ExperimentSpec
-from repro.sim.batched import BatchedAnalyticalEngine
+from repro.sim.batched import BatchObservation, BatchedAnalyticalEngine
 from repro.sim.concurrency import gamma_quantile
-from repro.sim.types import Allocation
+from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
+from repro.workload.trace import batch_rates
 
 __all__ = [
     "BATCHABLE_AUTOSCALERS",
@@ -55,8 +57,13 @@ def batch_from_env(default: bool = False) -> bool:
         return default
     return value.strip().lower() in ("1", "true", "yes", "on")
 
-#: Autoscaler kinds with a vectorized implementation.
-BATCHABLE_AUTOSCALERS = ("pema", "rule", "static", "optimum")
+#: Autoscaler kinds a batch group can hold.  ``pema``/``rule`` decide
+#: through fully vectorized banks; ``optimum`` and ``workload_aware_pema``
+#: ride the vectorized engine with bank-driven scalar decisions (the
+#: expensive closed-form observation is still one call per batch).
+BATCHABLE_AUTOSCALERS = (
+    "pema", "rule", "static", "optimum", "workload_aware_pema",
+)
 
 #: Hook kinds the batched loop can dispatch (``set_slo`` only drives a
 #: PEMA bank; other autoscalers have no ``set_slo``, exactly as scalar).
@@ -106,6 +113,24 @@ def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
             restarts = params.pop("restarts", 2)
             if params or not isinstance(restarts, int) or restarts < 1:
                 return None
+        elif kind == "workload_aware_pema":
+            from repro.core import WorkloadAwarePEMA
+
+            params = dict(spec.autoscaler.params)
+            start_rps = params.pop("start_rps", None)
+            if start_rps is not None:
+                float(start_rps)
+            config = params.pop("config", None)
+            if config is not None:
+                config = PEMAConfig(**config)
+            WorkloadAwarePEMA(
+                ("probe",),
+                1.0,
+                Allocation({"probe": 1.0}),
+                config=config,
+                seed=0,
+                **params,
+            )
         elif spec.autoscaler.params:  # static takes no params
             return None
     except (TypeError, ValueError):
@@ -153,6 +178,52 @@ class _OptimumBank:
                 ]
                 self._workloads[i] = float(workloads[i])
             self.allocation = allocation
+        return self.allocation
+
+
+class _ManagerBank:
+    """Bank of scalar :class:`~repro.core.WorkloadAwarePEMA` managers.
+
+    The dynamic-range manager's decision logic is a per-cell state
+    machine over a growing range tree — not array math — so, in the
+    :class:`_OptimumBank` style, the bank keeps one *scalar* manager per
+    cell and only the engine observation is vectorized.  Each step
+    rebuilds the exact :class:`~repro.sim.types.IntervalMetrics` the
+    scalar control loop would pass (row ``i`` of a batched observation
+    is bit-identical to the scalar engine's), so every manager consumes
+    the same floats and the same private RNG stream as its scalar run —
+    decisions, range splits, and captured manager state included.
+    """
+
+    def __init__(self, managers: Sequence[Any], names: tuple[str, ...]) -> None:
+        self._managers = list(managers)
+        self._names = names
+        self.allocation = np.stack(
+            [m.allocation.as_array(names) for m in self._managers]
+        )
+
+    def manager(self, cell: int) -> Any:
+        return self._managers[cell]
+
+    def step(self, obs: BatchObservation) -> np.ndarray:
+        rows = []
+        for i, manager in enumerate(self._managers):
+            metrics = IntervalMetrics(
+                latency_p95=float(obs.latency_p95[i]),
+                workload_rps=float(obs.workload_rps[i]),
+                services={
+                    name: ServiceMetrics(
+                        utilization=float(obs.utilization[i, j]),
+                        throttle_seconds=float(obs.throttle_seconds[i, j]),
+                        usage_cores=float(obs.usage_cores[i, j]),
+                        usage_p90_cores=float(obs.usage_p90_cores[i, j]),
+                    )
+                    for j, name in enumerate(self._names)
+                },
+                latency_mean=float(obs.latency_p95[i] / 1.6),
+            )
+            rows.append(manager.decide(metrics).as_array(self._names))
+        self.allocation = np.stack(rows)
         return self.allocation
 
 
@@ -221,8 +292,26 @@ def run_units_batched(
             else PEMAConfig()
             for s in specs
         ]
-        bank: PEMABatch | RuleBatch | _OptimumBank | None = PEMABatch(
-            names, slos, start, configs, seeds
+        bank: PEMABatch | RuleBatch | _OptimumBank | _ManagerBank | None
+        bank = PEMABatch(names, slos, start, configs, seeds)
+        allocation = bank.allocation
+    elif kind == "workload_aware_pema":
+        # Build each cell's manager through the registry factory, exactly
+        # as the scalar ``build_unit`` does (start_rps/config handling,
+        # seeding convention), so the bank's managers are byte-equal.
+        bank = _ManagerBank(
+            [
+                AUTOSCALERS.build(
+                    kind,
+                    app,
+                    Allocation.from_array(names, start[i]),
+                    slos[i],
+                    seed=seeds[i],
+                    **s.autoscaler.params,
+                )
+                for i, s in enumerate(specs)
+            ],
+            names,
         )
         allocation = bank.allocation
     elif kind == "rule":
@@ -265,6 +354,20 @@ def run_units_batched(
     violated = np.empty((n_steps, n_cells), dtype=bool)
     alloc_hist: list[np.ndarray] = []
 
+    # Pre-evaluate every cell's whole rate series in one vectorized
+    # ``rate_batch`` call (bit-identical to the per-step scalar calls —
+    # the :func:`~repro.workload.trace.batch_rates` contract), so a
+    # 36-hour replay costs one trace evaluation per cell, not one Python
+    # call per control interval.
+    steps_f = np.arange(n_steps, dtype=np.float64)
+    rates_all = np.stack(
+        [
+            batch_rates(traces[i], steps_f * intervals[i])
+            for i in range(n_cells)
+        ],
+        axis=1,
+    )
+
     for step in range(n_steps):
         for cell, at, hook_kind, value in hook_entries:
             if step == at:
@@ -273,13 +376,7 @@ def run_units_batched(
                     bank.set_slo(cell, value)
                 else:
                     engine.set_cpu_speed(cell, value)
-        rates = np.asarray(
-            [
-                traces[i].rate(step * intervals[i])
-                for i in range(n_cells)
-            ],
-            dtype=np.float64,
-        )
+        rates = rates_all[step]
         obs = engine.observe(allocation, rates, intervals)
         step_totals = allocation.sum(axis=1)
         # The PEMA bank's SLO is live (set_slo hooks show up in records),
@@ -297,6 +394,8 @@ def run_units_batched(
             allocation = bank.step(obs.usage_cores, obs.usage_p90_cores)
         elif isinstance(bank, _OptimumBank):
             allocation = bank.step(obs.workload_rps)
+        elif isinstance(bank, _ManagerBank):
+            allocation = bank.step(obs)
 
     payloads: list[dict[str, Any]] = []
     for i in range(n_cells):
@@ -307,26 +406,33 @@ def run_units_batched(
         slo_col = slo_rec[:, i].tolist()
         viol_col = violated[:, i].tolist()
         alloc_rows = [alloc_hist[step][i].tolist() for step in range(n_steps)]
-        payloads.append(
-            {
-                "records": [
-                    {
-                        "step": step,
-                        "time": float(step * interval),
-                        "workload": work_col[step],
-                        "response": resp_col[step],
-                        "total_cpu": total_col[step],
-                        "violated": viol_col[step],
-                        "slo": slo_col[step],
-                        "allocation": [
-                            list(pair)
-                            for pair in zip(names, alloc_rows[step])
-                        ],
-                    }
-                    for step in range(n_steps)
-                ]
-            }
-        )
+        payload: dict[str, Any] = {
+            "records": [
+                {
+                    "step": step,
+                    "time": float(step * interval),
+                    "workload": work_col[step],
+                    "response": resp_col[step],
+                    "total_cpu": total_col[step],
+                    "violated": viol_col[step],
+                    "slo": slo_col[step],
+                    "allocation": [
+                        list(pair)
+                        for pair in zip(names, alloc_rows[step])
+                    ],
+                }
+                for step in range(n_steps)
+            ]
+        }
+        # The manager-state artifact channel, mirroring the scalar
+        # worker: key present exactly when the spec requested it.
+        if "manager_state" in specs[i].capture:
+            payload["manager_state"] = (
+                capture_manager_state(bank.manager(i))
+                if isinstance(bank, _ManagerBank)
+                else None
+            )
+        payloads.append(payload)
     return payloads
 
 

@@ -20,16 +20,79 @@ import itertools
 import json
 from copy import deepcopy
 from dataclasses import dataclass, field
+from difflib import get_close_matches
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import SPEC_FIELDS, ExperimentSpec
 
-__all__ = ["SweepAxis", "SweepCell", "SweepGrid", "set_path"]
+__all__ = [
+    "SweepAxis",
+    "SweepCell",
+    "SweepGrid",
+    "set_path",
+    "validate_override_path",
+]
 
 #: Reserved key in a zipped-axis override mapping: names the cell instead of
 #: setting a spec field.
 LABEL_KEY = "label"
+
+#: The component spec fields a dotted path may descend into.  Anything
+#: under ``params`` is factory-specific and validated by the factory at
+#: build time; everything above it is schema-checked here so a typo fails
+#: at grid load with a did-you-mean instead of surfacing later (or, worse,
+#: silently materializing a new nested mapping).
+_COMPONENT_FIELDS: dict[str, frozenset[str]] = {
+    "workload": frozenset({"kind", "params"}),
+    "autoscaler": frozenset({"kind", "params"}),
+    "engine": frozenset({"kind", "params", "seed_offset"}),
+}
+
+
+def _suggestion(word: str, options: Iterable[str]) -> str:
+    close = get_close_matches(word, list(options), n=1)
+    return f" — did you mean {close[0]!r}?" if close else ""
+
+
+def validate_override_path(path: str, *, owner: str = "axis") -> None:
+    """Check a dotted override path against the spec schema.
+
+    Raises ValueError (with a did-you-mean suggestion when one is close)
+    for unknown spec fields, descent into scalar fields, and misspelled
+    component subfields.  Paths below ``params`` are factory-specific and
+    pass through untouched.
+    """
+    keys = path.split(".")
+    if not all(keys):
+        raise ValueError(f"malformed {owner} override path {path!r}")
+    root = keys[0]
+    if root not in SPEC_FIELDS:
+        raise ValueError(
+            f"{owner} override path {path!r}: unknown spec field {root!r} "
+            f"(known: {', '.join(sorted(SPEC_FIELDS))})"
+            f"{_suggestion(root, SPEC_FIELDS)}"
+        )
+    if len(keys) == 1:
+        return
+    subfields = _COMPONENT_FIELDS.get(root)
+    if subfields is None:
+        raise ValueError(
+            f"{owner} override path {path!r} descends into {root!r}, "
+            f"which takes a whole value (only "
+            f"{', '.join(sorted(_COMPONENT_FIELDS))} have subfields)"
+        )
+    if keys[1] not in subfields:
+        raise ValueError(
+            f"{owner} override path {path!r}: {root!r} has no field "
+            f"{keys[1]!r} (known: {', '.join(sorted(subfields))})"
+            f"{_suggestion(keys[1], subfields)}"
+        )
+    if keys[1] != "params" and len(keys) > 2:
+        raise ValueError(
+            f"{owner} override path {path!r} descends into scalar field "
+            f"{root}.{keys[1]}"
+        )
 
 
 def set_path(data: dict[str, Any], path: str, value: Any) -> None:
@@ -80,13 +143,20 @@ class SweepAxis:
         object.__setattr__(self, "values", tuple(self.values))
         if not self.values:
             raise ValueError(f"axis {self.name!r} has no values")
-        if self.path is None:
+        if self.path is not None:
+            validate_override_path(self.path, owner=f"axis {self.name!r}")
+        else:
             for value in self.values:
                 if not isinstance(value, Mapping):
                     raise ValueError(
                         f"axis {self.name!r} has no path, so every value "
                         f"must be an override mapping: {value!r}"
                     )
+                for key in value:
+                    if key != LABEL_KEY:
+                        validate_override_path(
+                            key, owner=f"axis {self.name!r}"
+                        )
 
     def label(self, index: int) -> str:
         """The human-readable coordinate of value ``index`` on this axis."""
@@ -112,9 +182,15 @@ class SweepAxis:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepAxis":
-        extra = set(data) - {"name", "values", "path"}
+        known = {"name", "values", "path"}
+        extra = set(data) - known
         if extra:
-            raise ValueError(f"unknown SweepAxis fields: {sorted(extra)}")
+            hints = "".join(
+                _suggestion(word, known) for word in sorted(extra)
+            )
+            raise ValueError(
+                f"unknown SweepAxis fields: {sorted(extra)}{hints}"
+            )
         for required in ("name", "values"):
             if required not in data:
                 raise ValueError(f"SweepAxis needs {required!r}")
@@ -222,9 +298,15 @@ class SweepGrid:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepGrid":
-        extra = set(data) - {"name", "base", "axes", "title"}
+        known = {"name", "base", "axes", "title"}
+        extra = set(data) - known
         if extra:
-            raise ValueError(f"unknown SweepGrid fields: {sorted(extra)}")
+            hints = "".join(
+                _suggestion(word, known) for word in sorted(extra)
+            )
+            raise ValueError(
+                f"unknown SweepGrid fields: {sorted(extra)}{hints}"
+            )
         for required in ("name", "base"):
             if required not in data:
                 raise ValueError(f"SweepGrid needs {required!r}")

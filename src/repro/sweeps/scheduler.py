@@ -38,7 +38,6 @@ from repro.experiments.runner import (
     optimum_store,
 )
 from repro.experiments.spec import ExperimentSpec
-from repro.metrics.export import loop_result_from_dict
 from repro.sweeps.grid import SweepCell, SweepGrid
 from repro.sweeps.store import SweepStore
 
@@ -90,6 +89,10 @@ class SweepReport:
     seconds: float
     batched_units: int = 0
     scalar_units: int = 0
+    replay_units: int = 0
+    """Units whose workload is the ``replay`` kind (trace-replay cells)."""
+    manager_states: int = 0
+    """Units that captured a non-null ``manager_state`` payload."""
     optimum: dict[str, Any] = field(default_factory=dict)
     """In-process OPTM cache activity during the sweep: hits, misses,
     store-backed loads, and fresh solves (``optimum_cache_info`` deltas;
@@ -110,6 +113,8 @@ class SweepReport:
             "units_per_sec": self.units_per_sec,
             "batched_units": self.batched_units,
             "scalar_units": self.scalar_units,
+            "replay_units": self.replay_units,
+            "manager_states": self.manager_states,
             "optimum": dict(self.optimum),
         }
 
@@ -295,12 +300,9 @@ def run_sweep_cached(
             pool.shutdown()
 
     artifacts = [
-        ExperimentArtifact(
-            spec=spec,
-            results=tuple(
-                loop_result_from_dict(results[(spec_index, repeat)])
-                for repeat in range(spec.repeats)
-            ),
+        ExperimentArtifact.from_payloads(
+            spec,
+            [results[(spec_index, repeat)] for repeat in range(spec.repeats)],
         )
         for spec_index, spec in enumerate(specs)
     ]
@@ -314,6 +316,14 @@ def run_sweep_cached(
         seconds=perf_counter() - start_time,
         batched_units=batched_units,
         scalar_units=scalar_units,
+        replay_units=sum(
+            spec.repeats for spec in specs if spec.workload.kind == "replay"
+        ),
+        manager_states=sum(
+            1
+            for payload in results.values()
+            if payload.get("manager_state") is not None
+        ),
         optimum={
             counter: optimum_after[counter] - optimum_before[counter]
             for counter in ("hits", "misses", "store_hits", "solved")

@@ -7,11 +7,13 @@ from repro.workload.generators import (
     SinusoidalWorkload,
     StepWorkload,
 )
+from repro.workload.replay import ReplaySegment, ReplayTrace
 from repro.workload.trace import (
     NoisyTrace,
     PhasedTrace,
     ScaledTrace,
     WorkloadTrace,
+    batch_rates,
     sample_range,
 )
 from repro.workload.wikipedia import WikipediaTrace
@@ -21,6 +23,7 @@ __all__ = [
     "NoisyTrace",
     "PhasedTrace",
     "ScaledTrace",
+    "batch_rates",
     "sample_range",
     "ConstantWorkload",
     "StepWorkload",
@@ -28,4 +31,6 @@ __all__ = [
     "SinusoidalWorkload",
     "BurstWorkload",
     "WikipediaTrace",
+    "ReplaySegment",
+    "ReplayTrace",
 ]

@@ -28,6 +28,9 @@ class ConstantWorkload:
     def rate(self, t: float) -> float:
         return self.rps
 
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.shape(times), float(self.rps), dtype=np.float64)
+
 
 class StepWorkload:
     """Piecewise-constant load: ``[(t_start, rps), ...]`` sorted by time."""
@@ -49,6 +52,12 @@ class StepWorkload:
             return self._rates[0]
         return self._rates[idx]
 
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        idx = np.searchsorted(self._times, times, side="right") - 1
+        rates = np.asarray(self._rates, dtype=np.float64)
+        return rates[np.maximum(idx, 0)]
+
 
 @dataclass(frozen=True)
 class RampWorkload:
@@ -66,6 +75,11 @@ class RampWorkload:
 
     def rate(self, t: float) -> float:
         frac = min(max(t / self.duration, 0.0), 1.0)
+        return self.start_rps + (self.end_rps - self.start_rps) * frac
+
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        frac = np.minimum(np.maximum(times / self.duration, 0.0), 1.0)
         return self.start_rps + (self.end_rps - self.start_rps) * frac
 
 
@@ -89,6 +103,12 @@ class SinusoidalWorkload:
         amp = 0.5 * (self.high - self.low)
         return mid + amp * float(np.sin(2.0 * np.pi * t / self.period + self.phase))
 
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        mid = 0.5 * (self.low + self.high)
+        amp = 0.5 * (self.high - self.low)
+        return mid + amp * np.sin(2.0 * np.pi * times / self.period + self.phase)
+
 
 class BurstWorkload:
     """Base load with rectangular bursts (the Fig. 18 experiment).
@@ -111,4 +131,12 @@ class BurstWorkload:
         for start, duration, rps in self.bursts:
             if start <= t < start + duration:
                 level = max(level, rps)
+        return level
+
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        level = np.full(times.shape, float(self.base_rps), dtype=np.float64)
+        for start, duration, rps in self.bursts:
+            inside = (start <= times) & (times < start + duration)
+            level[inside] = np.maximum(level[inside], rps)
         return level

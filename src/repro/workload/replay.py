@@ -1,0 +1,89 @@
+"""Trace replay: long-horizon workload schedules built from segments.
+
+The paper's capstone evaluation (Figs. 13/14) replays 36 hours of the
+Wikipedia diurnal trace through the full control stack.  A
+:class:`ReplayTrace` makes that a first-class, declarative workload: an
+ordered list of *segments*, each an arbitrary base trace (diurnal
+Wikipedia, noisy constants, bursts, whole :class:`PhasedTrace`
+schedules) played for a bounded duration with its clock restarted —
+exactly the :class:`~repro.workload.trace.PhasedTrace` composition rule
+— plus an optional ``loop`` that wraps time modulo the schedule length
+for open-ended runs over a finite recording.
+
+Replay traces implement the vectorized ``rate_batch`` contract
+(bit-identical to per-``t`` ``rate`` calls), so replay cells join the
+batched sweep engine's groups: the whole 36-hour rate series of a cell
+is evaluated in one call instead of one Python call per control
+interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.trace import PhasedTrace, WorkloadTrace, batch_rates
+
+__all__ = ["ReplaySegment", "ReplayTrace"]
+
+
+class ReplaySegment:
+    """One replay segment: a base trace and how long it plays.
+
+    ``duration`` is in seconds; ``None`` marks an open-ended final
+    segment (disallowed when the replay loops).
+    """
+
+    def __init__(
+        self, source: WorkloadTrace, duration: float | None = None
+    ) -> None:
+        if duration is not None and duration <= 0:
+            raise ValueError("segment duration must be positive")
+        self.source = source
+        self.duration = None if duration is None else float(duration)
+
+
+class ReplayTrace:
+    """Sequential segments with restarted clocks, optionally looped.
+
+    Single-segment replays are transparent: ``ReplayTrace([segment])``
+    returns exactly ``segment.source.rate(t)`` for every ``t`` inside the
+    segment, so a figure ported onto a replay spec reproduces its legacy
+    trace byte-for-byte.
+    """
+
+    def __init__(
+        self, segments: list[ReplaySegment], *, loop: bool = False
+    ) -> None:
+        if not segments:
+            raise ValueError("need at least one replay segment")
+        for i, segment in enumerate(segments):
+            if segment.duration is None and i != len(segments) - 1:
+                raise ValueError("only the last segment may be open-ended")
+        if loop and segments[-1].duration is None:
+            raise ValueError("a looped replay needs every duration bounded")
+        self.segments = list(segments)
+        self.loop = loop
+        self._phased = PhasedTrace(
+            [(s.source, s.duration) for s in segments]
+        )
+        self._total = (
+            sum(s.duration for s in segments)
+            if segments[-1].duration is not None
+            else None
+        )
+
+    @property
+    def duration(self) -> float | None:
+        """Total schedule length in seconds (None when open-ended)."""
+        return self._total
+
+    def rate(self, t: float) -> float:
+        if self.loop:
+            t = t % self._total
+        return self._phased.rate(t)
+
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        if self.loop:
+            times = times % self._total
+        return batch_rates(self._phased, times)

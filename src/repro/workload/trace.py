@@ -4,6 +4,15 @@ A workload trace maps wall-clock time (seconds) to offered load (requests
 per second).  Traces are deterministic given their construction arguments;
 stochastic jitter is layered on with :class:`NoisyTrace` and an explicit
 seed, so experiments replay exactly.
+
+Traces may additionally implement ``rate_batch(times) -> np.ndarray``, the
+vectorized form of ``rate``: one call evaluates a whole time grid.  The
+contract is *bit-exactness* — ``rate_batch(times)[i]`` must be the same
+IEEE float64 as ``rate(times[i])`` — so the batched sweep engine can
+pre-evaluate a replay trace for its full horizon without perturbing the
+byte-identity guarantee against the scalar path.  :func:`batch_rates`
+dispatches to ``rate_batch`` when present and falls back to the per-``t``
+scalar loop (trivially bit-exact) otherwise.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ __all__ = [
     "NoisyTrace",
     "ScaledTrace",
     "PhasedTrace",
+    "batch_rates",
     "sample_range",
 ]
 
@@ -28,6 +38,20 @@ class WorkloadTrace(Protocol):
     def rate(self, t: float) -> float:
         """Requests per second at time ``t`` (seconds)."""
         ...
+
+
+def batch_rates(trace: WorkloadTrace, times: np.ndarray) -> np.ndarray:
+    """``trace``'s rate at every time in ``times``, as a float64 array.
+
+    Uses the trace's vectorized ``rate_batch`` when it has one; otherwise
+    evaluates ``rate`` per element.  Either way the result is bit-identical
+    to the scalar calls (the ``rate_batch`` contract above).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    rate_batch = getattr(trace, "rate_batch", None)
+    if rate_batch is not None:
+        return np.asarray(rate_batch(times), dtype=np.float64)
+    return np.asarray([trace.rate(float(t)) for t in times], dtype=np.float64)
 
 
 class NoisyTrace:
@@ -56,6 +80,20 @@ class NoisyTrace:
         bucket = int(np.floor(t / self.period))
         rng = np.random.default_rng((self.seed, bucket))
         return max(0.0, base * float(np.exp(rng.normal(0.0, self.sigma))))
+
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        base = batch_rates(self.base, times)
+        if self.sigma == 0:
+            return base
+        # The jitter factor is a pure function of (seed, bucket), so one
+        # draw per *unique* bucket reproduces every scalar call exactly.
+        buckets = np.floor(times / self.period).astype(np.int64)
+        factors = np.empty_like(base)
+        for bucket in np.unique(buckets):
+            rng = np.random.default_rng((self.seed, int(bucket)))
+            factors[buckets == bucket] = np.exp(rng.normal(0.0, self.sigma))
+        return np.maximum(0.0, base * factors)
 
 
 class PhasedTrace:
@@ -93,6 +131,29 @@ class PhasedTrace:
         # clocked from its own start.
         return self.phases[-1][0].rate(t - (start - self.phases[-1][1]))
 
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=np.float64)
+        out = np.empty_like(times)
+        remaining = np.ones(times.shape, dtype=bool)
+        start = 0.0
+        for trace, duration in self.phases:
+            mask = (
+                remaining
+                if duration is None
+                else remaining & (times < start + duration)
+            )
+            if mask.any():
+                out[mask] = batch_rates(trace, times[mask] - start)
+            remaining &= ~mask
+            if duration is not None:
+                start += duration
+        if remaining.any():  # past the end of a fully-bounded schedule
+            last_trace, last_duration = self.phases[-1]
+            out[remaining] = batch_rates(
+                last_trace, times[remaining] - (start - last_duration)
+            )
+        return out
+
 
 class ScaledTrace:
     """Affine transform of a base trace: ``rate = base * scale + offset``."""
@@ -106,6 +167,10 @@ class ScaledTrace:
 
     def rate(self, t: float) -> float:
         return max(0.0, self.base.rate(t) * self.scale + self.offset)
+
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        base = batch_rates(self.base, np.asarray(times, dtype=np.float64))
+        return np.maximum(0.0, base * self.scale + self.offset)
 
 
 def sample_range(

@@ -62,3 +62,35 @@ class WikipediaTrace:
             rng = np.random.default_rng((self.seed, bucket))
             base *= float(np.exp(rng.normal(0.0, self.jitter)))
         return float(min(max(base, self.low_rps * 0.9), self.high_rps * 1.1))
+
+    def rate_batch(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rate`: bit-identical, one call per time grid.
+
+        The deterministic harmonics evaluate elementwise through the same
+        float64 operations as the scalar path; the jitter factor is a pure
+        function of (seed, 5-minute bucket), so one draw per unique bucket
+        replays every scalar draw exactly.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        w1, w2, w3 = self._weights
+        x = 2.0 * np.pi * (times + self.phase)
+        raw = (
+            w1 * np.sin(x / _DAY)
+            + w2 * np.sin(2.0 * x / _DAY + 0.7)
+            + w3 * np.sin(x / (7.0 * _DAY) + 0.3)
+        )
+        span = w1 + w2 + w3
+        shape = (raw + span) / (2.0 * span)
+        base = self.low_rps + (self.high_rps - self.low_rps) * shape
+        if self.jitter:
+            buckets = (times // 300.0).astype(np.int64)
+            factors = np.empty_like(base)
+            for bucket in np.unique(buckets):
+                rng = np.random.default_rng((self.seed, int(bucket)))
+                factors[buckets == bucket] = np.exp(
+                    rng.normal(0.0, self.jitter)
+                )
+            base = base * factors
+        return np.minimum(
+            np.maximum(base, self.low_rps * 0.9), self.high_rps * 1.1
+        )

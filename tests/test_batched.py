@@ -360,15 +360,16 @@ class TestGridEquivalence:
         assert grid_summary_json(scalar) == grid_summary_json(batched)
 
     def test_ported_figure_grids_validate_and_partition(self):
-        # fig10 cells carry static params + engine noise overrides and
-        # fig18 uses the workload-aware manager: scalar fallback.  fig11
-        # is plain PEMA: batchable.
+        # fig10 cells carry static params + engine noise overrides:
+        # scalar fallback.  fig11 is plain PEMA and fig18 the
+        # workload-aware manager (bank-driven since the replay port):
+        # both batchable.
         from repro.sweeps.batched import batch_key
 
         for name, batchable in (
             ("fig10_workload_response", False),
             ("fig11_pema_sockshop", True),
-            ("fig18_burst", False),
+            ("fig18_burst", True),
         ):
             grid = SweepGrid.read(f"benchmarks/grids/{name}.json")
             grid.validate()
@@ -377,6 +378,18 @@ class TestGridEquivalence:
                 assert None not in keys, name
             else:
                 assert keys == {None}, name
+
+    def test_fig18_workload_aware_grid_byte_identical(self):
+        # The workload-aware manager batches through the scalar-manager
+        # bank: engine vectorized, per-cell decisions byte-equal.
+        grid = SweepGrid.read("benchmarks/grids/fig18_burst.json")
+        scalar = run_grid(grid, batch=False)
+        batched = run_grid(grid, batch=True)
+        assert [a.to_json() for a in scalar.artifacts] == [
+            a.to_json() for a in batched.artifacts
+        ]
+        assert grid_summary_json(scalar) == grid_summary_json(batched)
+        assert batched.report.batched_units == batched.report.units
 
     def test_fig15_grid_byte_identical(self):
         # The acceptance-criterion grid: three apps, PEMA (3 repeats) and

@@ -146,3 +146,33 @@ class TestExperimentSpecs:
         assert main(["experiment", "--spec", str(spec_dir)]) == 2
         err = capsys.readouterr().err
         assert "s2.json" in err
+
+
+class TestRegistryCommand:
+    def test_lists_every_registry_with_descriptions(self, capsys):
+        assert main(["registry"]) == 0
+        out = capsys.readouterr().out
+        for group in ("engines", "autoscalers", "workloads", "hooks"):
+            assert group in out
+        for kind in ("analytical", "pema", "replay", "wikipedia", "set_slo"):
+            assert kind in out
+        # Every entry carries a non-empty one-line description.
+        from repro.experiments import AUTOSCALERS, ENGINES, HOOKS, WORKLOADS
+
+        for registry in (ENGINES, AUTOSCALERS, WORKLOADS, HOOKS):
+            for name, description in registry.entries():
+                assert description, f"{registry.label}:{name} lacks a description"
+                assert "\n" not in description
+                assert description in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["registry", "--kind", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "replay" in out
+        assert "autoscalers" not in out
+
+    def test_json_output(self, capsys):
+        assert main(["registry", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workloads"]["replay"]
+        assert data["autoscalers"]["workload_aware_pema"]

@@ -1,0 +1,65 @@
+"""The docs tree: pages exist, README links them, no dead intra-repo links."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links", ROOT / "tools" / "check_docs_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsTree:
+    def test_pages_exist(self):
+        for page in ("architecture.md", "figures.md", "sweeps.md"):
+            path = ROOT / "docs" / page
+            assert path.exists(), page
+            assert path.read_text().startswith("#"), page
+
+    def test_readme_links_every_docs_page(self):
+        readme = (ROOT / "README.md").read_text()
+        for page in ("architecture.md", "figures.md", "sweeps.md"):
+            assert f"docs/{page}" in readme, page
+
+    def test_figures_page_names_every_grid_file(self):
+        figures = (ROOT / "docs" / "figures.md").read_text()
+        for grid in sorted((ROOT / "benchmarks" / "grids").glob("*.json")):
+            assert grid.name in figures, grid.name
+
+
+class TestLinkCheck:
+    def test_no_dead_intra_repo_links(self):
+        checker = _load_checker()
+        assert checker.dead_links(ROOT) == []
+
+    def test_checker_flags_dead_links(self, tmp_path):
+        checker = _load_checker()
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("[ok](docs/a.md) [bad](docs/missing.md)")
+        (tmp_path / "docs" / "a.md").write_text("# a\n[up](../README.md)")
+        missing = checker.dead_links(tmp_path)
+        assert [target for _, target in missing] == ["docs/missing.md"]
+
+    def test_checker_ignores_external_and_anchor_links(self, tmp_path):
+        checker = _load_checker()
+        (tmp_path / "README.md").write_text(
+            "[x](https://example.com/y) [a](#section) [m](mailto:a@b.c)"
+        )
+        assert checker.dead_links(tmp_path) == []
+
+    def test_cli_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "check_docs_links.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "no dead links" in result.stdout

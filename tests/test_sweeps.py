@@ -2,6 +2,7 @@
 
 import json
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -589,3 +590,55 @@ class TestSweepCli:
         bad.write_text('{"name": "x"}')
         assert main(["sweep", "--grid", str(bad)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestGridValidation:
+    """Unknown keys and misspelled axis paths fail at load, with hints."""
+
+    def test_unknown_grid_field_suggests(self):
+        with pytest.raises(ValueError, match=r"did you mean 'axes'"):
+            SweepGrid.from_dict(
+                {"name": "g", "base": base_spec().to_dict(), "axis": []}
+            )
+
+    def test_unknown_axis_field_suggests(self):
+        with pytest.raises(ValueError, match=r"did you mean 'values'"):
+            SweepAxis.from_dict({"name": "a", "value": [1]})
+
+    def test_misspelled_root_path_suggests(self):
+        with pytest.raises(ValueError, match=r"did you mean 'n_steps'"):
+            SweepAxis(name="a", values=(1, 2), path="n_step")
+
+    def test_misspelled_component_subfield_suggests(self):
+        with pytest.raises(ValueError, match=r"did you mean 'params'"):
+            SweepAxis(name="a", values=(1,), path="autoscaler.parms.alpha")
+
+    def test_descent_into_scalar_field_rejected(self):
+        with pytest.raises(ValueError, match="whole value"):
+            SweepAxis(name="a", values=(1,), path="seed.offset")
+        with pytest.raises(ValueError, match="scalar field"):
+            SweepAxis(name="a", values=(1,), path="engine.seed_offset.x")
+
+    def test_zipped_override_keys_validated(self):
+        with pytest.raises(ValueError, match=r"did you mean 'workload'"):
+            SweepAxis(name="a", values=({"worklod": 700.0},))
+
+    def test_label_key_is_exempt(self):
+        axis = SweepAxis(
+            name="a", values=({"label": "x", "workload": 700.0},)
+        )
+        assert axis.label(0) == "x"
+
+    def test_params_subpaths_pass_through(self):
+        SweepAxis(name="a", values=(0.1,), path="autoscaler.params.alpha")
+        SweepAxis(name="a", values=(0.1,), path="workload.params.rps")
+        SweepAxis(name="a", values=(1,), path="engine.seed_offset")
+        SweepAxis(
+            name="a",
+            values=(0.1,),
+            path="workload.params.segments.nested.free",
+        )
+
+    def test_every_shipped_grid_passes(self):
+        for path in sorted(Path("benchmarks/grids").glob("*.json")):
+            SweepGrid.read(path)

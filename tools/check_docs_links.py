@@ -1,0 +1,70 @@
+"""Intra-repo link check for the Markdown docs.
+
+Scans ``README.md`` and every ``docs/*.md`` for Markdown links and inline
+path references, and verifies that every *intra-repository* target exists
+(external ``http(s)``/``mailto`` links are ignored; ``#anchors`` are
+stripped).  Exits non-zero listing every dead link — the CI docs job runs
+this so the docs tree can't rot silently.
+
+Usage::
+
+    python tools/check_docs_links.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def dead_links(root: Path) -> list[tuple[Path, str]]:
+    """Every (source file, target) whose intra-repo target is missing."""
+    missing: list[tuple[Path, str]] = []
+    for source in doc_files(root):
+        for target in _LINK.findall(source.read_text()):
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (source.parent / path_part).resolve()
+            if not resolved.exists():
+                missing.append((source, target))
+    return missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=Path(__file__).resolve().parent.parent, type=Path
+    )
+    args = parser.parse_args(argv)
+    files = doc_files(args.root)
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    missing = dead_links(args.root)
+    for source, target in missing:
+        print(
+            f"DEAD LINK: {source.relative_to(args.root)} -> {target}",
+            file=sys.stderr,
+        )
+    if missing:
+        return 1
+    print(f"docs link check passed: {len(files)} file(s), no dead links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
