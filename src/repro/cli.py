@@ -17,10 +17,16 @@ Commands
 ``sweep``
     Expand a :class:`~repro.sweeps.SweepGrid` JSON file and run every
     cell through the resumable, content-addressed sweep scheduler.
+``serve``
+    Run the always-on control plane (:mod:`repro.service`): register
+    apps from spec files, stream a load driver through their
+    autoscalers, expose decisions and manager state over HTTP, and
+    flush state on graceful shutdown.
 ``registry``
     List every registered experiment kind (engines, autoscalers,
-    workload traces, hooks) with its one-line description — the
-    discoverability surface behind the spec files.
+    workload traces, hooks, load drivers, state-store backends) with
+    its one-line description — the discoverability surface behind the
+    spec files.
 
 ``run``, ``compare``, ``experiment`` and ``sweep`` all execute through
 the shared experiment runner, so the same spec reproduces the same
@@ -129,7 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="evaluate compatible cells as vectorized NumPy "
                      "batches (byte-identical results; un-batchable cells "
-                     "silently fall back to the scalar path; default: the "
+                     "fall back to the scalar path and the fallback "
+                     "reasons are reported; default: the "
                      "REPRO_SWEEP_BATCH environment variable)")
     swp.add_argument("--out", default=None,
                      help="write the aggregate summary (per-cell metrics) "
@@ -138,12 +145,55 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the execution report (units, cache hits, "
                      "throughput) to this JSON file")
 
+    srv = sub.add_parser(
+        "serve", help="run the always-on autoscaling control plane"
+    )
+    srv.add_argument("--spec", required=True,
+                     help="ExperimentSpec JSON file(s) to register as "
+                     "apps: a file, a directory, or a glob")
+    srv.add_argument("--steps", type=int, default=None,
+                     help="ticks to stream per app (default: each "
+                     "spec's full horizon)")
+    srv.add_argument("--driver", default="replay",
+                     help="load-driver kind (see: repro registry "
+                     "--kind drivers)")
+    srv.add_argument("--rps", type=float, default=None,
+                     help="fixed offered load — shorthand for "
+                     "--driver constant with this rate")
+    srv.add_argument("--tick", type=float, default=0.0,
+                     help="wall-clock seconds between interval rounds "
+                     "(0 streams as fast as backpressure allows)")
+    srv.add_argument("--queue-size", type=int, default=64,
+                     help="per-app metric queue bound (the "
+                     "backpressure boundary)")
+    srv.add_argument("--store", default="memory",
+                     help="state-store backend kind (see: repro "
+                     "registry --kind state-stores)")
+    srv.add_argument("--state-dir", default=None,
+                     help="root for the directory backend (implies "
+                     "--store directory; shares keys with the sweep "
+                     "cache)")
+    srv.add_argument("--snapshot-every", type=int, default=0,
+                     help="persist a manager-state snapshot every N "
+                     "ticks (0: only at shutdown)")
+    srv.add_argument("--port", type=int, default=8422,
+                     help="HTTP API port (0 picks an ephemeral port)")
+    srv.add_argument("--no-http", action="store_true",
+                     help="run without the HTTP API")
+    srv.add_argument("--hold", action="store_true",
+                     help="keep serving after the drive until "
+                     "POST /shutdown or Ctrl-C")
+    srv.add_argument("--out", default=None,
+                     help="write the service run summary (status rows "
+                     "+ flush report) to this JSON file")
+
     reg = sub.add_parser(
         "registry",
         help="list the registered experiment kinds and their descriptions",
     )
     reg.add_argument("--kind", default=None,
-                     choices=["engines", "autoscalers", "workloads", "hooks"],
+                     choices=["engines", "autoscalers", "workloads", "hooks",
+                              "drivers", "state-stores"],
                      help="restrict the listing to one registry")
     reg.add_argument("--json", action="store_true",
                      help="emit the listing as JSON instead of a table")
@@ -409,6 +459,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\n{report.units} units: {report.cache_hits} cached, "
           f"{report.computed} computed{split} in {report.chunks} chunk(s), "
           f"{report.seconds:.2f}s ({report.units_per_sec:.2f} units/s)")
+    if report.fallbacks:
+        reasons = ", ".join(
+            f"{reason} x{count}"
+            for reason, count in report.fallbacks.items()
+        )
+        print(f"batch fallbacks: {reasons}")
     if report.replay_units or report.manager_states:
         print(f"replay: {report.replay_units} trace-replay unit(s), "
               f"{report.manager_states} manager-state payload(s) captured")
@@ -431,14 +487,125 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_service_specs(
+    pattern: str,
+) -> list[tuple[str, ExperimentSpec]] | int:
+    """``serve --spec`` expansion: validated (app_id, spec) pairs.
+
+    App ids come from the spec's name (or the file stem for unnamed
+    specs); same-id collisions get ``-2``/``-3`` suffixes so every
+    matched file registers.
+    """
+    paths = _spec_paths(pattern)
+    if not paths:
+        return _error(f"no spec files match {pattern!r}")
+    apps: list[tuple[str, ExperimentSpec]] = []
+    used: dict[str, int] = {}
+    for path in paths:
+        try:
+            spec = ExperimentSpec.from_json(Path(path).read_text())
+            spec.validate()
+        except (OSError, TypeError, ValueError, KeyError) as exc:
+            reason = (
+                exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+            )
+            return _error(f"{path}: {reason}")
+        base = spec.name or Path(path).stem
+        n = used[base] = used.get(base, 0) + 1
+        apps.append((base if n == 1 else f"{base}-{n}", spec))
+    return apps
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        LOAD_DRIVERS,
+        STATE_STORES,
+        ServiceError,
+        ServiceRuntime,
+        ServiceStateStore,
+    )
+
+    apps = _load_service_specs(args.spec)
+    if isinstance(apps, int):
+        return apps
+    if args.queue_size < 1:
+        return _error("--queue-size must be >= 1")
+    if args.snapshot_every < 0:
+        return _error("--snapshot-every must be >= 0")
+    try:
+        if args.rps is not None:
+            driver = LOAD_DRIVERS.build("constant", rps=args.rps)
+        else:
+            driver = LOAD_DRIVERS.build(args.driver)
+        store_kind = "directory" if args.state_dir else args.store
+        if store_kind == "directory":
+            if not args.state_dir:
+                return _error("--store directory needs --state-dir")
+            backend = STATE_STORES.build("directory", root=args.state_dir)
+        else:
+            backend = STATE_STORES.build(store_kind)
+    except (KeyError, TypeError, ValueError) as exc:
+        reason = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        return _error(reason)
+
+    runtime = ServiceRuntime(
+        store=ServiceStateStore(backend, snapshot_every=args.snapshot_every),
+        queue_size=args.queue_size,
+        http=not args.no_http,
+        port=args.port,
+    )
+    try:
+        runtime.start()
+    except OSError as exc:  # e.g. port already bound
+        return _error(exc)
+    try:
+        for app_id, spec in apps:
+            runtime.register(spec, app_id=app_id)
+        print(f"# repro.service: {len(apps)} app(s)"
+              + (f", listening on {runtime.url}" if runtime.url else ""))
+        try:
+            submitted = runtime.drive(
+                args.steps, driver=driver, tick=args.tick
+            )
+            print(f"streamed {submitted} tick(s)")
+            if args.hold:
+                print("holding: POST /shutdown (or Ctrl-C) to stop")
+                runtime.wait_shutdown_requested()
+        except KeyboardInterrupt:
+            print("\ninterrupted: draining and flushing state")
+    except ServiceError as exc:
+        runtime.shutdown()
+        return _error(exc)
+    status = runtime.status()
+    flush = runtime.shutdown()
+    print(f"\n{'app':24s} {'steps':>6s} {'done':>5s} {'viol':>5s} "
+          f"{'unit':>5s}  error")
+    for row in status["apps"]:
+        entry = flush.get(row["app"], {})
+        print(f"{row['app']:24s} {row['steps_done']:6d} "
+              f"{'yes' if row['complete'] else 'no':>5s} "
+              f"{row['violations']:5d} "
+              f"{'yes' if entry.get('unit_entry') else 'no':>5s}  "
+              f"{row['error'] or ''}")
+    if args.out:
+        Path(args.out).write_text(json.dumps(
+            {"status": status, "flush": flush}, indent=2, sort_keys=True,
+        ) + "\n")
+        print(f"summary written to {args.out}")
+    return 1 if any(row["error"] for row in status["apps"]) else 0
+
+
 def _cmd_registry(args: argparse.Namespace) -> int:
     from repro.experiments import AUTOSCALERS, ENGINES, HOOKS, WORKLOADS
+    from repro.service import LOAD_DRIVERS, STATE_STORES
 
     registries = {
         "engines": ENGINES,
         "autoscalers": AUTOSCALERS,
         "workloads": WORKLOADS,
         "hooks": HOOKS,
+        "drivers": LOAD_DRIVERS,
+        "state-stores": STATE_STORES,
     }
     if args.kind is not None:
         registries = {args.kind: registries[args.kind]}
@@ -487,6 +654,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiment(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "registry":
         return _cmd_registry(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -138,6 +138,16 @@ class ControlLoop:
         if cluster is not None and not cluster.pods:
             cluster.deploy(environment.app, autoscaler.allocation)
 
+    def current_slo(self) -> float:
+        """The SLO in force right now.
+
+        Live when the autoscaler carries its own (mutable) SLO — dynamic
+        SLO hooks show up immediately — fixed otherwise.  The service
+        layer's tick path calls this so streamed runs record exactly the
+        SLO sequence :meth:`run` would.
+        """
+        return self._slo_getter()
+
     def run(
         self,
         n_steps: int,
@@ -163,7 +173,7 @@ class ControlLoop:
             metrics = self.environment.observe(allocation, rps, self.interval)
             if self.collector is not None:
                 self.collector.collect(t, allocation, metrics)
-            slo_now = self._slo_getter()
+            slo_now = self.current_slo()
             result.records.append(
                 LoopRecord(
                     step=step,

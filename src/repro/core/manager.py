@@ -173,6 +173,10 @@ class WorkloadAwarePEMA:
         latency-per-rps slope, every recorded range split, and the final
         leaf ranges (sorted by lower bound) — as plain data that
         round-trips losslessly through the artifact/store JSON codecs.
+        The always-on service reuses this snapshot live: its ``/state``
+        endpoint and state-store flushes serve exactly this payload, so
+        a service run and an offline ``capture`` run expose the manager
+        through one schema.
         """
         slope = self.slope
         return {

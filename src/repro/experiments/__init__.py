@@ -43,6 +43,7 @@ from repro.experiments.runner import (
     capture_manager_state,
     clear_optimum_cache,
     derive_rule_spec,
+    hooks_on_step,
     optimum_cache_info,
     optimum_result,
     optimum_results,
@@ -83,6 +84,7 @@ __all__ = [
     "HOOKS",
     "build_unit",
     "capture_manager_state",
+    "hooks_on_step",
     "run_unit",
     "run_experiment",
     "run_sweep",

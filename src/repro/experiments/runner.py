@@ -44,6 +44,7 @@ __all__ = [
     "ExperimentUnit",
     "build_unit",
     "capture_manager_state",
+    "hooks_on_step",
     "run_unit",
     "run_experiment",
     "run_sweep",
@@ -152,9 +153,16 @@ def build_unit(
     )
 
 
-def _combined_on_step(
-    spec: ExperimentSpec, on_step: OnStep | None
+def hooks_on_step(
+    spec: ExperimentSpec, on_step: OnStep | None = None
 ) -> OnStep | None:
+    """The spec's hooks (plus an optional extra callback) as one dispatcher.
+
+    Every executor of a spec — the offline runner below, and the
+    streaming service's per-app guardians — builds its hook pipeline
+    through this one function, so hook firing order is identical across
+    entry points.  Returns None when there is nothing to dispatch.
+    """
     hook_fns = [HOOKS.build(h.kind, **h.params) for h in spec.hooks]
     if not hook_fns and on_step is None:
         return None
@@ -190,7 +198,7 @@ def run_unit(
     """Run one seed of ``spec`` (hooks dispatched, plus an extra callback)."""
     unit = build_unit(spec, repeat, trace=trace)
     unit.result = unit.loop.run(
-        spec.n_steps, on_step=_combined_on_step(spec, on_step)
+        spec.n_steps, on_step=hooks_on_step(spec, on_step)
     )
     if "manager_state" in spec.capture:
         unit.manager_state = capture_manager_state(unit.autoscaler)

@@ -15,10 +15,11 @@ from typing import TYPE_CHECKING, Any
 from repro.metrics.store import MetricsStore
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.loop import LoopResult
+    from repro.core.loop import LoopRecord, LoopResult
 
 __all__ = [
     "store_to_csv",
+    "loop_record_to_dict",
     "loop_result_to_csv",
     "loop_result_to_dict",
     "loop_result_from_dict",
@@ -77,32 +78,33 @@ def loop_result_to_csv(result: "LoopResult", path: str | Path) -> int:
     return len(result.records)
 
 
-def loop_result_to_dict(result: "LoopResult") -> dict[str, Any]:
-    """A JSON-serializable run history (lossless; see the inverse below).
+def loop_record_to_dict(rec: "LoopRecord") -> dict[str, Any]:
+    """One interval record in the canonical JSON encoding.
 
     Allocations are encoded as ``[name, cpu]`` pairs rather than an
     object: JSON writers that sort keys would otherwise reorder the
     services, and summation order matters to the last ulp of
-    ``Allocation.total()``.
+    ``Allocation.total()``.  The streaming service's per-tick decision
+    feed uses exactly this encoding, so a streamed history and an
+    offline one compare byte-for-byte.
     """
     return {
-        "records": [
-            {
-                "step": rec.step,
-                "time": rec.time,
-                "workload": rec.workload,
-                "response": rec.response,
-                "total_cpu": rec.total_cpu,
-                "violated": bool(rec.violated),
-                "slo": rec.slo,
-                "allocation": [
-                    [name, rec.allocation[name]]
-                    for name in rec.allocation.names
-                ],
-            }
-            for rec in result.records
-        ]
+        "step": rec.step,
+        "time": rec.time,
+        "workload": rec.workload,
+        "response": rec.response,
+        "total_cpu": rec.total_cpu,
+        "violated": bool(rec.violated),
+        "slo": rec.slo,
+        "allocation": [
+            [name, rec.allocation[name]] for name in rec.allocation.names
+        ],
     }
+
+
+def loop_result_to_dict(result: "LoopResult") -> dict[str, Any]:
+    """A JSON-serializable run history (lossless; see the inverse below)."""
+    return {"records": [loop_record_to_dict(rec) for rec in result.records]}
 
 
 def loop_result_from_dict(data: dict[str, Any]) -> "LoopResult":

@@ -1,0 +1,73 @@
+"""repro.service — the always-on control plane.
+
+Where :mod:`repro.experiments` answers "run this spec to completion and
+hand me the artifact", this package keeps the same autoscalers *alive*:
+a long-running asyncio service that ingests streaming per-interval
+metrics for many concurrent applications, runs each app's autoscaler on
+every tick, applies the decisions, and exposes the decision feed plus
+live manager state over a small stdlib HTTP/JSON API.
+
+The MAPE-K cast:
+
+- :class:`Orchestrator` — app registration and the tick scheduler
+  (Monitor's front door);
+- :class:`Guardian` — one app's Analyze+Plan: the autoscaler behind a
+  bounded metrics queue;
+- :class:`Rescaler` — Execute: applies allocations to the (simulated)
+  deployment with actuation accounting;
+- :class:`ServiceStateStore` — Knowledge: decision history and
+  manager-state snapshots behind a pluggable backend
+  (:data:`STATE_STORES`: ``memory`` or a sweep-cache-compatible
+  ``directory``);
+- :data:`LOAD_DRIVERS` — where the metric stream comes from (``replay``
+  streams each app's declarative trace; ``constant`` for smoke tests).
+
+Determinism contract: a service run driven by the ``replay`` driver over
+a given (spec, repeat) produces a decision history *byte-identical* to
+the offline runner's result for the same unit — same records, same
+manager-state channel, same canonical JSON.  Complete runs flushed to a
+``directory`` backend therefore warm the sweep cache.
+
+Entry points: ``repro serve`` (CLI), :func:`service_session` /
+:class:`ServiceRuntime` (embedding, tests, CI gate).
+"""
+
+from repro.service.drivers import (
+    LOAD_DRIVERS,
+    ConstantDriver,
+    LoadDriver,
+    ReplayDriver,
+)
+from repro.service.guardian import Guardian
+from repro.service.http import ServiceServer
+from repro.service.orchestrator import Orchestrator
+from repro.service.rescaler import Rescaler, RescaleStats
+from repro.service.runtime import ServiceRuntime, service_session
+from repro.service.state import (
+    STATE_STORES,
+    MemoryBackend,
+    ServiceStateStore,
+    service_state_key,
+)
+from repro.service.types import Decision, MetricSample, ServiceError
+
+__all__ = [
+    "LOAD_DRIVERS",
+    "STATE_STORES",
+    "ConstantDriver",
+    "Decision",
+    "Guardian",
+    "LoadDriver",
+    "MemoryBackend",
+    "MetricSample",
+    "Orchestrator",
+    "ReplayDriver",
+    "RescaleStats",
+    "Rescaler",
+    "ServiceError",
+    "ServiceRuntime",
+    "ServiceServer",
+    "ServiceStateStore",
+    "service_session",
+    "service_state_key",
+]

@@ -1,0 +1,178 @@
+"""Per-app Guardian: one autoscaler fed by a bounded metrics queue.
+
+A :class:`Guardian` owns everything one application needs inside the
+control plane: the materialized experiment unit (app, engine,
+autoscaler, trace — built by the same
+:func:`repro.experiments.build_unit` the offline runner uses), a bounded
+:class:`asyncio.Queue` of incoming :class:`~repro.service.types.MetricSample`
+ticks (the backpressure boundary — a driver outrunning the control loop
+blocks instead of growing memory), and the decision history so far.
+
+The tick path replicates :meth:`repro.core.loop.ControlLoop.run` step
+for step — hook dispatch, observation, SLO read, record, decide — so a
+guardian driven with the same rate floats as an offline run produces a
+byte-identical history.  That is the service's core determinism
+contract, enforced by ``tests/test_service.py`` and the CI service
+gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.loop import LoopRecord, LoopResult
+from repro.experiments.runner import (
+    build_unit,
+    capture_manager_state,
+    hooks_on_step,
+)
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.export import loop_result_to_dict
+from repro.service.rescaler import Rescaler
+from repro.service.types import Decision, MetricSample, ServiceError
+
+__all__ = ["Guardian"]
+
+
+class Guardian:
+    """Wraps one app's autoscaler behind the streaming tick protocol."""
+
+    def __init__(
+        self,
+        app_id: str,
+        spec: ExperimentSpec,
+        repeat: int = 0,
+        *,
+        rescaler: Rescaler | None = None,
+        queue_size: int = 64,
+    ) -> None:
+        if not app_id:
+            raise ValueError("app_id must be a non-empty string")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.app_id = app_id
+        self.spec = spec
+        self.repeat = repeat
+        self.unit = build_unit(spec, repeat)
+        self.rescaler = rescaler or Rescaler()
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.records: list[LoopRecord] = []
+        self.decisions: list[Decision] = []
+        self.error: str | None = None
+        self._on_step = hooks_on_step(spec)
+        self._allocation = self.unit.autoscaler.allocation
+
+    # -- the tick protocol -------------------------------------------------------
+    @property
+    def steps_done(self) -> int:
+        """How many control intervals this guardian has completed."""
+        return len(self.records)
+
+    @property
+    def complete(self) -> bool:
+        """True once the guardian has run its spec's full horizon.
+
+        Only a complete run equals the offline experiment, so only a
+        complete guardian's history may be flushed as a sweep-store
+        unit entry.
+        """
+        return self.steps_done >= self.spec.n_steps
+
+    def tick(self, sample: MetricSample) -> Decision:
+        """Execute one control interval from a streamed metric sample.
+
+        Mirrors one iteration of the offline loop exactly: the current
+        allocation serves the interval, the environment is observed
+        under the sample's rate, the record lands, and the autoscaler
+        decides the next allocation.
+        """
+        step = self.steps_done
+        if sample.step is not None and sample.step != step:
+            raise ServiceError(
+                f"app {self.app_id!r}: got step {sample.step}, "
+                f"expected {step} (out-of-order or duplicated tick)"
+            )
+        loop = self.unit.loop
+        if self._on_step is not None:
+            self._on_step(step, loop)
+        t = step * self.spec.interval
+        rps = float(sample.rps)
+        allocation = self._allocation
+        self.rescaler.apply(self, allocation)
+        metrics = self.rescaler.observe(self, allocation, rps)
+        slo_now = loop.current_slo()
+        record = LoopRecord(
+            step=step,
+            time=t,
+            workload=rps,
+            response=metrics.latency_p95,
+            total_cpu=allocation.total(),
+            violated=metrics.latency_p95 > slo_now,
+            slo=slo_now,
+            allocation=allocation,
+        )
+        self.records.append(record)
+        self._allocation = self.unit.autoscaler.decide(metrics)
+        decision = Decision(
+            app=self.app_id,
+            step=step,
+            record=record,
+            next_allocation=self._allocation,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    # -- introspection -----------------------------------------------------------
+    def result_payload(self) -> dict[str, Any]:
+        """The decision history in the offline unit-worker encoding.
+
+        Byte-identical (under canonical JSON dumping) to what
+        ``repro.experiments.runner._run_unit_worker`` returns for the
+        same (spec, repeat) once the run is complete — including the
+        ``manager_state`` channel key exactly when the spec requested
+        it.
+        """
+        payload = loop_result_to_dict(LoopResult(records=list(self.records)))
+        if "manager_state" in self.spec.capture:
+            payload["manager_state"] = capture_manager_state(
+                self.unit.autoscaler
+            )
+        return payload
+
+    def state(self) -> dict[str, Any]:
+        """The ``/state`` endpoint's payload for this app."""
+        allocation = self._allocation
+        return {
+            "app": self.app_id,
+            "spec_name": self.spec.name,
+            "step": self.steps_done,
+            "complete": self.complete,
+            "slo": self.unit.loop.current_slo(),
+            "allocation": [
+                [name, allocation[name]] for name in allocation.names
+            ],
+            "total_cpu": allocation.total(),
+            "manager_state": capture_manager_state(self.unit.autoscaler),
+        }
+
+    def status(self) -> dict[str, Any]:
+        """The ``/apps`` endpoint's row for this app."""
+        return {
+            "app": self.app_id,
+            "spec_name": self.spec.name,
+            "app_kind": self.spec.app,
+            "autoscaler": self.spec.autoscaler.kind,
+            "workload": self.spec.workload.kind,
+            "repeat": self.repeat,
+            "seed": self.unit.seed,
+            "interval": self.spec.interval,
+            "n_steps": self.spec.n_steps,
+            "steps_done": self.steps_done,
+            "complete": self.complete,
+            "queue_depth": self.queue.qsize(),
+            "queue_size": self.queue.maxsize,
+            "violations": sum(r.violated for r in self.records),
+            "error": self.error,
+            "rescale": self.rescaler.stats(self.app_id).to_dict(),
+        }

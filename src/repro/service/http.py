@@ -1,0 +1,193 @@
+"""Stdlib HTTP/JSON API over a running :class:`Orchestrator`.
+
+The server is a plain :class:`http.server.ThreadingHTTPServer` — no web
+framework, per the repo's no-new-dependencies rule — serving:
+
+========================  =====================================================
+``GET /``                 service banner + endpoint listing
+``GET /apps``             status rows for every registered app
+``GET /apps/<id>``        one app's status row
+``GET /decisions?app=X``  decision feed (``since=<step>``, ``limit=<n>``)
+``GET /state?app=X``      live allocation + manager-state snapshot
+``POST /shutdown``        request graceful shutdown (drain, flush, exit)
+========================  =====================================================
+
+Handler threads never touch orchestrator state directly: every request
+is bridged onto the service's asyncio event loop with
+:func:`asyncio.run_coroutine_threadsafe`, so the single-threaded
+mutation model in :mod:`repro.service.orchestrator` holds even with
+concurrent HTTP clients.  Unknown apps map to 404, bad parameters to
+400, everything else to 500 with the error message in the JSON body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.orchestrator import Orchestrator
+from repro.service.types import ServiceError
+
+__all__ = ["ServiceServer"]
+
+_BRIDGE_TIMEOUT = 30.0  # seconds a handler thread waits for the event loop
+
+
+class _BadRequest(ValueError):
+    """Maps to HTTP 400."""
+
+
+def _banner() -> dict[str, Any]:
+    return {
+        "service": "repro.service",
+        "endpoints": [
+            "GET /",
+            "GET /apps",
+            "GET /apps/<id>",
+            "GET /decisions?app=<id>[&since=<step>][&limit=<n>]",
+            "GET /state?app=<id>",
+            "POST /shutdown",
+        ],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceServer"  # type: ignore[assignment]
+
+    # -- plumbing ----------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # quiet by default; the CLI reports the listening URL once
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _on_loop(self, fn: Callable[[Orchestrator], Any]) -> Any:
+        """Run ``fn(orchestrator)`` on the service event loop, blocking."""
+        server: ServiceServer = self.server  # type: ignore[assignment]
+
+        async def call() -> Any:
+            return fn(server.orchestrator)
+
+        future = asyncio.run_coroutine_threadsafe(call(), server.loop)
+        return future.result(timeout=_BRIDGE_TIMEOUT)
+
+    def _dispatch(self, fn: Callable[[Orchestrator], Any]) -> None:
+        try:
+            self._send_json(200, self._on_loop(fn))
+        except _BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except ServiceError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except Exception as exc:  # surface, don't kill the handler thread
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- routes ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler convention)
+        url = urlsplit(self.path)
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        path = url.path.rstrip("/") or "/"
+        if path == "/":
+            self._send_json(200, _banner())
+        elif path == "/apps":
+            self._dispatch(lambda orch: orch.status())
+        elif path.startswith("/apps/"):
+            app_id = path[len("/apps/") :]
+            self._dispatch(lambda orch: orch.app_status(app_id))
+        elif path == "/decisions":
+            self._dispatch(
+                lambda orch: orch.decisions(
+                    _require_app(query),
+                    since=_int_param(query, "since", 0),
+                    limit=_int_param(query, "limit", None),
+                )
+            )
+        elif path == "/state":
+            self._dispatch(lambda orch: orch.state(_require_app(query)))
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/shutdown":
+
+            def request(orch: Orchestrator) -> dict[str, Any]:
+                orch.request_shutdown()
+                return {"shutdown": "requested"}
+
+            self._dispatch(request)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+
+def _require_app(query: dict[str, str]) -> str:
+    app = query.get("app", "")
+    if not app:
+        raise _BadRequest("missing required query parameter: app")
+    return app
+
+
+def _int_param(
+    query: dict[str, str], name: str, default: int | None
+) -> int | None:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _BadRequest(f"{name} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise _BadRequest(f"{name} must be >= 0, got {value}")
+    return value
+
+
+class ServiceServer:
+    """Serves the API from a daemon thread beside the asyncio loop.
+
+    ``port=0`` binds an ephemeral port (the resolved one is in
+    :attr:`port`/:attr:`url` after construction) — that is what tests
+    and the CI gate use to avoid collisions.
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self.loop = loop
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        # Expose service context to handler threads through the server
+        # object (the only channel BaseHTTPRequestHandler offers).
+        self._httpd.orchestrator = orchestrator  # type: ignore[attr-defined]
+        self._httpd.loop = loop  # type: ignore[attr-defined]
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self.url = f"http://{host}:{self.port}"
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-service-http:{self.port}",
+            daemon=True,
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)

@@ -1,0 +1,272 @@
+"""The Orchestrator: app registration, guardian tasks, tick scheduling.
+
+One :class:`Orchestrator` owns the whole control plane: a
+:class:`~repro.service.guardian.Guardian` per registered application
+(each consuming its bounded metric queue in its own asyncio task), one
+shared :class:`~repro.service.rescaler.Rescaler`, and one
+:class:`~repro.service.state.ServiceStateStore`.  Metric samples enter
+through :meth:`submit` (or the batteries-included :meth:`drive`, which
+streams a load driver's schedule); decisions leave through the state
+store's query surface and the HTTP API
+(:mod:`repro.service.http`).
+
+Concurrency model: everything mutates on one asyncio event loop.
+Guardians are independent tasks, so a slow app never blocks another
+app's ticks; backpressure is per-app (a bounded queue blocks the
+producer, not the plane).  Graceful shutdown enqueues a sentinel behind
+every pending sample, joins the tasks, and flushes the state store —
+so every accepted sample is either ticked or accounted for before the
+process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.experiments.spec import ExperimentSpec
+from repro.service.drivers import LOAD_DRIVERS, LoadDriver
+from repro.service.guardian import Guardian
+from repro.service.rescaler import Rescaler
+from repro.service.state import ServiceStateStore
+from repro.service.types import MetricSample, ServiceError
+
+__all__ = ["Orchestrator"]
+
+_STOP = object()  # queue sentinel: drain, then exit the guardian task
+
+
+class Orchestrator:
+    """Long-lived control plane over streaming per-interval metrics."""
+
+    def __init__(
+        self,
+        *,
+        store: ServiceStateStore | None = None,
+        rescaler: Rescaler | None = None,
+        queue_size: int = 64,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.store = store if store is not None else ServiceStateStore()
+        self.rescaler = rescaler or Rescaler()
+        self.queue_size = queue_size
+        self.guardians: dict[str, Guardian] = {}
+        self.ticks = 0
+        self._tasks: dict[str, asyncio.Task] = {}
+        self._started = False
+        self._stopping = False
+        self._shutdown_requested = asyncio.Event()
+
+    # -- registration ------------------------------------------------------------
+    def register(
+        self,
+        spec: ExperimentSpec,
+        *,
+        app_id: str | None = None,
+        repeat: int = 0,
+        queue_size: int | None = None,
+    ) -> Guardian:
+        """Admit one application (an :class:`ExperimentSpec`) to the plane.
+
+        ``app_id`` defaults to the spec's name; ids are unique.  When
+        the service is already running, the guardian's consumer task
+        starts immediately.
+        """
+        app_id = app_id or spec.name
+        if not app_id:
+            raise ServiceError("app needs an id (or a named spec)")
+        if app_id in self.guardians:
+            raise ServiceError(f"app {app_id!r} is already registered")
+        guardian = Guardian(
+            app_id,
+            spec,
+            repeat,
+            rescaler=self.rescaler,
+            queue_size=queue_size or self.queue_size,
+        )
+        self.guardians[app_id] = guardian
+        if self._started and not self._stopping:
+            self._tasks[app_id] = asyncio.create_task(
+                self._guardian_loop(guardian), name=f"guardian:{app_id}"
+            )
+        return guardian
+
+    def unregister(self, app_id: str) -> None:
+        """Remove an app (its task is cancelled, its history dropped)."""
+        guardian = self._guardian(app_id)
+        task = self._tasks.pop(app_id, None)
+        if task is not None:
+            task.cancel()
+        del self.guardians[app_id]
+        self.store.forget(app_id)
+        self.rescaler.forget(app_id)
+
+    def _guardian(self, app_id: str) -> Guardian:
+        try:
+            return self.guardians[app_id]
+        except KeyError:
+            known = ", ".join(sorted(self.guardians)) or "<none>"
+            raise ServiceError(
+                f"unknown app {app_id!r} (registered: {known})"
+            ) from None
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> None:
+        """Start one consumer task per registered guardian."""
+        if self._started:
+            return
+        self._started = True
+        for app_id, guardian in self.guardians.items():
+            if app_id not in self._tasks:
+                self._tasks[app_id] = asyncio.create_task(
+                    self._guardian_loop(guardian), name=f"guardian:{app_id}"
+                )
+
+    async def _guardian_loop(self, guardian: Guardian) -> None:
+        while True:
+            sample = await guardian.queue.get()
+            try:
+                if sample is _STOP:
+                    return
+                if guardian.error is not None:
+                    continue  # poisoned guardian: drop, never block the driver
+                decision = guardian.tick(sample)
+                self.ticks += 1
+                self.store.record_decision(guardian, decision)
+            except ServiceError as exc:
+                guardian.error = str(exc)
+            except Exception as exc:  # keep the plane alive on app failure
+                guardian.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                guardian.queue.task_done()
+
+    async def submit(self, sample: MetricSample) -> None:
+        """Enqueue one metric sample (awaits when the app's queue is full).
+
+        The bounded queue is the backpressure boundary: a driver that
+        outruns an app's control loop parks here instead of growing
+        memory without limit.
+        """
+        if self._stopping:
+            raise ServiceError("service is shutting down")
+        guardian = self._guardian(sample.app)
+        await guardian.queue.put(sample)
+
+    async def join(self) -> None:
+        """Wait until every accepted sample has been ticked."""
+        await asyncio.gather(
+            *(g.queue.join() for g in self.guardians.values())
+        )
+
+    async def drive(
+        self,
+        n_steps: int | None = None,
+        *,
+        driver: LoadDriver | str | None = None,
+        apps: list[str] | None = None,
+        tick: float = 0.0,
+    ) -> int:
+        """Stream a load driver's schedule through the plane.
+
+        Each selected app gets ``n_steps`` samples (default: whatever
+        remains of its spec's horizon), submitted round-robin so all
+        apps advance together — the simulated-time tick scheduler.
+        ``tick`` seconds of wall-clock sleep between interval rounds
+        turns the same schedule into a real-time (or scaled) run; 0
+        streams as fast as backpressure allows.  Returns the number of
+        samples submitted; a requested shutdown interrupts the stream.
+        """
+        if driver is None or isinstance(driver, str):
+            driver = LOAD_DRIVERS.build(driver or "replay")
+        selected = [
+            self._guardian(app_id)
+            for app_id in (apps if apps is not None else self.guardians)
+        ]
+        plans: list[tuple[Guardian, int, Any]] = []
+        for guardian in selected:
+            steps = (
+                n_steps
+                if n_steps is not None
+                else max(0, guardian.spec.n_steps - guardian.steps_done)
+            )
+            plans.append(
+                (guardian, guardian.steps_done, driver.rates(guardian, steps))
+            )
+        submitted = 0
+        rounds = max((len(rates) for _, _, rates in plans), default=0)
+        for k in range(rounds):
+            if self._shutdown_requested.is_set():
+                break
+            for guardian, base_step, rates in plans:
+                if k < len(rates):
+                    await self.submit(
+                        MetricSample(
+                            app=guardian.app_id,
+                            rps=float(rates[k]),
+                            step=base_step + k,
+                        )
+                    )
+                    submitted += 1
+            if tick > 0:
+                await asyncio.sleep(tick)
+        await self.join()
+        return submitted
+
+    def request_shutdown(self) -> None:
+        """Flag the plane for shutdown (drives abort at the next round)."""
+        self._shutdown_requested.set()
+
+    async def wait_shutdown_requested(self) -> None:
+        await self._shutdown_requested.wait()
+
+    async def shutdown(self) -> dict[str, Any]:
+        """Graceful stop: drain queues, join tasks, flush the state store.
+
+        Returns the flush summary (per-app steps/completeness/whether a
+        sweep-unit entry was persisted).
+        """
+        self.request_shutdown()
+        self._stopping = True
+        for guardian in self.guardians.values():
+            await guardian.queue.put(_STOP)
+        if self._tasks:
+            await asyncio.gather(
+                *self._tasks.values(), return_exceptions=True
+            )
+        self._tasks.clear()
+        self._started = False
+        return self.store.flush(self.guardians)
+
+    # -- query surface (called on the event-loop thread; see http.py) ------------
+    def status(self) -> dict[str, Any]:
+        """The ``/apps`` payload: one status row per registered app."""
+        return {
+            "apps": [
+                guardian.status()
+                for _, guardian in sorted(self.guardians.items())
+            ],
+            "ticks": self.ticks,
+            "stopping": self._stopping,
+        }
+
+    def app_status(self, app_id: str) -> dict[str, Any]:
+        return self._guardian(app_id).status()
+
+    def decisions(
+        self, app_id: str, *, since: int = 0, limit: int | None = None
+    ) -> dict[str, Any]:
+        """The ``/decisions`` payload for one app."""
+        guardian = self._guardian(app_id)
+        return {
+            "app": app_id,
+            "total": self.store.decision_count(app_id),
+            "decisions": self.store.decisions(
+                app_id, since=since, limit=limit
+            ),
+            "steps_done": guardian.steps_done,
+        }
+
+    def state(self, app_id: str) -> dict[str, Any]:
+        """The ``/state`` payload: live allocation + manager snapshot."""
+        return self._guardian(app_id).state()

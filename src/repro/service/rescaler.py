@@ -1,0 +1,95 @@
+"""The actuation plane: applies decisions to the simulated environment.
+
+In the MAPE-K framing the guardians are Analyze+Plan and the
+:class:`Rescaler` is Execute: it takes the allocation an autoscaler
+chose, pushes it into the app's environment (the simulated deployment),
+and observes the interval served under it.  Keeping actuation in one
+object gives the service a single choke point for rescale accounting —
+how many scale-ups/downs each app performed, how much CPU moved — and a
+seam where a real deployment would swap in an API-server client for the
+simulated engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.sim.types import Allocation, IntervalMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.guardian import Guardian
+
+__all__ = ["Rescaler", "RescaleStats"]
+
+
+@dataclass
+class RescaleStats:
+    """Per-app actuation counters (reported by ``/apps`` and the CLI)."""
+
+    applies: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    cpu_moved: float = 0.0
+    """Total absolute per-service CPU change across all applies."""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "applies": self.applies,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "cpu_moved": self.cpu_moved,
+        }
+
+
+class Rescaler:
+    """Applies allocations to per-app environments and observes them.
+
+    The observation call is byte-identical to the offline control
+    loop's: ``environment.observe(allocation, rps, interval)`` with the
+    same floats in the same order, so the Rescaler adds accounting, not
+    behavior.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, RescaleStats] = {}
+        self._last: dict[str, Allocation] = {}
+
+    def stats(self, app_id: str) -> RescaleStats:
+        return self._stats.setdefault(app_id, RescaleStats())
+
+    def apply(self, guardian: "Guardian", allocation: Allocation) -> None:
+        """Push ``allocation`` into the app's (simulated) deployment.
+
+        The analytical engine consumes the allocation at observe time,
+        so applying is pure bookkeeping here; a cluster-backed guardian
+        would call ``cluster.apply`` exactly as the offline loop does.
+        """
+        stats = self.stats(guardian.app_id)
+        stats.applies += 1
+        previous = self._last.get(guardian.app_id)
+        if previous is not None:
+            names = allocation.names
+            new = allocation.as_array(names)
+            old = previous.as_array(names)
+            if np.any(new > old):
+                stats.scale_ups += 1
+            if np.any(new < old):
+                stats.scale_downs += 1
+            stats.cpu_moved += float(np.abs(new - old).sum())
+        self._last[guardian.app_id] = allocation
+
+    def observe(
+        self, guardian: "Guardian", allocation: Allocation, rps: float
+    ) -> IntervalMetrics:
+        """One interval served under ``allocation`` at ``rps``."""
+        return guardian.unit.engine.observe(
+            allocation, rps, guardian.spec.interval
+        )
+
+    def forget(self, app_id: str) -> None:
+        """Drop an unregistered app's actuation state."""
+        self._stats.pop(app_id, None)
+        self._last.pop(app_id, None)

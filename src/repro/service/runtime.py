@@ -1,0 +1,203 @@
+"""Synchronous runtime harness around the asyncio control plane.
+
+:class:`ServiceRuntime` runs the orchestrator's event loop in a
+background thread and exposes a blocking facade (register / drive /
+submit / query / shutdown), which is what the ``repro serve`` CLI, the
+test suite, and the CI service gate all drive.  Every orchestrator call
+is marshalled onto the loop thread with
+:func:`asyncio.run_coroutine_threadsafe`, so callers never race the
+guardian tasks.
+
+:func:`service_session` is the context-manager form: it starts the
+runtime, registers the given specs, and guarantees graceful shutdown
+(queue drain + state-store flush) on exit even when the body raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+from typing import Any, Coroutine, Iterator, Sequence
+
+from repro.experiments.spec import ExperimentSpec
+from repro.service.guardian import Guardian
+from repro.service.http import ServiceServer
+from repro.service.orchestrator import Orchestrator
+from repro.service.rescaler import Rescaler
+from repro.service.state import ServiceStateStore
+from repro.service.types import MetricSample, ServiceError
+
+__all__ = ["ServiceRuntime", "service_session"]
+
+
+class ServiceRuntime:
+    """Blocking facade over an :class:`Orchestrator` on its own loop thread."""
+
+    def __init__(
+        self,
+        *,
+        store: ServiceStateStore | None = None,
+        rescaler: Rescaler | None = None,
+        queue_size: int = 64,
+        http: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.orchestrator = Orchestrator(
+            store=store, rescaler=rescaler, queue_size=queue_size
+        )
+        self._http = http
+        self._host = host
+        self._port = port
+        self.server: ServiceServer | None = None
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-service-loop", daemon=True
+        )
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self) -> "ServiceRuntime":
+        """Start the loop thread, guardian tasks, and (optional) HTTP API."""
+        if self._started:
+            return self
+        self._started = True
+        self._thread.start()
+        self._call(self.orchestrator.start())
+        if self._http:
+            self.server = ServiceServer(
+                self.orchestrator,
+                self._loop,
+                host=self._host,
+                port=self._port,
+            )
+            self.server.start()
+        return self
+
+    def shutdown(self, timeout: float = 60.0) -> dict[str, Any]:
+        """Graceful stop; returns the state-store flush summary."""
+        if self._stopped:
+            return {}
+        self._stopped = True
+        try:
+            summary = self._call(self.orchestrator.shutdown(), timeout)
+        finally:
+            if self.server is not None:
+                self.server.stop()
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+            self._loop.close()
+        return summary
+
+    def _call(self, coro: Coroutine[Any, Any, Any], timeout: float = 60.0) -> Any:
+        if not self._thread.is_alive():
+            coro.close()
+            raise ServiceError(
+                "service runtime is not running (call start() first)"
+            )
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    @property
+    def url(self) -> str | None:
+        """The HTTP API base URL, when serving."""
+        return self.server.url if self.server is not None else None
+
+    # -- blocking facade ---------------------------------------------------------
+    def register(
+        self,
+        spec: ExperimentSpec,
+        *,
+        app_id: str | None = None,
+        repeat: int = 0,
+    ) -> Guardian:
+        async def call() -> Guardian:
+            return self.orchestrator.register(
+                spec, app_id=app_id, repeat=repeat
+            )
+
+        return self._call(call())
+
+    def submit(self, sample: MetricSample) -> None:
+        self._call(self.orchestrator.submit(sample))
+
+    def drive(
+        self,
+        n_steps: int | None = None,
+        *,
+        driver: Any = None,
+        apps: list[str] | None = None,
+        tick: float = 0.0,
+        timeout: float = 600.0,
+    ) -> int:
+        """Stream a driver schedule and wait for all ticks to land."""
+        return self._call(
+            self.orchestrator.drive(
+                n_steps, driver=driver, apps=apps, tick=tick
+            ),
+            timeout,
+        )
+
+    def status(self) -> dict[str, Any]:
+        async def call() -> dict[str, Any]:
+            return self.orchestrator.status()
+
+        return self._call(call())
+
+    def decisions(
+        self, app_id: str, *, since: int = 0, limit: int | None = None
+    ) -> dict[str, Any]:
+        async def call() -> dict[str, Any]:
+            return self.orchestrator.decisions(
+                app_id, since=since, limit=limit
+            )
+
+        return self._call(call())
+
+    def state(self, app_id: str) -> dict[str, Any]:
+        async def call() -> dict[str, Any]:
+            return self.orchestrator.state(app_id)
+
+        return self._call(call())
+
+    def request_shutdown(self) -> None:
+        self._loop.call_soon_threadsafe(self.orchestrator.request_shutdown)
+
+    def wait_shutdown_requested(self, timeout: float | None = None) -> bool:
+        """Block until someone (e.g. ``POST /shutdown``) requests a stop."""
+        done = threading.Event()
+
+        async def watch() -> None:
+            await self.orchestrator.wait_shutdown_requested()
+            done.set()
+
+        asyncio.run_coroutine_threadsafe(watch(), self._loop)
+        return done.wait(timeout)
+
+
+@contextmanager
+def service_session(
+    specs: Sequence[ExperimentSpec] = (),
+    *,
+    store: ServiceStateStore | None = None,
+    queue_size: int = 64,
+    http: bool = False,
+    port: int = 0,
+) -> Iterator[ServiceRuntime]:
+    """A started runtime with ``specs`` registered; always shuts down."""
+    runtime = ServiceRuntime(
+        store=store, queue_size=queue_size, http=http, port=port
+    )
+    runtime.start()
+    try:
+        for spec in specs:
+            runtime.register(spec)
+        yield runtime
+    finally:
+        runtime.shutdown()

@@ -45,8 +45,10 @@ from repro.sweeps.aggregate import (
 )
 from repro.sweeps.batched import (
     BATCHABLE_AUTOSCALERS,
+    batch_fallback_reason,
     batch_from_env,
     batch_key,
+    classify_unit,
     run_units_batched,
 )
 from repro.sweeps.grid import (
@@ -63,7 +65,12 @@ from repro.sweeps.scheduler import (
     run_grid,
     run_sweep_cached,
 )
-from repro.sweeps.store import StoreStats, SweepStore, canonical_key
+from repro.sweeps.store import (
+    JsonDirectoryStore,
+    StoreStats,
+    SweepStore,
+    canonical_key,
+)
 
 __all__ = [
     "SweepGrid",
@@ -72,6 +79,7 @@ __all__ = [
     "set_path",
     "validate_override_path",
     "SweepStore",
+    "JsonDirectoryStore",
     "StoreStats",
     "canonical_key",
     "run_sweep_cached",
@@ -80,6 +88,8 @@ __all__ = [
     "BATCHABLE_AUTOSCALERS",
     "batch_from_env",
     "batch_key",
+    "batch_fallback_reason",
+    "classify_unit",
     "run_units_batched",
     "SweepProgress",
     "SweepReport",

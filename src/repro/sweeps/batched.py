@@ -19,7 +19,11 @@ the same JSON bytes land in the sweep store either way.
 
 Cells that :func:`batch_key` cannot place in a group (DES engine, custom
 engine params, unknown autoscalers/hooks, invalid component params) run
-through the scalar worker unchanged — silent fallback, never an error.
+through the scalar worker unchanged — a fallback, never an error.  Each
+fallback carries a machine-readable reason slug
+(:func:`batch_fallback_reason`), which the scheduler tallies into
+``SweepReport.fallbacks`` so batch coverage is visible instead of
+silently degrading.
 """
 
 from __future__ import annotations
@@ -38,12 +42,14 @@ from repro.experiments.spec import ExperimentSpec
 from repro.sim.batched import BatchObservation, BatchedAnalyticalEngine
 from repro.sim.concurrency import gamma_quantile
 from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
-from repro.workload.trace import batch_rates
+from repro.workload.replay import rate_schedule
 
 __all__ = [
     "BATCHABLE_AUTOSCALERS",
     "batch_key",
+    "batch_fallback_reason",
     "batch_from_env",
+    "classify_unit",
     "run_units_batched",
 ]
 
@@ -70,8 +76,10 @@ BATCHABLE_AUTOSCALERS = (
 _BATCHABLE_HOOKS = ("set_slo", "set_cpu_speed")
 
 
-def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
-    """The compatibility-group key of ``spec``, or None if un-batchable.
+def classify_unit(
+    spec: ExperimentSpec,
+) -> tuple[tuple[Hashable, ...] | None, str | None]:
+    """``(batch key, None)`` for batchable specs, ``(None, reason)`` else.
 
     Units sharing a key can be stacked into one batch: same app (service
     set and calibration), same autoscaler kind (one vectorized bank), and
@@ -79,28 +87,39 @@ def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
     kind, α/β and other autoscaler params, CPU speed and SLO hooks,
     interval, SLO, headroom, seeds — varies freely *within* a batch.
 
+    The reason is a stable machine-readable slug (``engine:des``,
+    ``autoscaler:fast_pema``, ``hook:my_hook``, ``pema_horizon``,
+    ``engine_params``, ``hook_params:set_slo``,
+    ``autoscaler_params:rule``, ``set_slo_without_pema``) — the
+    scheduler tallies these into ``SweepReport.fallbacks`` and the CLI
+    prints them, so nobody mistakes a mostly-scalar "batched" sweep for
+    a vectorized one.
+
     Component params are probed against their scalar constructors so a
     spec the scalar path would reject at build time falls back to the
     scalar path and fails there, with the same error.
     """
-    if spec.engine.kind != "analytical" or spec.engine.params:
-        return None
+    if spec.engine.kind != "analytical":
+        return None, f"engine:{spec.engine.kind}"
+    if spec.engine.params:
+        return None, "engine_params"
     kind = spec.autoscaler.kind
     if kind not in BATCHABLE_AUTOSCALERS:
-        return None
+        return None, f"autoscaler:{kind}"
     # PEMABatch keeps the full history; past the scalar RHDb's trim point
     # (ResourceHistoryDB.max_records) the two would diverge.
     if kind == "pema" and spec.n_steps > 100_000:
-        return None
+        return None, "pema_horizon"
     for hook in spec.hooks:
         if hook.kind not in _BATCHABLE_HOOKS:
-            return None
+            return None, f"hook:{hook.kind}"
         if hook.kind == "set_slo" and kind != "pema":
-            return None
+            return None, "set_slo_without_pema"
         try:
             HOOKS.build(hook.kind, **hook.params)
         except (TypeError, ValueError, KeyError):
-            return None
+            return None, f"hook_params:{hook.kind}"
+    bad_params = (None, f"autoscaler_params:{kind}")
     try:
         if kind == "pema":
             PEMAConfig(**spec.autoscaler.params)
@@ -112,7 +131,7 @@ def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
             params = dict(spec.autoscaler.params)
             restarts = params.pop("restarts", 2)
             if params or not isinstance(restarts, int) or restarts < 1:
-                return None
+                return bad_params
         elif kind == "workload_aware_pema":
             from repro.core import WorkloadAwarePEMA
 
@@ -132,10 +151,24 @@ def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
                 **params,
             )
         elif spec.autoscaler.params:  # static takes no params
-            return None
+            return bad_params
     except (TypeError, ValueError):
-        return None
-    return (spec.app, kind, spec.n_steps)
+        return bad_params
+    return (spec.app, kind, spec.n_steps), None
+
+
+def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
+    """The compatibility-group key of ``spec``, or None if un-batchable.
+
+    The key/reason split lives in :func:`classify_unit`; this is the
+    key-only view the batch runner and older call sites use.
+    """
+    return classify_unit(spec)[0]
+
+
+def batch_fallback_reason(spec: ExperimentSpec) -> str | None:
+    """Why ``spec`` runs scalar under ``batch=True`` (None: it batches)."""
+    return classify_unit(spec)[1]
 
 
 class _OptimumBank:
@@ -359,10 +392,9 @@ def run_units_batched(
     # the :func:`~repro.workload.trace.batch_rates` contract), so a
     # 36-hour replay costs one trace evaluation per cell, not one Python
     # call per control interval.
-    steps_f = np.arange(n_steps, dtype=np.float64)
     rates_all = np.stack(
         [
-            batch_rates(traces[i], steps_f * intervals[i])
+            rate_schedule(traces[i], intervals[i], n_steps)
             for i in range(n_cells)
         ],
         axis=1,

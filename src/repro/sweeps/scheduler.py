@@ -13,8 +13,9 @@ with the same store recomputes only the units that never completed.
 groups (same app, autoscaler kind, and horizon — see
 :func:`repro.sweeps.batched.batch_key`) and evaluates each group as one
 NumPy-vectorized batch inside a single worker call; units no group can
-hold (DES engine, custom engine params, unknown hooks) silently fall back
-to the scalar worker.  Batched and scalar execution produce byte-identical
+hold (DES engine, custom engine params, unknown hooks) fall back to the
+scalar worker, with per-reason counts reported in
+``SweepReport.fallbacks``.  Batched and scalar execution produce byte-identical
 payloads, so a store is freely shared between the two modes.
 
 Every unit rebuilds its components from the serialized spec whether it
@@ -89,6 +90,10 @@ class SweepReport:
     seconds: float
     batched_units: int = 0
     scalar_units: int = 0
+    fallbacks: dict[str, int] = field(default_factory=dict)
+    """Why computed units ran scalar under ``batch=True``: reason slug →
+    unit count (see :func:`repro.sweeps.batched.batch_fallback_reason`).
+    Empty when every unit batched, or when batching was off."""
     replay_units: int = 0
     """Units whose workload is the ``replay`` kind (trace-replay cells)."""
     manager_states: int = 0
@@ -113,6 +118,7 @@ class SweepReport:
             "units_per_sec": self.units_per_sec,
             "batched_units": self.batched_units,
             "scalar_units": self.scalar_units,
+            "fallbacks": dict(self.fallbacks),
             "replay_units": self.replay_units,
             "manager_states": self.manager_states,
             "optimum": dict(self.optimum),
@@ -128,23 +134,27 @@ def _partition_chunk(
     chunk: Sequence[tuple[int, ExperimentSpec, int]],
     batch: bool,
     parallel: int,
+    fallbacks: dict[str, int] | None = None,
 ) -> list[tuple[bool, list[tuple[int, ExperimentSpec, int]]]]:
     """Split one chunk of units into ``(batched?, units)`` worker tasks.
 
     Scalar mode keeps the historical one-unit-per-task granularity.
     Batch mode groups compatible units (first-appearance order) and caps
     each group at an even share of the chunk so ``parallel`` workers all
-    get work even when the whole chunk is one compatible family.
+    get work even when the whole chunk is one compatible family; each
+    incompatible unit's reason slug is tallied into ``fallbacks``.
     """
     if not batch:
         return [(False, [unit]) for unit in chunk]
-    from repro.sweeps.batched import batch_key
+    from repro.sweeps.batched import classify_unit
 
     tasks: list[tuple[bool, list[tuple[int, ExperimentSpec, int]]]] = []
     groups: dict[tuple, list[tuple[int, ExperimentSpec, int]]] = {}
     for unit in chunk:
-        key = batch_key(unit[1])
+        key, reason = classify_unit(unit[1])
         if key is None:
+            if fallbacks is not None:
+                fallbacks[reason] = fallbacks.get(reason, 0) + 1
             tasks.append((False, [unit]))
         else:
             groups.setdefault(key, []).append(unit)
@@ -242,6 +252,7 @@ def run_sweep_cached(
     computed = 0
     batched_units = 0
     scalar_units = 0
+    fallbacks: dict[str, int] = {}
     # One long-lived pool for the whole sweep: workers are spawned once,
     # not once per chunk (chunking only bounds the persistence interval).
     pool = (
@@ -251,7 +262,7 @@ def run_sweep_cached(
     )
     try:
         for chunk_index, chunk in enumerate(chunks, start=1):
-            worker_tasks = _partition_chunk(chunk, batch, parallel)
+            worker_tasks = _partition_chunk(chunk, batch, parallel, fallbacks)
             raw = run_parallel(
                 _run_sweep_task,
                 [
@@ -316,6 +327,7 @@ def run_sweep_cached(
         seconds=perf_counter() - start_time,
         batched_units=batched_units,
         scalar_units=scalar_units,
+        fallbacks=dict(sorted(fallbacks.items())),
         replay_units=sum(
             spec.repeats for spec in specs if spec.workload.kind == "replay"
         ),

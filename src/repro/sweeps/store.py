@@ -33,7 +33,12 @@ from typing import Any, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.spec import ExperimentSpec
 
-__all__ = ["SweepStore", "StoreStats", "canonical_key"]
+__all__ = [
+    "JsonDirectoryStore",
+    "SweepStore",
+    "StoreStats",
+    "canonical_key",
+]
 
 _FORMAT = 1
 
@@ -65,8 +70,16 @@ class StoreStats:
 
 
 @dataclass
-class SweepStore:
-    """A directory of content-addressed JSON cache entries."""
+class JsonDirectoryStore:
+    """A directory of content-addressed JSON entries (the raw backend).
+
+    Knows nothing about experiments: any JSON-encodable key object maps
+    to an atomic, corruption-tolerant file.  :class:`SweepStore` layers
+    the experiment-aware key constructors on top; the always-on service's
+    state store (:mod:`repro.service.state`) uses this class directly as
+    its ``directory`` backend, so both persistence planes share one
+    on-disk format and one robustness contract.
+    """
 
     root: Path
     stats: StoreStats = field(default_factory=StoreStats)
@@ -74,41 +87,6 @@ class SweepStore:
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
-
-    # -- key construction --------------------------------------------------------
-    @staticmethod
-    def unit_key(spec: "ExperimentSpec", repeat: int) -> dict[str, Any]:
-        """The cache key of one (spec, repeat) unit result.
-
-        Fields that don't influence the unit's computation are excluded
-        so grids sweeping the same physical point share entries:
-        ``name`` is cosmetic, and ``repeats`` only bounds the repeat
-        index (repeat ``r`` is fully determined by ``seed + r``), so a
-        3-repeat and a 5-repeat sweep of the same base share their
-        common units.
-        """
-        spec_data = spec.to_dict()
-        spec_data.pop("name", None)
-        spec_data.pop("repeats", None)
-        return {
-            "kind": "unit",
-            "format": _FORMAT,
-            "spec": spec_data,
-            "repeat": int(repeat),
-        }
-
-    @staticmethod
-    def optimum_key(
-        app: str, workload: float, restarts: int
-    ) -> dict[str, Any]:
-        """The cache key of one OPTM search (see ``optimum_total``)."""
-        return {
-            "kind": "optimum",
-            "format": _FORMAT,
-            "app": app,
-            "workload": round(float(workload), 6),
-            "restarts": int(restarts),
-        }
 
     def path_for(self, key_obj: Any) -> Path:
         digest = canonical_key(key_obj)
@@ -162,6 +140,63 @@ class SweepStore:
         self.stats.writes += 1
         return path
 
+    # -- maintenance -------------------------------------------------------------
+    def entry_paths(self) -> list[Path]:
+        return sorted(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        paths = self.entry_paths()
+        for path in paths:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        return len(paths)
+
+
+@dataclass
+class SweepStore(JsonDirectoryStore):
+    """A directory of content-addressed JSON cache entries."""
+
+    # -- key construction --------------------------------------------------------
+    @staticmethod
+    def unit_key(spec: "ExperimentSpec", repeat: int) -> dict[str, Any]:
+        """The cache key of one (spec, repeat) unit result.
+
+        Fields that don't influence the unit's computation are excluded
+        so grids sweeping the same physical point share entries:
+        ``name`` is cosmetic, and ``repeats`` only bounds the repeat
+        index (repeat ``r`` is fully determined by ``seed + r``), so a
+        3-repeat and a 5-repeat sweep of the same base share their
+        common units.
+        """
+        spec_data = spec.to_dict()
+        spec_data.pop("name", None)
+        spec_data.pop("repeats", None)
+        return {
+            "kind": "unit",
+            "format": _FORMAT,
+            "spec": spec_data,
+            "repeat": int(repeat),
+        }
+
+    @staticmethod
+    def optimum_key(
+        app: str, workload: float, restarts: int
+    ) -> dict[str, Any]:
+        """The cache key of one OPTM search (see ``optimum_total``)."""
+        return {
+            "kind": "optimum",
+            "format": _FORMAT,
+            "app": app,
+            "workload": round(float(workload), 6),
+            "restarts": int(restarts),
+        }
+
     # -- unit results ------------------------------------------------------------
     def get_result(
         self, spec: "ExperimentSpec", repeat: int
@@ -182,20 +217,3 @@ class SweepStore:
         self, spec: "ExperimentSpec", repeat: int, result: dict[str, Any]
     ) -> Path:
         return self.put_raw(self.unit_key(spec, repeat), result)
-
-    # -- maintenance -------------------------------------------------------------
-    def entry_paths(self) -> list[Path]:
-        return sorted(self.root.glob("??/*.json"))
-
-    def __len__(self) -> int:
-        return len(self.entry_paths())
-
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        paths = self.entry_paths()
-        for path in paths:
-            try:
-                path.unlink()
-            except FileNotFoundError:
-                pass
-        return len(paths)

@@ -7,7 +7,7 @@ from repro.workload.generators import (
     SinusoidalWorkload,
     StepWorkload,
 )
-from repro.workload.replay import ReplaySegment, ReplayTrace
+from repro.workload.replay import ReplaySegment, ReplayTrace, rate_schedule
 from repro.workload.trace import (
     NoisyTrace,
     PhasedTrace,
@@ -33,4 +33,5 @@ __all__ = [
     "WikipediaTrace",
     "ReplaySegment",
     "ReplayTrace",
+    "rate_schedule",
 ]

@@ -23,7 +23,31 @@ import numpy as np
 
 from repro.workload.trace import PhasedTrace, WorkloadTrace, batch_rates
 
-__all__ = ["ReplaySegment", "ReplayTrace"]
+__all__ = ["ReplaySegment", "ReplayTrace", "rate_schedule"]
+
+
+def rate_schedule(
+    trace: WorkloadTrace,
+    interval: float,
+    n_steps: int,
+    *,
+    start_step: int = 0,
+) -> np.ndarray:
+    """The per-interval rate series ``rate(step * interval)`` as one array.
+
+    One vectorized ``rate_batch`` evaluation of control-interval sample
+    times ``start_step, ..., start_step + n_steps - 1`` — bit-identical
+    to the per-step scalar calls (the :func:`batch_rates` contract).
+    Both the batched sweep engine and the streaming service's replay
+    load driver evaluate their schedules through this helper, so a
+    driven service consumes exactly the floats an offline run would.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if n_steps < 0:
+        raise ValueError("n_steps must be >= 0")
+    steps = np.arange(start_step, start_step + n_steps, dtype=np.float64)
+    return batch_rates(trace, steps * float(interval))
 
 
 class ReplaySegment:

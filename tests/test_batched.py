@@ -25,7 +25,9 @@ from repro.sim.latency import end_to_end_latency, end_to_end_latency_batch
 from repro.sweeps import (
     SweepGrid,
     SweepStore,
+    batch_fallback_reason,
     batch_key,
+    classify_unit,
     grid_summary_json,
     run_grid,
     run_sweep_cached,
@@ -230,6 +232,38 @@ class TestBatchKey:
             spec(hooks=[{"kind": "set_slo", "params": {"at": 1}}])
         ) is None  # invalid hook params: probe fails, scalar raises
 
+    def test_fallback_reason_slugs(self):
+        assert batch_fallback_reason(spec()) is None
+        assert batch_fallback_reason(
+            spec(engine={"kind": "des"})
+        ) == "engine:des"
+        assert batch_fallback_reason(
+            spec(engine={"kind": "analytical", "params": {"p_crit": 0.9}})
+        ) == "engine_params"
+        assert batch_fallback_reason(
+            spec(autoscaler={"kind": "fast_pema"})
+        ) == "autoscaler:fast_pema"
+        assert batch_fallback_reason(
+            spec(autoscaler={"kind": "rule", "params": {"mode": "nope"}})
+        ) == "autoscaler_params:rule"
+        assert batch_fallback_reason(
+            spec(autoscaler={"kind": "rule"},
+                 hooks=[{"kind": "set_slo", "params": {"at": 1, "slo": 0.2}}])
+        ) == "set_slo_without_pema"
+        assert batch_fallback_reason(
+            spec(hooks=[{"kind": "set_slo", "params": {"at": 1}}])
+        ) == "hook_params:set_slo"
+        assert batch_fallback_reason(
+            spec(n_steps=100_001)
+        ) == "pema_horizon"
+
+    def test_classify_is_key_plus_reason(self):
+        for s in (spec(), spec(engine={"kind": "des"})):
+            key, reason = classify_unit(s)
+            assert key == batch_key(s)
+            assert reason == batch_fallback_reason(s)
+            assert (key is None) == (reason is not None)
+
 
 class TestSchedulerBatchPath:
     def grid(self) -> SweepGrid:
@@ -290,6 +324,11 @@ class TestSchedulerBatchPath:
         ]
         assert report.batched_units == 2
         assert report.scalar_units == 1
+        assert report.fallbacks == {"engine_params": 1}
+        assert report.to_dict()["fallbacks"] == {"engine_params": 1}
+        # Batching off: nothing fell back, because nothing batched.
+        _, scalar_report = run_sweep_cached(specs, batch=False)
+        assert scalar_report.fallbacks == {}
 
     def test_partition_chunk_groups_and_caps(self):
         units = [

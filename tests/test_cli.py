@@ -152,14 +152,18 @@ class TestRegistryCommand:
     def test_lists_every_registry_with_descriptions(self, capsys):
         assert main(["registry"]) == 0
         out = capsys.readouterr().out
-        for group in ("engines", "autoscalers", "workloads", "hooks"):
+        for group in ("engines", "autoscalers", "workloads", "hooks",
+                      "drivers", "state-stores"):
             assert group in out
-        for kind in ("analytical", "pema", "replay", "wikipedia", "set_slo"):
+        for kind in ("analytical", "pema", "replay", "wikipedia", "set_slo",
+                     "constant", "memory", "directory"):
             assert kind in out
         # Every entry carries a non-empty one-line description.
         from repro.experiments import AUTOSCALERS, ENGINES, HOOKS, WORKLOADS
+        from repro.service import LOAD_DRIVERS, STATE_STORES
 
-        for registry in (ENGINES, AUTOSCALERS, WORKLOADS, HOOKS):
+        for registry in (ENGINES, AUTOSCALERS, WORKLOADS, HOOKS,
+                         LOAD_DRIVERS, STATE_STORES):
             for name, description in registry.entries():
                 assert description, f"{registry.label}:{name} lacks a description"
                 assert "\n" not in description
