@@ -32,6 +32,7 @@ from time import perf_counter
 
 from repro.apps import build_app
 from repro.baselines import OptimumBatch, OptimumRequest, OptimumSearch
+from repro.experiments import optimum_cache_info, reset_optimum_cache_info
 from repro.sim import AnalyticalEngine
 from repro.sweeps import SweepGrid
 
@@ -153,6 +154,10 @@ def main(argv=None) -> int:
                         help="timing runs per mode (best one counts)")
     args = parser.parse_args(argv)
 
+    # Counters-only reset (cached solutions survive): the cache-activity
+    # section of BENCH_optm.json reflects this run alone even when the
+    # gate shares a process with earlier benchmark steps.
+    reset_optimum_cache_info()
     points = fig15_points(args.grid)
     # Deep polish is expensive on the scalar side; one representative
     # (middle) workload per app keeps the gate fast while still covering
@@ -201,6 +206,7 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "min_speedup": args.min_speedup,
         "timing_repeats": repeats,
+        "optimum_cache": optimum_cache_info(),
         "passed": not failures,
         "failures": failures,
     }

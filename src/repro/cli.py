@@ -22,6 +22,10 @@ Commands
     apps from spec files, stream a load driver through their
     autoscalers, expose decisions and manager state over HTTP, and
     flush state on graceful shutdown.
+``trace``
+    Filter and pretty-print ``decision_trace`` records — the per-step
+    causal record of every autoscaler decision — from an artifact or
+    unit-payload JSON file, or straight from a sweep/state store.
 ``registry``
     List every registered experiment kind (engines, autoscalers,
     workload traces, hooks, load drivers, state-store backends) with
@@ -144,6 +148,41 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--report", default=None,
                      help="write the execution report (units, cache hits, "
                      "throughput) to this JSON file")
+    swp.add_argument("--metrics-out", default=None,
+                     help="write the process telemetry registry "
+                     "(Prometheus text exposition) to this file after "
+                     "the sweep")
+    swp.add_argument("--profile", action="store_true",
+                     help="print the per-phase wall-clock profile and "
+                     "per-cell latency percentiles after the sweep")
+
+    trc = sub.add_parser(
+        "trace",
+        help="filter and pretty-print captured decision traces",
+    )
+    src = trc.add_mutually_exclusive_group(required=True)
+    src.add_argument("--in", dest="infile", default=None,
+                     help="an artifact JSON, a unit-payload JSON, or a "
+                     "tracer JSONL file holding the decision trace")
+    src.add_argument("--store", default=None,
+                     help="read the trace from this sweep/state store "
+                     "directory instead of a file (needs --spec)")
+    trc.add_argument("--spec", default=None,
+                     help="with --store: the ExperimentSpec JSON file "
+                     "whose unit entry holds the trace")
+    trc.add_argument("--repeat", type=int, default=0,
+                     help="repeat index to read (default 0)")
+    trc.add_argument("--action", default=None,
+                     help="only steps whose decision action matches "
+                     "(e.g. reduce, explore, rollback, hold)")
+    trc.add_argument("--violations", action="store_true",
+                     help="only steps where the SLO was violated")
+    trc.add_argument("--steps", default=None, metavar="A:B",
+                     help="half-open step range to show (e.g. 10:20, "
+                     "':50', '100:')")
+    trc.add_argument("--jsonl", action="store_true",
+                     help="emit matching records as JSON lines instead "
+                     "of the table")
 
     srv = sub.add_parser(
         "serve", help="run the always-on autoscaling control plane"
@@ -429,9 +468,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{optm['hits'] + optm['store_hits']} cached"
             if any(optm.values()) else ""
         )
+        fallback_note = (
+            ", fallbacks " + " ".join(
+                f"{reason}:{count}"
+                for reason, count in sorted(p.fallbacks.items())
+            )
+            if p.fallbacks else ""
+        )
         print(f"[chunk {p.chunk}/{p.n_chunks}] {p.completed}/{p.total} "
               f"units done ({p.cached} cached, {p.computed} computed, "
-              f"{p.cells_completed}/{p.cells_total} cells{optm_note})",
+              f"{p.cells_completed}/{p.cells_total} cells{optm_note}"
+              f"{fallback_note})",
               flush=True)
 
     try:
@@ -473,6 +520,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"optimum searches: {optm['solved']} solved, "
               f"{optm['hits']} cache hits, {optm['store_hits']} "
               f"store-backed, {optm['misses']} misses")
+    if args.profile and report.profile:
+        phases = report.profile.get("phases", {})
+        cell = report.profile.get("cell_seconds", {})
+        phase_note = " ".join(
+            f"{name}={phases[name]:.3f}s"
+            for name in ("plan", "load", "run", "persist", "aggregate")
+            if name in phases
+        )
+        print(f"profile: {phase_note}")
+        print(f"worker time: {report.profile.get('batched_seconds', 0.0):.3f}s"
+              f" batched, {report.profile.get('scalar_seconds', 0.0):.3f}s "
+              f"scalar")
+        if cell.get("count"):
+            print(f"per-cell latency: p50 {cell['p50'] * 1000:.1f} ms, "
+                  f"p95 {cell['p95'] * 1000:.1f} ms "
+                  f"({cell['count']} computed cells)")
+    if args.metrics_out:
+        from repro.obs import default_registry
+
+        Path(args.metrics_out).write_text(default_registry().render())
+        print(f"metrics written to {args.metrics_out}")
     if args.out:
         Path(args.out).write_text(summary_json + "\n")
         print(f"aggregate written to {args.out}")
@@ -579,13 +647,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     status = runtime.status()
     flush = runtime.shutdown()
     print(f"\n{'app':24s} {'steps':>6s} {'done':>5s} {'viol':>5s} "
-          f"{'unit':>5s}  error")
+          f"{'unit':>5s} {'p50ms':>7s} {'p95ms':>7s} {'qpeak':>5s}  error")
     for row in status["apps"]:
         entry = flush.get(row["app"], {})
+        p50 = row.get("tick_p50_ms")
+        p95 = row.get("tick_p95_ms")
         print(f"{row['app']:24s} {row['steps_done']:6d} "
               f"{'yes' if row['complete'] else 'no':>5s} "
               f"{row['violations']:5d} "
-              f"{'yes' if entry.get('unit_entry') else 'no':>5s}  "
+              f"{'yes' if entry.get('unit_entry') else 'no':>5s} "
+              f"{'-' if p50 is None else format(p50, '.2f'):>7s} "
+              f"{'-' if p95 is None else format(p95, '.2f'):>7s} "
+              f"{row.get('queue_peak', 0):5d}  "
               f"{row['error'] or ''}")
     if args.out:
         Path(args.out).write_text(json.dumps(
@@ -593,6 +666,150 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ) + "\n")
         print(f"summary written to {args.out}")
     return 1 if any(row["error"] for row in status["apps"]) else 0
+
+
+def _parse_step_range(raw: str | None) -> tuple[int | None, int | None]:
+    """``--steps A:B`` as a half-open range; either side may be empty."""
+    if raw is None:
+        return None, None
+    lo_s, sep, hi_s = raw.partition(":")
+    if not sep:
+        raise ValueError(f"--steps must look like A:B, got {raw!r}")
+    try:
+        lo = int(lo_s) if lo_s else None
+        hi = int(hi_s) if hi_s else None
+    except ValueError:
+        raise ValueError(f"--steps bounds must be integers: {raw!r}") from None
+    return lo, hi
+
+
+def _load_trace_records(args: argparse.Namespace) -> list[dict]:
+    """Resolve the ``trace`` command's source into decision records.
+
+    Accepts, in order of detection: an ExperimentArtifact JSON (the
+    ``decision_traces`` channel, picked by ``--repeat``), a raw unit
+    payload (``decision_trace``), a bare JSON list of records, or a
+    tracer JSONL file (one record per line; ``decision`` events are
+    unwrapped, other span/event records pass through).
+    """
+    if args.store is not None:
+        if not args.spec:
+            raise ValueError("--store needs --spec to name the unit")
+        from repro.sweeps import SweepStore
+
+        spec = ExperimentSpec.from_json(Path(args.spec).read_text())
+        payload = SweepStore(args.store).get_result(spec, args.repeat)
+        if payload is None:
+            raise LookupError(
+                f"no unit entry for {args.spec} repeat {args.repeat} "
+                f"in {args.store}"
+            )
+        trace = payload.get("decision_trace")
+        if trace is None:
+            raise LookupError(
+                "unit entry has no decision_trace — was the spec run "
+                'with "capture": ["decision_trace"]?'
+            )
+        return list(trace)
+
+    path = Path(args.infile)
+    text = path.read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        from repro.obs.trace import read_jsonl
+
+        records = read_jsonl(path)
+        return [
+            rec["data"]
+            if rec.get("type") == "event" and rec.get("name") == "decision"
+            else rec
+            for rec in records
+        ]
+    if isinstance(data, list):
+        return list(data)
+    if isinstance(data, dict):
+        if "decision_traces" in data:
+            traces = data["decision_traces"]
+            if not 0 <= args.repeat < len(traces):
+                raise LookupError(
+                    f"artifact holds {len(traces)} trace(s), "
+                    f"--repeat {args.repeat} is out of range"
+                )
+            trace = traces[args.repeat]
+            if trace is None:
+                raise LookupError(f"repeat {args.repeat} captured no trace")
+            return list(trace)
+        if "decision_trace" in data:
+            return list(data["decision_trace"])
+    raise LookupError(
+        f"{path}: no decision trace found (expected an artifact with "
+        f"decision_traces, a unit payload with decision_trace, a JSON "
+        f"list of records, or tracer JSONL)"
+    )
+
+
+def _trace_action(record: dict) -> str:
+    """The decision's action slug ('' when the unit captured none)."""
+    decision = record.get("decision")
+    if not isinstance(decision, dict):
+        return ""
+    inner = decision.get("pema")
+    if isinstance(inner, dict) and "action" in inner:
+        return str(inner["action"])
+    return str(decision.get("action", ""))
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        lo, hi = _parse_step_range(args.steps)
+        records = _load_trace_records(args)
+    except (OSError, ValueError, LookupError, KeyError, TypeError) as exc:
+        reason = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        return _error(reason)
+    selected = []
+    for record in records:
+        step = record.get("step")
+        if lo is not None and (step is None or step < lo):
+            continue
+        if hi is not None and (step is None or step >= hi):
+            continue
+        if args.violations and not record.get("violated"):
+            continue
+        if args.action and _trace_action(record) != args.action:
+            continue
+        selected.append(record)
+    if args.jsonl:
+        for record in selected:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    print(f"# {len(selected)}/{len(records)} decision record(s)")
+    print(f"{'step':>5s} {'rps':>8s} {'p95_ms':>7s} {'slo_ms':>7s} "
+          f"{'viol':>4s} {'cpu':>8s} {'next':>8s}  action")
+    for record in selected:
+        if "workload" not in record:
+            # A non-decision tracer record (span/other event): show raw.
+            print(json.dumps(record, sort_keys=True))
+            continue
+        action = _trace_action(record)
+        decision = record.get("decision") or {}
+        inner = decision.get("pema") if isinstance(decision, dict) else None
+        detail = inner if isinstance(inner, dict) else decision
+        notes = []
+        if isinstance(detail, dict):
+            if detail.get("targets"):
+                notes.append("targets=" + ",".join(detail["targets"]))
+            if detail.get("delta"):
+                notes.append(f"delta={detail['delta']:.3f}")
+        if isinstance(decision, dict) and decision.get("phase"):
+            notes.append(f"phase={decision['phase']}")
+        print(f"{record['step']:5d} {record['workload']:8.1f} "
+              f"{record['response'] * 1000:7.1f} {record['slo'] * 1000:7.1f} "
+              f"{'x' if record['violated'] else '':>4s} "
+              f"{record['total_cpu']:8.2f} {record['next_total_cpu']:8.2f}  "
+              f"{action or '-'}"
+              + (f" ({' '.join(notes)})" if notes else ""))
+    return 0
 
 
 def _cmd_registry(args: argparse.Namespace) -> int:
@@ -656,6 +873,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "registry":
         return _cmd_registry(args)
     raise AssertionError(f"unhandled command {args.command!r}")

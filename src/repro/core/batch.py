@@ -109,6 +109,12 @@ class PEMABatch:
 
         self._windows: list[list[float]] = [[] for _ in range(n_cells)]
         self._tainted: list[set[bytes]] = [set() for _ in range(n_cells)]
+        # Decision tracing: cells opted in via enable_decision_trace get
+        # exactly one pema_decision_info per step, mirroring the scalar
+        # controller's StepResult field-for-field (untraced cells pay
+        # nothing).
+        self._trace_cells: set[int] = set()
+        self.decision_info: dict[int, list[dict]] = {}
         # RHDb, stacked: one (B,)/(B, S) snapshot per inserted step.
         self._hist_resp: list[np.ndarray] = []
         self._hist_total: list[np.ndarray] = []
@@ -117,6 +123,13 @@ class PEMABatch:
     @property
     def n_cells(self) -> int:
         return len(self.configs)
+
+    # -- decision tracing ---------------------------------------------------------
+    def enable_decision_trace(self, cells: Sequence[int]) -> None:
+        """Record per-step decision info for the given cells."""
+        for cell in cells:
+            self._trace_cells.add(int(cell))
+            self.decision_info.setdefault(int(cell), [])
 
     # -- dynamic SLO (the Fig. 20 hook) -----------------------------------------
     def set_slo(self, cell: int, slo: float) -> None:
@@ -186,6 +199,9 @@ class PEMABatch:
             util / np.maximum(self.util_th, _SEL_EPS), 1.0
         )
         eligible = thr_seconds <= self.thr_th + _SEL_EPS
+        # Trace records need plain Python floats; one bulk (and exact)
+        # tolist() beats a slow float(np.float64) per traced record.
+        p_explore_row = p_explore.tolist() if self._trace_cells else None
 
         for i in range(self.n_cells):
             window = self._windows[i]
@@ -210,6 +226,25 @@ class PEMABatch:
                 else:
                     self.allocation[i] = alloc_row * 1.25
                 window.clear()
+                if i in self._trace_cells:
+                    # Scalar rollback returns before p_explore is even
+                    # computed, so the record keeps the default 0.0.
+                    # Records here and below are inlined dict literals
+                    # matching pema_decision_info (the scalar path) key
+                    # for key — the function-call + coercion cost is too
+                    # hot for the batched per-step loop, and the
+                    # scalar-vs-batched byte-parity tests pin the shape.
+                    self.decision_info[i].append({
+                        "kind": "pema",
+                        "action": "rollback",
+                        "violated": True,
+                        "targets": [],
+                        "n_targets": 0,
+                        "delta": 0.0,
+                        "signal": 0.0,
+                        "p_explore": 0.0,
+                        "probabilities": [],
+                    })
                 continue
 
             rng = self.rngs[i]
@@ -220,6 +255,18 @@ class PEMABatch:
                     k = safe[int(rng.integers(len(safe)))]
                     self.allocation[i] = self._hist_alloc[k][i]
                     window.clear()
+                    if i in self._trace_cells:
+                        self.decision_info[i].append({
+                            "kind": "pema",
+                            "action": "explore",
+                            "violated": False,
+                            "targets": [],
+                            "n_targets": 0,
+                            "delta": 0.0,
+                            "signal": 0.0,
+                            "p_explore": p_explore_row[i],
+                            "probabilities": [],
+                        })
                     continue
 
             # Line 7: reduction sizing from the moving-average response.
@@ -231,6 +278,20 @@ class PEMABatch:
             n_t = int(math.floor(n_services * signal))
             delta = self._beta[i] * signal
             if n_t == 0 or delta <= 0.0:
+                if i in self._trace_cells:
+                    # The scalar early-hold result leaves n_targets/delta
+                    # at their defaults, so the record does too.
+                    self.decision_info[i].append({
+                        "kind": "pema",
+                        "action": "hold",
+                        "violated": False,
+                        "targets": [],
+                        "n_targets": 0,
+                        "delta": 0.0,
+                        "signal": float(signal),
+                        "p_explore": p_explore_row[i],
+                        "probabilities": [],
+                    })
                 continue
 
             # Lines 8-9: bottleneck filter + inclusion probabilities.
@@ -243,7 +304,12 @@ class PEMABatch:
                     if denom <= _SEL_EPS:
                         probs = {self.services[j]: 1.0 for j in idx}
                     else:
-                        p = np.clip(1.0 - (vals - u_min) / denom, 0.0, 1.0)
+                        # tolist() is value-exact; plain floats keep the
+                        # selection draws identical and make the traced
+                        # record's JSON coercion cheap.
+                        p = np.clip(
+                            1.0 - (vals - u_min) / denom, 0.0, 1.0
+                        ).tolist()
                         probs = {
                             self.services[j]: p[pos]
                             for pos, j in enumerate(idx)
@@ -263,6 +329,18 @@ class PEMABatch:
                 self.allocation[i, cols] = np.maximum(
                     self._min_cpu[i], self.allocation[i, cols] * (1.0 - delta)
                 )
+            if i in self._trace_cells:
+                self.decision_info[i].append({
+                    "kind": "pema",
+                    "action": "reduce" if targets else "hold",
+                    "violated": False,
+                    "targets": list(targets),
+                    "n_targets": n_t,
+                    "delta": float(delta),
+                    "signal": float(signal),
+                    "p_explore": p_explore_row[i],
+                    "probabilities": [[n, p] for n, p in probs.items()],
+                })
 
         # Eqns. (6)-(7): ratchet thresholds on every SLO-satisfying cell
         # (the scalar controller updates after selection, so this step's

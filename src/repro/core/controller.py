@@ -35,6 +35,7 @@ from repro.core.selection import (
     select_targets,
 )
 from repro.core.thresholds import ThresholdTracker
+from repro.obs.decision import pema_decision_info
 from repro.sim.types import Allocation, IntervalMetrics
 
 __all__ = ["PEMAController", "StepAction", "StepResult"]
@@ -61,6 +62,10 @@ class StepResult:
     signal: float = 0.0
     p_explore: float = 0.0
     violated: bool = False
+    #: Eqn-5 inclusion probabilities that fed target selection, as
+    #: (service, p) pairs in controller build order; empty on steps that
+    #: never reached selection (rollback/explore/early hold).
+    probabilities: tuple[tuple[str, float], ...] = ()
 
 
 class PEMAController:
@@ -119,6 +124,7 @@ class PEMAController:
             maxlen=self.config.moving_average_window
         )
         self._step = 0
+        self.last_result: StepResult | None = None
 
     # -- Algorithm 1 ------------------------------------------------------------
     def step(
@@ -169,11 +175,11 @@ class PEMAController:
                 # inflate the current allocation as an emergency fallback.
                 self.allocation = self.allocation.scale(1.25)
             self._responses.clear()
-            return StepResult(
+            return self._finish(StepResult(
                 action=StepAction.ROLLBACK,
                 allocation=self.allocation,
                 violated=True,
-            )
+            ))
 
         # Line 6: exploration.
         p_explore = exploration_probability(
@@ -190,11 +196,11 @@ class PEMAController:
                 self._responses.clear()
                 if self.config.use_dynamic_thresholds:
                     self.thresholds.update(metrics)
-                return StepResult(
+                return self._finish(StepResult(
                     action=StepAction.EXPLORE,
                     allocation=self.allocation,
                     p_explore=p_explore,
-                )
+                ))
 
         # Line 7: size the reduction from the moving-average response.
         signal = reduction_signal(
@@ -208,12 +214,12 @@ class PEMAController:
         if n_t == 0 or delta <= 0.0:
             if self.config.use_dynamic_thresholds:
                 self.thresholds.update(metrics)
-            return StepResult(
+            return self._finish(StepResult(
                 action=StepAction.HOLD,
                 allocation=self.allocation,
                 signal=signal,
                 p_explore=p_explore,
-            )
+            ))
 
         # Lines 8-9: bottleneck filter and probabilistic candidates.
         #
@@ -235,21 +241,23 @@ class PEMAController:
 
         # Line 10: cut to n_t and shrink.
         targets = select_targets(probs, n_t, self.rng)
+        prob_pairs = tuple((name, float(p)) for name, p in probs.items())
         if self.config.use_dynamic_thresholds:
             self.thresholds.update(metrics)
         if not targets:
-            return StepResult(
+            return self._finish(StepResult(
                 action=StepAction.HOLD,
                 allocation=self.allocation,
                 n_targets=n_t,
                 delta=delta,
                 signal=signal,
                 p_explore=p_explore,
-            )
+                probabilities=prob_pairs,
+            ))
         self.allocation = self.allocation.reduce(
             targets, delta, floor=self.config.min_cpu
         )
-        return StepResult(
+        return self._finish(StepResult(
             action=StepAction.REDUCE,
             allocation=self.allocation,
             targets=targets,
@@ -257,6 +265,28 @@ class PEMAController:
             delta=delta,
             signal=signal,
             p_explore=p_explore,
+            probabilities=prob_pairs,
+        ))
+
+    def _finish(self, result: StepResult) -> StepResult:
+        """Remember the step outcome for the decision-trace channel."""
+        self.last_result = result
+        return result
+
+    def last_decision(self) -> dict | None:
+        """The previous step's causal record (``decision_trace`` hook)."""
+        result = self.last_result
+        if result is None:
+            return None
+        return pema_decision_info(
+            action=result.action.value,
+            violated=result.violated,
+            targets=result.targets,
+            n_targets=result.n_targets,
+            delta=result.delta,
+            signal=result.signal,
+            p_explore=result.p_explore,
+            probabilities=result.probabilities,
         )
 
     def _rollback_target(self, response: float) -> float:

@@ -8,6 +8,7 @@ for *t+1* (2-minute intervals in the paper's runs).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, runtime_checkable
 
@@ -15,6 +16,8 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.metrics.collector import MetricsCollector
+from repro.obs.decision import capture_decision_info, decision_record
+from repro.obs.trace import Tracer
 from repro.sim.environment import Environment
 from repro.sim.types import Allocation, IntervalMetrics
 from repro.workload.trace import WorkloadTrace
@@ -152,39 +155,71 @@ class ControlLoop:
         self,
         n_steps: int,
         on_step: Callable[[int, "ControlLoop"], None] | None = None,
+        *,
+        decision_log: list | None = None,
+        tracer: "Tracer | None" = None,
     ) -> LoopResult:
         """Execute ``n_steps`` control intervals.
 
         ``on_step(step_index, loop)`` runs before each interval — the hook
         used by the adaptability experiments to change CPU frequency
         (Fig. 19) or the SLO (Fig. 20) mid-run.
+
+        ``decision_log`` collects one deterministic
+        :func:`repro.obs.decision.decision_record` per interval (the
+        ``decision_trace`` capture channel); ``tracer`` additionally
+        times the run as a span and mirrors each record as an event.
+        Both default off, leaving the hot loop untouched.
         """
         if n_steps < 1:
             raise ValueError("n_steps must be >= 1")
         result = LoopResult()
         allocation = self.autoscaler.allocation
-        for step in range(n_steps):
-            if on_step is not None:
-                on_step(step, self)
-            t = step * self.interval
-            rps = self.workload.rate(t)
-            if self.cluster is not None:
-                self.cluster.apply(allocation)
-            metrics = self.environment.observe(allocation, rps, self.interval)
-            if self.collector is not None:
-                self.collector.collect(t, allocation, metrics)
-            slo_now = self.current_slo()
-            result.records.append(
-                LoopRecord(
-                    step=step,
-                    time=t,
-                    workload=rps,
-                    response=metrics.latency_p95,
-                    total_cpu=allocation.total(),
-                    violated=metrics.latency_p95 > slo_now,
-                    slo=slo_now,
-                    allocation=allocation,
+        span = (
+            tracer.span("control_loop.run", steps=n_steps)
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            for step in range(n_steps):
+                if on_step is not None:
+                    on_step(step, self)
+                t = step * self.interval
+                rps = self.workload.rate(t)
+                if self.cluster is not None:
+                    self.cluster.apply(allocation)
+                metrics = self.environment.observe(allocation, rps, self.interval)
+                if self.collector is not None:
+                    self.collector.collect(t, allocation, metrics)
+                slo_now = self.current_slo()
+                total_now = allocation.total()
+                violated = metrics.latency_p95 > slo_now
+                result.records.append(
+                    LoopRecord(
+                        step=step,
+                        time=t,
+                        workload=rps,
+                        response=metrics.latency_p95,
+                        total_cpu=total_now,
+                        violated=violated,
+                        slo=slo_now,
+                        allocation=allocation,
+                    )
                 )
-            )
-            allocation = self.autoscaler.decide(metrics)
+                allocation = self.autoscaler.decide(metrics)
+                if decision_log is not None or tracer is not None:
+                    record = decision_record(
+                        step=step,
+                        workload=rps,
+                        response=metrics.latency_p95,
+                        slo=slo_now,
+                        violated=violated,
+                        total_cpu=total_now,
+                        next_total_cpu=allocation.total(),
+                        decision=capture_decision_info(self.autoscaler),
+                    )
+                    if decision_log is not None:
+                        decision_log.append(record)
+                    if tracer is not None:
+                        tracer.event("decision", **record)
         return result

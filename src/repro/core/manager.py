@@ -93,6 +93,7 @@ class WorkloadAwarePEMA:
         self._initial_allocation = initial_allocation
         self._active: WorkloadRange | None = None
         self.history: list[ManagerStep] = []
+        self._last_pema: dict | None = None
 
     # -- protocol ---------------------------------------------------------------
     @property
@@ -112,6 +113,7 @@ class WorkloadAwarePEMA:
                     self._bootstrap_workloads, self._bootstrap_responses
                 )
                 self.dynamic_target = DynamicTarget(slo=self.slo, slope=slope)
+            self._last_pema = None
             self._log(
                 phase="bootstrap",
                 leaf=None,
@@ -128,6 +130,7 @@ class WorkloadAwarePEMA:
         # controller step for this cross-over interval.
         if leaf is not self._active:
             self._active = leaf
+            self._last_pema = None
             self._log(
                 phase="switch",
                 leaf=leaf,
@@ -141,6 +144,7 @@ class WorkloadAwarePEMA:
         # Phase 3: normal control step with the dynamic target.
         target = self.dynamic_target.target(metrics.workload_rps, leaf.high)
         result = leaf.controller.step(metrics, reduction_target=target)
+        self._last_pema = leaf.controller.last_decision()
         split = self.tree.note_step(leaf, self.rng)
         if split is not None:
             # The active leaf was replaced by its children; re-resolve on
@@ -208,6 +212,28 @@ class WorkloadAwarePEMA:
 
     def last_action(self) -> str:
         return self.history[-1].action if self.history else "none"
+
+    def last_decision(self) -> dict | None:
+        """The previous step's causal record (``decision_trace`` hook).
+
+        Wraps the routed controller's own :func:`pema_decision_info`
+        record (``None`` outside the control phase) with the routing
+        context — which range handled the step and under what dynamic
+        target — so a trace shows both layers of the §3.4 manager.
+        """
+        if not self.history:
+            return None
+        last = self.history[-1]
+        return {
+            "kind": "workload_aware_pema",
+            "phase": last.phase,
+            "range": last.range_label,
+            "pema_id": int(last.pema_id),
+            "target": float(last.target),
+            "action": last.action,
+            "split": last.split is not None,
+            "pema": self._last_pema,
+        }
 
     def _log(
         self,

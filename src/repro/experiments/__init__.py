@@ -48,6 +48,7 @@ from repro.experiments.runner import (
     optimum_result,
     optimum_results,
     optimum_store,
+    reset_optimum_cache_info,
     optimum_total,
     run_comparison,
     run_experiment,
@@ -95,6 +96,7 @@ __all__ = [
     "optimum_results",
     "clear_optimum_cache",
     "optimum_cache_info",
+    "reset_optimum_cache_info",
     "set_optimum_store",
     "optimum_store",
 ]

@@ -31,12 +31,15 @@ class ExperimentArtifact:
     When the spec's ``capture`` requested the ``manager_state`` channel,
     ``manager_states`` carries one JSON-ready snapshot per repeat (the
     workload-aware manager's range-tree splits/slope; None for
-    autoscalers without internal state) — empty otherwise.
+    autoscalers without internal state) — empty otherwise.  The
+    ``decision_trace`` channel fills ``decision_traces`` the same way:
+    one list of per-step decision records per repeat.
     """
 
     spec: ExperimentSpec
     results: tuple[LoopResult, ...]
     manager_states: tuple[Any, ...] = ()
+    decision_traces: tuple[Any, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))
@@ -54,6 +57,16 @@ class ExperimentArtifact:
                 f"expected {len(self.results)} manager states, "
                 f"got {len(self.manager_states)}"
             )
+        object.__setattr__(
+            self, "decision_traces", tuple(self.decision_traces)
+        )
+        if self.decision_traces and len(self.decision_traces) != len(
+            self.results
+        ):
+            raise ValueError(
+                f"expected {len(self.results)} decision traces, "
+                f"got {len(self.decision_traces)}"
+            )
 
     def manager_state(self, repeat: int = 0) -> Any:
         """Repeat ``repeat``'s captured manager-state payload.
@@ -66,6 +79,18 @@ class ExperimentArtifact:
                 "spec's capture list)"
             )
         return self.manager_states[repeat]
+
+    def decision_trace(self, repeat: int = 0) -> Any:
+        """Repeat ``repeat``'s captured per-step decision records.
+
+        Raises LookupError when the spec did not request the channel.
+        """
+        if not self.decision_traces:
+            raise LookupError(
+                "no decision trace captured (add 'decision_trace' to the "
+                "spec's capture list)"
+            )
+        return self.decision_traces[repeat]
 
     # -- summary statistics ------------------------------------------------------
     def settled_totals(self, tail: int = 5) -> np.ndarray:
@@ -126,6 +151,11 @@ class ExperimentArtifact:
                 if "manager_state" in spec.capture
                 else ()
             ),
+            decision_traces=(
+                tuple(p.get("decision_trace") for p in payloads)
+                if "decision_trace" in spec.capture
+                else ()
+            ),
         )
 
     # -- serialization -----------------------------------------------------------
@@ -139,6 +169,8 @@ class ExperimentArtifact:
         # their historical byte encoding.
         if self.manager_states:
             data["manager_states"] = list(self.manager_states)
+        if self.decision_traces:
+            data["decision_traces"] = list(self.decision_traces)
         return data
 
     @classmethod
@@ -149,6 +181,7 @@ class ExperimentArtifact:
                 loop_result_from_dict(r) for r in data["results"]
             ),
             manager_states=tuple(data.get("manager_states", ())),
+            decision_traces=tuple(data.get("decision_traces", ())),
         )
 
     def to_json(self, *, indent: int | None = None) -> str:

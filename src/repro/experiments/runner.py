@@ -37,6 +37,7 @@ from repro.experiments.spec import (
     ExperimentSpec,
 )
 from repro.metrics.export import loop_result_from_dict, loop_result_to_dict
+from repro.obs.metrics import default_registry
 from repro.sim.environment import Environment
 from repro.workload.trace import WorkloadTrace
 
@@ -54,6 +55,7 @@ __all__ = [
     "optimum_result",
     "optimum_results",
     "clear_optimum_cache",
+    "reset_optimum_cache_info",
     "optimum_cache_info",
     "set_optimum_store",
     "optimum_store",
@@ -93,6 +95,10 @@ class ExperimentUnit:
     """The autoscaler's post-run state snapshot, when the spec's
     ``capture`` requested the ``manager_state`` channel (None otherwise,
     and None for autoscalers that expose no snapshot)."""
+    decision_trace: list[dict[str, Any]] | None = None
+    """Per-step deterministic decision records, when the spec's
+    ``capture`` requested the ``decision_trace`` channel (None
+    otherwise)."""
 
 
 def build_unit(
@@ -194,12 +200,25 @@ def run_unit(
     *,
     trace: WorkloadTrace | None = None,
     on_step: OnStep | None = None,
+    tracer: Any | None = None,
 ) -> ExperimentUnit:
-    """Run one seed of ``spec`` (hooks dispatched, plus an extra callback)."""
+    """Run one seed of ``spec`` (hooks dispatched, plus an extra callback).
+
+    ``tracer`` optionally times the run with a
+    :class:`repro.obs.Tracer` span (runtime profiling, independent of
+    the deterministic ``decision_trace`` capture channel).
+    """
     unit = build_unit(spec, repeat, trace=trace)
-    unit.result = unit.loop.run(
-        spec.n_steps, on_step=hooks_on_step(spec, on_step)
+    decision_log: list[dict[str, Any]] | None = (
+        [] if "decision_trace" in spec.capture else None
     )
+    unit.result = unit.loop.run(
+        spec.n_steps,
+        on_step=hooks_on_step(spec, on_step),
+        decision_log=decision_log,
+        tracer=tracer,
+    )
+    unit.decision_trace = decision_log
     if "manager_state" in spec.capture:
         unit.manager_state = capture_manager_state(unit.autoscaler)
     return unit
@@ -211,10 +230,12 @@ def _run_unit_worker(spec_data: dict[str, Any], repeat: int) -> dict[str, Any]:
     unit = run_unit(spec, repeat)
     assert unit.result is not None
     payload = loop_result_to_dict(unit.result)
-    # The channel key only exists when requested, so capture-free unit
+    # Channel keys only exist when requested, so capture-free unit
     # payloads (and their sweep-store bytes) are unchanged.
     if "manager_state" in spec.capture:
         payload["manager_state"] = unit.manager_state
+    if "decision_trace" in spec.capture:
+        payload["decision_trace"] = unit.decision_trace
     return payload
 
 
@@ -414,11 +435,22 @@ def optimum_total(
     return float(payload["total_cpu"])
 
 
+def reset_optimum_cache_info() -> None:
+    """Zero the OPTM hit/miss counters without dropping cached solutions.
+
+    Benchmarks and gates call this at run start so their reported cache
+    statistics are per-run; the counters otherwise accumulate for the
+    process lifetime, which made BENCH_optm.json numbers cumulative
+    across back-to-back in-process runs.
+    """
+    for counter in _OPTM_STATS:
+        _OPTM_STATS[counter] = 0
+
+
 def clear_optimum_cache() -> None:
     """Reset the OPTM cache (tests that tweak calibration need this)."""
     _OPTM_CACHE.clear()
-    for counter in _OPTM_STATS:
-        _OPTM_STATS[counter] = 0
+    reset_optimum_cache_info()
 
 
 def optimum_cache_info() -> dict[str, Any]:
@@ -432,6 +464,20 @@ def optimum_cache_info() -> dict[str, Any]:
         "solved": _OPTM_STATS["solved"],
         "store_active": _OPTM_STORE is not None,
     }
+
+
+def _publish_optimum_metrics() -> None:
+    """Render-time collector: mirror OPTM cache counters into gauges."""
+    registry = default_registry()
+    info = optimum_cache_info()
+    for field_name in ("size", "hits", "misses", "store_hits", "solved"):
+        registry.gauge(
+            f"repro_optimum_cache_{field_name}",
+            "In-process OPTM solution cache statistic.",
+        ).set(float(info[field_name]))
+
+
+default_registry().add_collector(_publish_optimum_metrics)
 
 
 def derive_rule_spec(

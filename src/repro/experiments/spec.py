@@ -36,8 +36,11 @@ __all__ = [
 #: channel adds a payload alongside the run history in unit results,
 #: artifacts, and sweep-store entries.  ``manager_state`` carries the
 #: workload-aware manager's range-tree splits/slope snapshot (None for
-#: autoscalers without one).
-CAPTURE_CHANNELS = ("manager_state",)
+#: autoscalers without one).  ``decision_trace`` carries one
+#: deterministic :func:`repro.obs.decision.decision_record` per control
+#: step — byte-identical across the scalar, batched, and streamed
+#: execution paths.
+CAPTURE_CHANNELS = ("manager_state", "decision_trace")
 
 #: Every legal top-level :class:`ExperimentSpec` field (the sweep grids
 #: validate their dotted override paths against this).

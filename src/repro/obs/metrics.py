@@ -1,0 +1,441 @@
+"""Process-wide metrics: counters, gauges, histograms, Prometheus text.
+
+A :class:`MetricsRegistry` holds named instruments; each instrument owns
+label-keyed series (``counter.inc(app="sockshop")`` creates the
+``{app="sockshop"}`` series on first touch).  Registration is
+get-or-create — re-registering the same name with the same instrument
+type returns the existing object, so modules can declare their
+instruments at import time without caring who imported first.
+
+Histograms use *fixed* bucket bounds chosen at registration (never
+adapted to the data), so two runs of the same workload produce the same
+bucket layout — a determinism requirement for diffable reports.
+
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format (version 0.0.4): ``# HELP``/``# TYPE`` headers for every
+registered instrument (present even before the first sample, so a
+scrape always shows the full instrument surface), one line per series
+for counters and gauges, and cumulative ``_bucket``/``_sum``/``_count``
+lines for histograms.
+
+Everything is stdlib-only and thread-safe (one lock per registry; the
+hot ``inc``/``observe`` paths take it briefly).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "default_registry",
+]
+
+#: Default histogram bounds for wall-clock durations in seconds — the
+#: classic Prometheus latency ladder, wide enough for both sub-ms
+#: guardian ticks and multi-second sweep chunks.
+DEFAULT_TIME_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus sample value: integral floats render without ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_str(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared machinery: name validation, label-keyed series, a lock."""
+
+    type_name = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple[tuple[str, str], ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple((k, str(labels[k])) for k in self.labelnames)
+
+    def series_labels(self) -> list[tuple[tuple[str, str], ...]]:
+        with self._lock:
+            return list(self._series)
+
+    def clear(self) -> None:
+        """Drop every series (registration survives; values reset)."""
+        with self._lock:
+            self._series.clear()
+
+    def remove(self, **labels: Any) -> None:
+        """Forget one label combination's series, if present."""
+        with self._lock:
+            self._series.pop(self._key(labels), None)
+
+    def render_lines(self) -> list[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.type_name}")
+        return lines
+
+
+class Counter(_Metric):
+    """A monotonically increasing value (per label combination)."""
+
+    type_name = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+    def render_lines(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._series.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_label_str(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go anywhere (queue depths, cache sizes)."""
+
+    type_name = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Ratchet: keep the maximum ever set (high-water marks)."""
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            current = self._series.get(key)
+            if current is None or value > current:
+                self._series[key] = value
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: Any) -> float | None:
+        """The current value, or None when the series was never set."""
+        with self._lock:
+            value = self._series.get(self._key(labels))
+        return None if value is None else float(value)
+
+    def render_lines(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._series.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_label_str(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets  # per-bucket (non-cumulative)
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution of observed values.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    """
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"buckets must be non-empty and strictly increasing: {buckets}"
+            )
+        self.buckets = bounds
+
+    def _get(self, key: tuple[tuple[str, str], ...]) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                len(self.buckets) + 1
+            )
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        key = self._key(labels)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._get(key)
+            series.counts[index] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return 0 if series is None else series.count
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return 0.0 if series is None else series.total
+
+    def quantile(self, q: float, **labels: Any) -> float | None:
+        """Bucket-interpolated quantile estimate (None with no samples).
+
+        Linear interpolation inside the target bucket, taking 0 as the
+        lower edge of the first bucket; values in the ``+Inf`` bucket
+        report the last finite bound (the estimate saturates there).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            if series is None or series.count == 0:
+                return None
+            counts = list(series.counts)
+            count = series.count
+        rank = q * count
+        seen = 0.0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                low = 0.0 if index == 0 else self.buckets[index - 1]
+                high = self.buckets[index]
+                fraction = (rank - seen) / bucket_count
+                return low + (high - low) * min(max(fraction, 0.0), 1.0)
+            seen += bucket_count
+        return self.buckets[-1]
+
+    def to_dict(self, **labels: Any) -> dict[str, Any]:
+        """One series as JSON-ready data (cumulative bucket counts)."""
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            counts = [] if series is None else list(series.counts)
+            total = 0.0 if series is None else series.total
+            count = 0 if series is None else series.count
+        cumulative: list[list[Any]] = []
+        running = 0
+        for index, bound in enumerate(self.buckets):
+            running += counts[index] if counts else 0
+            cumulative.append([bound, running])
+        cumulative.append(["+Inf", count])
+        return {
+            "count": count,
+            "sum": total,
+            "buckets": cumulative,
+            "p50": self.quantile(0.5, **labels),
+            "p95": self.quantile(0.95, **labels),
+        }
+
+    def render_lines(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(
+                (key, list(s.counts), s.total, s.count)
+                for key, s in self._series.items()
+            )
+        if not items and not self.labelnames:
+            items = [((), [0] * (len(self.buckets) + 1), 0.0, 0)]
+        for key, counts, total, count in items:
+            running = 0
+            for index, bound in enumerate(self.buckets):
+                running += counts[index]
+                le = (("le", _format_value(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_label_str(key + le)} {running}"
+                )
+            lines.append(
+                f"{self.name}_bucket"
+                f"{_label_str(key + (('le', '+Inf'),))} {count}"
+            )
+            lines.append(
+                f"{self.name}_sum{_label_str(key)} {_format_value(total)}"
+            )
+            lines.append(f"{self.name}_count{_label_str(key)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments plus render-time collectors.
+
+    Collectors (:meth:`add_collector`) run at the start of every
+    :meth:`render` — the bridge for state that lives elsewhere (the
+    OPTM cache counters, store stats) and is mirrored into gauges only
+    when someone actually scrapes.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    def _register(self, cls: type, name: str, *args: Any, **kwargs: Any):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labelnames, buckets)
+
+    def get(self, name: str) -> _Metric:
+        with self._lock:
+            return self._metrics[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def add_collector(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` before every render (idempotent by identity)."""
+        with self._lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    def reset(self) -> None:
+        """Zero every series (registrations and collectors survive)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.clear()
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        with self._lock:
+            collectors = list(self._collectors)
+        # Collectors run before the metric snapshot so instruments they
+        # register (get-or-create) appear in this very render.
+        for collect in collectors:
+            collect()
+        with self._lock:
+            metrics = [self._metrics[n] for n in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render_lines())
+        return "\n".join(lines) + "\n"
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every layer instruments by default."""
+    return _DEFAULT

@@ -1,0 +1,121 @@
+"""Structured runtime tracing: nested spans and events, JSONL on disk.
+
+A :class:`Tracer` records *where wall-clock time went*: spans (named,
+nested, with monotonic-clock start offsets and durations) and point
+events (optionally attached to the enclosing span).  This is the
+runtime-profiling side of the telemetry subsystem — timestamps and all —
+and therefore deliberately separate from the *deterministic* decision
+records in :mod:`repro.obs.decision`: a decision-trace capture channel
+must be byte-identical across scalar/batched/streamed executions, while
+a tracer record never is (its timestamps differ run to run).
+
+Records serialize as JSONL (one JSON object per line), the format the
+``repro trace`` CLI reads back.  Record schema::
+
+    {"type": "span",  "name": ..., "t": <start offset s>, "dur": <s>,
+     "depth": <nesting>, "parent": <enclosing span name or None>,
+     "data": {...}}
+    {"type": "event", "name": ..., "t": <offset s>,
+     "parent": <enclosing span name or None>, "data": {...}}
+
+Span records land when the span *closes*, so a JSONL stream is ordered
+by completion time; events land immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from time import monotonic
+from typing import Any, Callable, Iterator
+
+__all__ = ["Tracer", "read_jsonl"]
+
+
+class Tracer:
+    """Collects span/event records against one monotonic clock.
+
+    ``clock`` is injectable for tests (defaults to
+    :func:`time.monotonic`); offsets are relative to the tracer's
+    construction instant, so traces from different processes are each
+    self-consistent without any cross-process clock agreement.
+    """
+
+    def __init__(self, clock: Callable[[], float] = monotonic) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._stack: list[str] = []
+        self.records: list[dict[str, Any]] = []
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    @property
+    def current_span(self) -> str | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **data: Any) -> Iterator[None]:
+        """Time a nested region; the record lands when the span closes."""
+        start = self._now()
+        parent = self.current_span
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self.records.append(
+                {
+                    "type": "span",
+                    "name": name,
+                    "t": start,
+                    "dur": self._now() - start,
+                    "depth": len(self._stack),
+                    "parent": parent,
+                    "data": dict(data),
+                }
+            )
+
+    def event(self, name: str, **data: Any) -> None:
+        """Record a point-in-time event under the current span (if any)."""
+        self.records.append(
+            {
+                "type": "event",
+                "name": name,
+                "t": self._now(),
+                "parent": self.current_span,
+                "data": dict(data),
+            }
+        )
+
+    # -- serialization -----------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.records
+        )
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a tracer JSONL file back into record dicts.
+
+    Blank lines are skipped; a truncated final line (killed process) is
+    dropped rather than raised, matching the sweep store's
+    corruption-tolerant loads.
+    """
+    records: list[dict[str, Any]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records

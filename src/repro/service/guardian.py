@@ -29,7 +29,9 @@ from repro.experiments.runner import (
 )
 from repro.experiments.spec import ExperimentSpec
 from repro.metrics.export import loop_result_to_dict
+from repro.obs.decision import capture_decision_info, decision_record
 from repro.service.rescaler import Rescaler
+from repro.service.telemetry import GUARDIAN_QUEUE_PEAK, GUARDIAN_TICK_SECONDS
 from repro.service.types import Decision, MetricSample, ServiceError
 
 __all__ = ["Guardian"]
@@ -59,9 +61,13 @@ class Guardian:
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
         self.records: list[LoopRecord] = []
         self.decisions: list[Decision] = []
+        self.trace_records: list[dict[str, Any]] = []
+        """Deterministic per-step decision records, filled when the
+        spec's ``capture`` requested the ``decision_trace`` channel."""
         self.error: str | None = None
         self._on_step = hooks_on_step(spec)
         self._allocation = self.unit.autoscaler.allocation
+        self._capture_trace = "decision_trace" in spec.capture
 
     # -- the tick protocol -------------------------------------------------------
     @property
@@ -114,6 +120,19 @@ class Guardian:
         )
         self.records.append(record)
         self._allocation = self.unit.autoscaler.decide(metrics)
+        if self._capture_trace:
+            self.trace_records.append(
+                decision_record(
+                    step=step,
+                    workload=rps,
+                    response=metrics.latency_p95,
+                    slo=slo_now,
+                    violated=record.violated,
+                    total_cpu=record.total_cpu,
+                    next_total_cpu=self._allocation.total(),
+                    decision=capture_decision_info(self.unit.autoscaler),
+                )
+            )
         decision = Decision(
             app=self.app_id,
             step=step,
@@ -138,6 +157,8 @@ class Guardian:
             payload["manager_state"] = capture_manager_state(
                 self.unit.autoscaler
             )
+        if self._capture_trace:
+            payload["decision_trace"] = list(self.trace_records)
         return payload
 
     def state(self) -> dict[str, Any]:
@@ -158,6 +179,9 @@ class Guardian:
 
     def status(self) -> dict[str, Any]:
         """The ``/apps`` endpoint's row for this app."""
+        tick_p50 = GUARDIAN_TICK_SECONDS.quantile(0.5, app=self.app_id)
+        tick_p95 = GUARDIAN_TICK_SECONDS.quantile(0.95, app=self.app_id)
+        queue_peak = GUARDIAN_QUEUE_PEAK.value(app=self.app_id)
         return {
             "app": self.app_id,
             "spec_name": self.spec.name,
@@ -172,6 +196,9 @@ class Guardian:
             "complete": self.complete,
             "queue_depth": self.queue.qsize(),
             "queue_size": self.queue.maxsize,
+            "queue_peak": int(queue_peak) if queue_peak is not None else 0,
+            "tick_p50_ms": None if tick_p50 is None else tick_p50 * 1000.0,
+            "tick_p95_ms": None if tick_p95 is None else tick_p95 * 1000.0,
             "violations": sum(r.violated for r in self.records),
             "error": self.error,
             "rescale": self.rescaler.stats(self.app_id).to_dict(),

@@ -9,6 +9,7 @@ framework, per the repo's no-new-dependencies rule — serving:
 ``GET /apps/<id>``        one app's status row
 ``GET /decisions?app=X``  decision feed (``since=<step>``, ``limit=<n>``)
 ``GET /state?app=X``      live allocation + manager-state snapshot
+``GET /metrics``          Prometheus text exposition of the telemetry registry
 ``POST /shutdown``        request graceful shutdown (drain, flush, exit)
 ========================  =====================================================
 
@@ -29,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.metrics import default_registry
 from repro.service.orchestrator import Orchestrator
 from repro.service.types import ServiceError
 
@@ -50,6 +52,7 @@ def _banner() -> dict[str, Any]:
             "GET /apps/<id>",
             "GET /decisions?app=<id>[&since=<step>][&limit=<n>]",
             "GET /state?app=<id>",
+            "GET /metrics",
             "POST /shutdown",
         ],
     }
@@ -66,6 +69,16 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -112,6 +125,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif path == "/state":
             self._dispatch(lambda orch: orch.state(_require_app(query)))
+        elif path == "/metrics":
+            # The registry is internally locked — no event-loop bridge
+            # needed, so a scrape never competes with tick latency.
+            self._send_text(200, default_registry().render())
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
 

@@ -22,6 +22,7 @@ process exits.
 from __future__ import annotations
 
 import asyncio
+from time import perf_counter
 from typing import Any
 
 from repro.experiments.spec import ExperimentSpec
@@ -29,6 +30,7 @@ from repro.service.drivers import LOAD_DRIVERS, LoadDriver
 from repro.service.guardian import Guardian
 from repro.service.rescaler import Rescaler
 from repro.service.state import ServiceStateStore
+from repro.service.telemetry import GUARDIAN_QUEUE_PEAK, GUARDIAN_TICK_SECONDS
 from repro.service.types import MetricSample, ServiceError
 
 __all__ = ["Orchestrator"]
@@ -101,6 +103,8 @@ class Orchestrator:
         del self.guardians[app_id]
         self.store.forget(app_id)
         self.rescaler.forget(app_id)
+        GUARDIAN_TICK_SECONDS.remove(app=app_id)
+        GUARDIAN_QUEUE_PEAK.remove(app=app_id)
 
     def _guardian(self, app_id: str) -> Guardian:
         try:
@@ -131,7 +135,11 @@ class Orchestrator:
                     return
                 if guardian.error is not None:
                     continue  # poisoned guardian: drop, never block the driver
+                started = perf_counter()
                 decision = guardian.tick(sample)
+                GUARDIAN_TICK_SECONDS.observe(
+                    perf_counter() - started, app=guardian.app_id
+                )
                 self.ticks += 1
                 self.store.record_decision(guardian, decision)
             except ServiceError as exc:
@@ -152,6 +160,9 @@ class Orchestrator:
             raise ServiceError("service is shutting down")
         guardian = self._guardian(sample.app)
         await guardian.queue.put(sample)
+        GUARDIAN_QUEUE_PEAK.set_max(
+            float(guardian.queue.qsize()), app=guardian.app_id
+        )
 
     async def join(self) -> None:
         """Wait until every accepted sample has been ticked."""

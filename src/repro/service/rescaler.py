@@ -17,6 +17,12 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.service.telemetry import (
+    RESCALER_APPLIES,
+    RESCALER_CPU_MOVED,
+    RESCALER_SCALE_DOWNS,
+    RESCALER_SCALE_UPS,
+)
 from repro.sim.types import Allocation, IntervalMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,19 +73,25 @@ class Rescaler:
         so applying is pure bookkeeping here; a cluster-backed guardian
         would call ``cluster.apply`` exactly as the offline loop does.
         """
-        stats = self.stats(guardian.app_id)
+        app_id = guardian.app_id
+        stats = self.stats(app_id)
         stats.applies += 1
-        previous = self._last.get(guardian.app_id)
+        RESCALER_APPLIES.inc(app=app_id)
+        previous = self._last.get(app_id)
         if previous is not None:
             names = allocation.names
             new = allocation.as_array(names)
             old = previous.as_array(names)
             if np.any(new > old):
                 stats.scale_ups += 1
+                RESCALER_SCALE_UPS.inc(app=app_id)
             if np.any(new < old):
                 stats.scale_downs += 1
-            stats.cpu_moved += float(np.abs(new - old).sum())
-        self._last[guardian.app_id] = allocation
+                RESCALER_SCALE_DOWNS.inc(app=app_id)
+            moved = float(np.abs(new - old).sum())
+            stats.cpu_moved += moved
+            RESCALER_CPU_MOVED.inc(moved, app=app_id)
+        self._last[app_id] = allocation
 
     def observe(
         self, guardian: "Guardian", allocation: Allocation, rps: float
@@ -93,3 +105,10 @@ class Rescaler:
         """Drop an unregistered app's actuation state."""
         self._stats.pop(app_id, None)
         self._last.pop(app_id, None)
+        for metric in (
+            RESCALER_APPLIES,
+            RESCALER_SCALE_UPS,
+            RESCALER_SCALE_DOWNS,
+            RESCALER_CPU_MOVED,
+        ):
+            metric.remove(app=app_id)

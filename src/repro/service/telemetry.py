@@ -1,0 +1,60 @@
+"""Service-plane instruments bound to the process-wide metrics registry.
+
+One module declares every metric the control plane reports, so the
+``GET /metrics`` scrape surface is defined in one place: guardian tick
+latency (per app), per-app queue-depth high-water marks, and the
+Rescaler's actuation counters.  Registration is idempotent
+(get-or-create), so importing this module any number of times — or
+alongside tests that build their own registries — is safe.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import default_registry
+
+__all__ = [
+    "GUARDIAN_TICK_SECONDS",
+    "GUARDIAN_QUEUE_PEAK",
+    "RESCALER_APPLIES",
+    "RESCALER_SCALE_UPS",
+    "RESCALER_SCALE_DOWNS",
+    "RESCALER_CPU_MOVED",
+]
+
+_REG = default_registry()
+
+GUARDIAN_TICK_SECONDS = _REG.histogram(
+    "repro_guardian_tick_seconds",
+    "Wall-clock latency of one guardian control tick.",
+    labelnames=("app",),
+)
+
+GUARDIAN_QUEUE_PEAK = _REG.gauge(
+    "repro_guardian_queue_depth_peak",
+    "High-water mark of a guardian's bounded metrics queue.",
+    labelnames=("app",),
+)
+
+RESCALER_APPLIES = _REG.counter(
+    "repro_rescaler_applies_total",
+    "Allocations pushed into an app's (simulated) deployment.",
+    labelnames=("app",),
+)
+
+RESCALER_SCALE_UPS = _REG.counter(
+    "repro_rescaler_scale_ups_total",
+    "Applies that grew at least one service's CPU.",
+    labelnames=("app",),
+)
+
+RESCALER_SCALE_DOWNS = _REG.counter(
+    "repro_rescaler_scale_downs_total",
+    "Applies that shrank at least one service's CPU.",
+    labelnames=("app",),
+)
+
+RESCALER_CPU_MOVED = _REG.counter(
+    "repro_rescaler_cpu_moved_total",
+    "Total absolute per-service CPU change across applies.",
+    labelnames=("app",),
+)

@@ -28,6 +28,7 @@ silently degrading.
 
 from __future__ import annotations
 
+import gc
 from typing import Any, Hashable, Sequence
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.core.config import PEMAConfig
 from repro.experiments.registry import AUTOSCALERS, HOOKS, WORKLOADS
 from repro.experiments.runner import capture_manager_state
 from repro.experiments.spec import ExperimentSpec
+from repro.obs.decision import capture_decision_info
 from repro.sim.batched import BatchObservation, BatchedAnalyticalEngine
 from repro.sim.concurrency import gamma_quantile
 from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
@@ -234,6 +236,14 @@ class _ManagerBank:
         self.allocation = np.stack(
             [m.allocation.as_array(names) for m in self._managers]
         )
+        self._trace_cells: set[int] = set()
+        self.decision_info: dict[int, list] = {}
+
+    def enable_decision_trace(self, cells: Sequence[int]) -> None:
+        """Record each traced cell's manager decision info per step."""
+        for cell in cells:
+            self._trace_cells.add(int(cell))
+            self.decision_info.setdefault(int(cell), [])
 
     def manager(self, cell: int) -> Any:
         return self._managers[cell]
@@ -256,6 +266,8 @@ class _ManagerBank:
                 latency_mean=float(obs.latency_p95[i] / 1.6),
             )
             rows.append(manager.decide(metrics).as_array(self._names))
+            if i in self._trace_cells:
+                self.decision_info[i].append(capture_decision_info(manager))
         self.allocation = np.stack(rows)
         return self.allocation
 
@@ -284,7 +296,26 @@ def run_units_batched(
 
     Returns one ``loop_result_to_dict``-shaped payload per unit, in
     input order, byte-identical to the scalar worker's payloads.
+
+    The cyclic garbage collector is paused for the duration: a batch run
+    allocates tens of thousands of record/trace dicts, all acyclic trees
+    freed by refcounting, and letting generational GC rescan them mid-run
+    costs more than the whole decision-trace channel (it dominated the
+    obs gate's measured tracing overhead before this pause).
     """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_units_batched(units)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run_units_batched(
+    units: Sequence[tuple[ExperimentSpec, int]],
+) -> list[dict[str, Any]]:
     if not units:
         return []
     specs = [spec for spec, _ in units]
@@ -367,6 +398,15 @@ def run_units_batched(
         bank = None
         allocation = start
 
+    # Decision tracing: cells whose spec requested the channel record one
+    # info dict per step from their bank (PEMA/manager banks; other
+    # autoscaler kinds have no last_decision hook — None, as scalar).
+    trace_cells = [
+        i for i, s in enumerate(specs) if "decision_trace" in s.capture
+    ]
+    if trace_cells and isinstance(bank, (PEMABatch, _ManagerBank)):
+        bank.enable_decision_trace(trace_cells)
+
     # Hook schedule: (cell, fire-step, hook-kind, value), in spec order.
     hook_entries = [
         (
@@ -429,6 +469,11 @@ def run_units_batched(
         elif isinstance(bank, _ManagerBank):
             allocation = bank.step(obs)
 
+    # Post-final-decide totals: step s's next_total_cpu is step s+1's
+    # recorded total; the last step reads the loop-exit allocation (the
+    # same row-sum the scalar loop's final ``allocation.total()`` takes).
+    final_totals = allocation.sum(axis=1)
+
     payloads: list[dict[str, Any]] = []
     for i in range(n_cells):
         interval = intervals[i]
@@ -464,6 +509,30 @@ def run_units_batched(
                 if isinstance(bank, _ManagerBank)
                 else None
             )
+        if "decision_trace" in specs[i].capture:
+            infos = (
+                bank.decision_info.get(i)
+                if isinstance(bank, (PEMABatch, _ManagerBank))
+                else None
+            )
+            # Inline ``decision_record`` dict shape: the columns are
+            # already plain Python floats/bools (``.tolist()`` above), so
+            # the per-record coercion layer would only cost time here —
+            # this is the hot path the obs gate's overhead bound covers.
+            next_col = total_col[1:] + [float(final_totals[i])]
+            payload["decision_trace"] = [
+                {
+                    "step": step,
+                    "workload": work_col[step],
+                    "response": resp_col[step],
+                    "slo": slo_col[step],
+                    "violated": viol_col[step],
+                    "total_cpu": total_col[step],
+                    "next_total_cpu": next_col[step],
+                    "decision": infos[step] if infos is not None else None,
+                }
+                for step in range(n_steps)
+            ]
         payloads.append(payload)
     return payloads
 

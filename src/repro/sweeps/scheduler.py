@@ -39,6 +39,7 @@ from repro.experiments.runner import (
     optimum_store,
 )
 from repro.experiments.spec import ExperimentSpec
+from repro.obs.metrics import Histogram, default_registry
 from repro.sweeps.grid import SweepCell, SweepGrid
 from repro.sweeps.store import SweepStore
 
@@ -51,6 +52,34 @@ __all__ = [
 ]
 
 OnProgress = Callable[["SweepProgress"], None]
+
+#: Per-cell latency bucket bounds — also used for the in-report profile
+#: histogram, so BENCH trends and /metrics scrapes bin identically.
+CELL_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 120.0,
+)
+
+_REG = default_registry()
+_SWEEP_CHUNK_SECONDS = _REG.histogram(
+    "repro_sweep_chunk_seconds",
+    "Wall-clock seconds per scheduler chunk (workers + persistence).",
+)
+_SWEEP_CELL_SECONDS = _REG.histogram(
+    "repro_sweep_cell_seconds",
+    "Worker-side seconds per computed unit (task time / units in task).",
+    buckets=CELL_SECONDS_BUCKETS,
+)
+_SWEEP_BATCH_GROUP_SIZE = _REG.histogram(
+    "repro_sweep_batch_group_size",
+    "Units per vectorized batch group handed to one worker call.",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0),
+)
+_SWEEP_FALLBACKS = _REG.counter(
+    "repro_sweep_fallback_total",
+    "Units that ran scalar under batch=True, by reason slug.",
+    labelnames=("reason",),
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +101,11 @@ class SweepProgress:
     n_chunks: int
     cells_total: int = 0
     cells_completed: int = 0
+    fallbacks: dict[str, int] = field(default_factory=dict)
+    """Scalar-fallback reason tallies accrued so far under ``batch=True``
+    (a snapshot of what ``SweepReport.fallbacks`` will report), so live
+    progress lines can show batch coverage as it degrades, not only at
+    the end."""
 
     @property
     def done(self) -> bool:
@@ -102,6 +136,12 @@ class SweepReport:
     """In-process OPTM cache activity during the sweep: hits, misses,
     store-backed loads, and fresh solves (``optimum_cache_info`` deltas;
     solves inside scalar worker processes are not visible here)."""
+    profile: dict[str, Any] = field(default_factory=dict)
+    """Where the sweep's wall-clock went: per-phase seconds
+    (``phases``: plan/load/run/persist/aggregate), the
+    batched-vs-scalar worker-time split (``batched_seconds`` /
+    ``scalar_seconds``), and the per-cell worker-latency histogram
+    (``cell_seconds``: count/sum/buckets/p50/p95)."""
 
     @property
     def units_per_sec(self) -> float:
@@ -122,6 +162,7 @@ class SweepReport:
             "replay_units": self.replay_units,
             "manager_states": self.manager_states,
             "optimum": dict(self.optimum),
+            "profile": dict(self.profile),
         }
 
 
@@ -155,30 +196,38 @@ def _partition_chunk(
         if key is None:
             if fallbacks is not None:
                 fallbacks[reason] = fallbacks.get(reason, 0) + 1
+            _SWEEP_FALLBACKS.inc(reason=reason)
             tasks.append((False, [unit]))
         else:
             groups.setdefault(key, []).append(unit)
     cap = max(1, -(-len(chunk) // max(parallel, 1)))  # ceil division
     for units in groups.values():
         for start in range(0, len(units), cap):
-            tasks.append((True, units[start : start + cap]))
+            group = units[start : start + cap]
+            _SWEEP_BATCH_GROUP_SIZE.observe(float(len(group)))
+            tasks.append((True, group))
     return tasks
 
 
-def _run_sweep_task(task: dict[str, Any]) -> list[dict]:
+def _run_sweep_task(task: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: one scalar unit or one batched group of units.
 
-    Returns one payload per unit, in task order (plain data in/out, so it
-    pickles under any start method).
+    Returns ``{"payloads": [...], "seconds": ...}`` — one payload per
+    unit in task order, plus the worker-side wall-clock of the task
+    (plain data in/out, so it pickles under any start method; the
+    seconds feed the scheduler's profile, never the payloads).
     """
+    started = perf_counter()
     units = task["units"]
     if task["batched"]:
         from repro.sweeps.batched import _run_batch_worker
 
-        return _run_batch_worker(units)
-    return [
-        _run_unit_worker(spec_data, repeat) for spec_data, repeat in units
-    ]
+        payloads = _run_batch_worker(units)
+    else:
+        payloads = [
+            _run_unit_worker(spec_data, repeat) for spec_data, repeat in units
+        ]
+    return {"payloads": payloads, "seconds": perf_counter() - started}
 
 
 def run_sweep_cached(
@@ -216,11 +265,19 @@ def run_sweep_cached(
         for spec_index, spec in enumerate(specs)
         for repeat in range(spec.repeats)
     ]
+    phases = {
+        "plan": perf_counter() - start_time,
+        "load": 0.0,
+        "run": 0.0,
+        "persist": 0.0,
+        "aggregate": 0.0,
+    }
     results: dict[tuple[int, int], dict] = {}
     pending: list[tuple[int, ExperimentSpec, int]] = []
     unit_counts = [spec.repeats for spec in specs]
     remaining = list(unit_counts)
     cached = 0
+    load_started = perf_counter()
     for spec_index, spec, repeat in tasks:
         payload = (
             store.get_result(spec, repeat) if store and reuse else None
@@ -231,6 +288,7 @@ def run_sweep_cached(
             cached += 1
         else:
             pending.append((spec_index, spec, repeat))
+    phases["load"] = perf_counter() - load_started
 
     def cells_completed() -> int:
         return sum(1 for left in remaining if left == 0)
@@ -252,7 +310,15 @@ def run_sweep_cached(
     computed = 0
     batched_units = 0
     scalar_units = 0
+    batched_seconds = 0.0
+    scalar_seconds = 0.0
     fallbacks: dict[str, int] = {}
+    # Standalone (unregistered) histogram so the report's profile covers
+    # exactly this sweep, while the registry series keep accumulating
+    # across sweeps in the same process.
+    cell_hist = Histogram(
+        "cell_seconds", "per-cell worker seconds", buckets=CELL_SECONDS_BUCKETS
+    )
     # One long-lived pool for the whole sweep: workers are spawned once,
     # not once per chunk (chunking only bounds the persistence interval).
     pool = (
@@ -262,6 +328,7 @@ def run_sweep_cached(
     )
     try:
         for chunk_index, chunk in enumerate(chunks, start=1):
+            chunk_started = perf_counter()
             worker_tasks = _partition_chunk(chunk, batch, parallel, fallbacks)
             raw = run_parallel(
                 _run_sweep_task,
@@ -280,19 +347,33 @@ def run_sweep_cached(
                 max_workers=parallel,
                 pool=pool,
             )
-            for (batched, units), payloads in zip(worker_tasks, raw):
+            for (batched, units), result in zip(worker_tasks, raw):
+                payloads = result["payloads"]
+                task_seconds = float(result["seconds"])
+                if batched:
+                    batched_seconds += task_seconds
+                else:
+                    scalar_seconds += task_seconds
+                per_cell = task_seconds / max(len(units), 1)
                 for (spec_index, spec, repeat), payload in zip(
                     units, payloads
                 ):
+                    persist_started = perf_counter()
                     if store is not None:
                         store.put_result(spec, repeat, payload)
+                    phases["persist"] += perf_counter() - persist_started
                     results[(spec_index, repeat)] = payload
                     remaining[spec_index] -= 1
                     computed += 1
+                    cell_hist.observe(per_cell)
+                    _SWEEP_CELL_SECONDS.observe(per_cell)
                     if batched:
                         batched_units += 1
                     else:
                         scalar_units += 1
+            chunk_seconds = perf_counter() - chunk_started
+            _SWEEP_CHUNK_SECONDS.observe(chunk_seconds)
+            phases["run"] += chunk_seconds
             if on_progress is not None:
                 on_progress(
                     SweepProgress(
@@ -304,12 +385,17 @@ def run_sweep_cached(
                         n_chunks=len(chunks),
                         cells_total=len(specs),
                         cells_completed=cells_completed(),
+                        fallbacks=dict(fallbacks),
                     )
                 )
     finally:
         if pool is not None:
             pool.shutdown()
+    # Persistence happens inside the chunk wall-clock; report it as its
+    # own phase without double counting the total.
+    phases["run"] -= phases["persist"]
 
+    aggregate_started = perf_counter()
     artifacts = [
         ExperimentArtifact.from_payloads(
             spec,
@@ -317,6 +403,7 @@ def run_sweep_cached(
         )
         for spec_index, spec in enumerate(specs)
     ]
+    phases["aggregate"] = perf_counter() - aggregate_started
     optimum_after = optimum_cache_info()
     report = SweepReport(
         specs=len(specs),
@@ -339,6 +426,12 @@ def run_sweep_cached(
         optimum={
             counter: optimum_after[counter] - optimum_before[counter]
             for counter in ("hits", "misses", "store_hits", "solved")
+        },
+        profile={
+            "phases": {k: round(v, 6) for k, v in phases.items()},
+            "batched_seconds": round(batched_seconds, 6),
+            "scalar_seconds": round(scalar_seconds, 6),
+            "cell_seconds": cell_hist.to_dict(),
         },
     )
     return artifacts, report

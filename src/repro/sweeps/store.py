@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, TYPE_CHECKING
 
+from repro.obs.metrics import default_registry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.spec import ExperimentSpec
 
@@ -41,6 +43,24 @@ __all__ = [
 ]
 
 _FORMAT = 1
+
+# Process-global mirrors of the per-handle StoreStats counters: store
+# handles come and go (one per sweep, per service state dir), the
+# registry series aggregate across all of them for the /metrics scrape.
+_REG = default_registry()
+_STORE_HITS = _REG.counter(
+    "repro_store_hits_total", "Result-store cache hits (all handles)."
+)
+_STORE_MISSES = _REG.counter(
+    "repro_store_misses_total", "Result-store cache misses (all handles)."
+)
+_STORE_WRITES = _REG.counter(
+    "repro_store_writes_total", "Result-store entries written (all handles)."
+)
+_STORE_CORRUPT = _REG.counter(
+    "repro_store_corrupt_total",
+    "Corrupt/foreign result-store entries treated as misses.",
+)
 
 
 def canonical_key(key_obj: Any) -> str:
@@ -100,10 +120,13 @@ class JsonDirectoryStore:
             entry = json.loads(path.read_text())
         except FileNotFoundError:
             self.stats.misses += 1
+            _STORE_MISSES.inc()
             return None
         except (OSError, UnicodeDecodeError, json.JSONDecodeError):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            _STORE_CORRUPT.inc()
+            _STORE_MISSES.inc()
             return None
         # A foreign/garbled-but-valid-JSON file is also just a miss.
         if (
@@ -113,8 +136,11 @@ class JsonDirectoryStore:
         ):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            _STORE_CORRUPT.inc()
+            _STORE_MISSES.inc()
             return None
         self.stats.hits += 1
+        _STORE_HITS.inc()
         return entry["payload"]
 
     def put_raw(self, key_obj: Any, payload: Any) -> Path:
@@ -138,6 +164,7 @@ class JsonDirectoryStore:
                 pass
             raise
         self.stats.writes += 1
+        _STORE_WRITES.inc()
         return path
 
     # -- maintenance -------------------------------------------------------------
@@ -207,9 +234,13 @@ class SweepStore(JsonDirectoryStore):
             isinstance(payload, dict) and isinstance(payload.get("records"), list)
         ):
             # Structurally wrong payload: treat as corruption, recompute.
+            # (The global counters are monotonic, so only the per-handle
+            # hit tally is rolled back.)
             self.stats.hits -= 1
             self.stats.misses += 1
             self.stats.corrupt += 1
+            _STORE_CORRUPT.inc()
+            _STORE_MISSES.inc()
             return None
         return payload
 
