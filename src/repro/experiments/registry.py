@@ -118,10 +118,15 @@ def _analytical_engine(app, *, seed: int = 0, **params):
 
 @ENGINES.register("des")
 def _des_engine(app, *, seed: int = 0, **params):
-    """Request-level discrete-event simulator (slow, validation-grade)."""
+    """Request-level discrete-event simulator (validation-grade)."""
     from repro.sim.des.engine import DESEngine
+    from repro.sim.des.simulator import SimConfig
 
-    return DESEngine(app, seed=seed, **params)
+    config = params.pop("config", None)
+    if config is not None:
+        # Declarative simulator tunables, e.g. {"arrivals": "poisson"}.
+        config = SimConfig(**config)
+    return DESEngine(app, seed=seed, config=config, **params)
 
 
 # -- autoscalers / baselines ---------------------------------------------------

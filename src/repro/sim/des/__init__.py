@@ -1,25 +1,37 @@
 """Discrete-event microservice simulator with explicit CFS throttling."""
 
-from repro.sim.des.arrivals import MMPPArrivals, PoissonArrivals
+from repro.sim.des.arrivals import (
+    MMPPArrivals,
+    PoissonArrivals,
+    mmpp_times,
+    poisson_times,
+)
 from repro.sim.des.engine import DESEngine
-from repro.sim.des.events import Event, EventKind, EventQueue
+from repro.sim.des.events import Event, EventKind, EventQueue, FastEventQueue
 from repro.sim.des.metrics import MeasurementWindow
+from repro.sim.des.reference import ReferenceSimulator
 from repro.sim.des.request import CompiledPlan, RequestState, compile_plans
 from repro.sim.des.server import CpuJob, ServiceServer
 from repro.sim.des.simulator import MicroserviceSimulator, SimConfig
 from repro.sim.des.tracing import Span, TraceLog
+from repro.sim.des.variates import spawn_streams
 
 __all__ = [
     "DESEngine",
     "MicroserviceSimulator",
+    "ReferenceSimulator",
     "SimConfig",
     "ServiceServer",
     "CpuJob",
     "EventQueue",
+    "FastEventQueue",
     "Event",
     "EventKind",
     "PoissonArrivals",
     "MMPPArrivals",
+    "poisson_times",
+    "mmpp_times",
+    "spawn_streams",
     "MeasurementWindow",
     "RequestState",
     "CompiledPlan",

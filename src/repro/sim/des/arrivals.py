@@ -4,13 +4,23 @@ Real user traffic is burstier than Poisson; the paper's latency tails come
 from exactly that burstiness interacting with CFS quotas.  The 2-state MMPP
 alternates between a quiet and a burst state with exponential dwell times,
 preserving the requested mean rate.
+
+Two access styles, one bit stream (see :mod:`repro.sim.des.variates`):
+the ``PoissonArrivals``/``MMPPArrivals`` classes draw one gap per call
+(the scalar reference), while :func:`poisson_times`/:func:`mmpp_times`
+pre-compute the whole arrival schedule up to a horizon from a pre-drawn
+exponential stream (the vectorized simulator).  Both consume the same
+standard-exponential variates in the same order — the classes via
+``Generator.exponential(scale)``, the schedules via an explicit
+``e * scale`` — which numpy guarantees are bit-identical, so the two
+styles produce bit-identical arrival times.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["PoissonArrivals", "MMPPArrivals"]
+__all__ = ["PoissonArrivals", "MMPPArrivals", "poisson_times", "mmpp_times"]
 
 
 class PoissonArrivals:
@@ -79,3 +89,82 @@ class MMPPArrivals:
             self._bursting = not self._bursting
             mean_dwell = self.dwell_burst if self._bursting else self.dwell_quiet
             self._state_left = float(self.rng.exponential(mean_dwell))
+
+
+# -- pre-drawn schedules (the vectorized simulator's arrival source) -----------
+def poisson_times(exp_stream, rate: float, horizon: float) -> list[float]:
+    """All Poisson arrival times the event loop would see, pre-computed.
+
+    ``exp_stream`` is a standard-exponential stream (``.next() -> float``).
+    The first time is included even past the horizon (the reference pushes
+    its first ARRIVAL unconditionally, consuming one draw); later draws
+    stop at the first gap that crosses the horizon, exactly when the
+    reference stops re-arming.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive: {rate}")
+    scale = 1.0 / rate
+    t = exp_stream.next() * scale
+    times = [t]
+    while t <= horizon:
+        t = t + exp_stream.next() * scale
+        if t > horizon:
+            break
+        times.append(t)
+    return times
+
+
+def mmpp_times(
+    exp_stream,
+    rate: float,
+    horizon: float,
+    *,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.2,
+    dwell: float = 0.25,
+) -> list[float]:
+    """All MMPP arrival times the event loop would see, pre-computed.
+
+    Runs the identical 2-state chain as :class:`MMPPArrivals` (initial
+    dwell draw first, then candidate/dwell draws in chain order) against a
+    pre-drawn standard-exponential stream.  Same boundary semantics as
+    :func:`poisson_times`.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive: {rate}")
+    if burst_factor < 1:
+        raise ValueError("burst_factor must be >= 1")
+    if not 0 < burst_fraction < 1:
+        raise ValueError("burst_fraction must be in (0, 1)")
+    if dwell <= 0:
+        raise ValueError("dwell must be positive")
+    dwell_burst = dwell
+    dwell_quiet = dwell * (1.0 - burst_fraction) / burst_fraction
+    quiet_weight = (1.0 - burst_fraction) + burst_fraction * burst_factor
+    rate_quiet = rate / quiet_weight
+    rate_burst = rate_quiet * burst_factor
+    bursting = False
+    state_left = exp_stream.next() * dwell_quiet
+    times: list[float] = []
+    now = 0.0
+    while True:
+        gap = 0.0
+        while True:
+            state_rate = rate_burst if bursting else rate_quiet
+            candidate = exp_stream.next() * (1.0 / state_rate)
+            if candidate <= state_left:
+                state_left -= candidate
+                gap = gap + candidate
+                break
+            gap += state_left
+            bursting = not bursting
+            mean_dwell = dwell_burst if bursting else dwell_quiet
+            state_left = exp_stream.next() * mean_dwell
+        t = now + gap
+        if times and t > horizon:
+            break
+        times.append(t)
+        if t > horizon:  # unconditional first push, never popped
+            break
+        now = t
+    return times

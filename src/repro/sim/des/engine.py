@@ -24,7 +24,15 @@ __all__ = ["DESEngine"]
 
 
 class DESEngine:
-    """Request-level simulation implementation of ``Environment``."""
+    """Request-level simulation implementation of ``Environment``.
+
+    ``mode`` selects the execution style: ``"vectorized"`` (default, the
+    pre-drawn-variate :class:`MicroserviceSimulator`) or ``"reference"``
+    (the retained scalar oracle,
+    :class:`~repro.sim.des.reference.ReferenceSimulator`).  The two are
+    bit-identical by contract — ``mode`` exists so fidelity tests and the
+    DES gate can run both from one declarative spec.
+    """
 
     def __init__(
         self,
@@ -34,14 +42,24 @@ class DESEngine:
         sim_seconds: float = 12.0,
         warmup_seconds: float = 3.0,
         seed: int = 0,
+        mode: str = "vectorized",
     ) -> None:
         if sim_seconds <= 0 or warmup_seconds < 0:
             raise ValueError("need sim_seconds > 0 and warmup_seconds >= 0")
+        if mode == "vectorized":
+            self._simulator_cls = MicroserviceSimulator
+        elif mode == "reference":
+            from repro.sim.des.reference import ReferenceSimulator
+
+            self._simulator_cls = ReferenceSimulator
+        else:
+            raise ValueError(f"unknown DES mode {mode!r}")
         self._app = app
         self.config = config or SimConfig()
         self.sim_seconds = sim_seconds
         self.warmup_seconds = warmup_seconds
         self.seed = seed
+        self.mode = mode
         self._calls = 0
         self.last_traces: TraceLog | None = None
         self.last_completed: int = 0
@@ -82,7 +100,7 @@ class DESEngine:
                 latency_p95=0.0, workload_rps=0.0, services=services
             )
         self._calls += 1
-        sim = MicroserviceSimulator(
+        sim = self._simulator_cls(
             self._app,
             allocation,
             workload_rps,

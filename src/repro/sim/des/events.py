@@ -1,4 +1,15 @@
-"""Event heap for the discrete-event simulator."""
+"""Event heaps for the discrete-event simulator.
+
+Two implementations of one interface (``push``/``pop``/``peek_time``/
+``now``/``len``): :class:`EventQueue` stores :class:`Event` dataclass
+instances (the scalar reference — every comparison runs ``Event.__lt__``
+in Python), while :class:`FastEventQueue` stores plain
+``(time, seq, kind, payload, epoch)`` tuples so ``heapq`` compares them
+in C.  The strictly increasing ``seq`` breaks every time tie before the
+comparison could reach the (unorderable) kind field, and reproduces
+``EventQueue``'s exact (time, seq) order — the property the DES
+fidelity gate checks end to end.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +19,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["EventKind", "Event", "EventQueue"]
+__all__ = ["EventKind", "Event", "EventQueue", "FastEventQueue"]
 
 
 class EventKind(Enum):
@@ -64,3 +75,43 @@ class EventQueue:
     def peek_time(self) -> float:
         """Timestamp of the next event (raises IndexError when empty)."""
         return self._heap[0].time
+
+
+class FastEventQueue:
+    """Tuple-backed min-heap with :class:`EventQueue`'s interface and order.
+
+    Events are ``(time, seq, kind, payload, epoch)`` tuples; ``pop``
+    returns the tuple (callers unpack instead of reading attributes).
+    """
+
+    __slots__ = ("_heap", "_next_seq", "now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventKind, Any, int]] = []
+        self._next_seq = 0
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self, time: float, kind: EventKind, payload: Any = None, epoch: int = -1
+    ) -> None:
+        now = self.now
+        if time < now - 1e-9:
+            raise ValueError(f"cannot schedule in the past: {time} < {now}")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(
+            self._heap,
+            (time if time > now else now, seq, kind, payload, epoch),
+        )
+
+    def pop(self) -> tuple[float, int, EventKind, Any, int]:
+        event = heapq.heappop(self._heap)
+        self.now = event[0]
+        return event
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event (raises IndexError when empty)."""
+        return self._heap[0][0]

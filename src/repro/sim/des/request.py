@@ -12,8 +12,7 @@ live in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-import numpy as np
+from typing import Callable
 
 from repro.apps.spec import AppSpec, RequestClass
 
@@ -22,25 +21,46 @@ __all__ = ["CompiledPlan", "compile_plans", "RequestState", "EntryState"]
 
 @dataclass(frozen=True)
 class CompiledPlan:
-    """A request class reduced to arrays for fast sampling."""
+    """A request class reduced to arrays for fast sampling.
+
+    Each stage entry is pre-split into ``(service, whole, frac)`` — the
+    integer floor of the plan's visit count and its fractional part — so
+    the per-request sampling loop does no float decomposition.  The split
+    happens once at compile time with the exact arithmetic the sampler
+    used to do per call (``int(v)``; ``v - int(v)``), so sampled counts
+    are unchanged.
+    """
 
     name: str
     weight: float
-    stages: tuple[tuple[tuple[str, float], ...], ...]
+    stages: tuple[tuple[tuple[str, int, float], ...], ...]
+    last_stage: int
+    """``len(stages) - 1``, cached for the hot finished-stages test."""
 
 
 def compile_plans(app: AppSpec) -> tuple[CompiledPlan, ...]:
-    return tuple(
-        CompiledPlan(
-            name=rc.name,
-            weight=rc.weight,
-            stages=tuple(stage.parallel for stage in rc.stages),
+    plans = []
+    for rc in app.request_classes:
+        stages = tuple(
+            tuple(
+                # visits >= 0, so truncation is floor.
+                (service, int(visits), visits - int(visits))
+                for service, visits in stage.parallel
+            )
+            for stage in rc.stages
         )
-        for rc in app.request_classes
-    )
+        plans.append(
+            CompiledPlan(
+                name=rc.name,
+                weight=rc.weight,
+                stages=stages,
+                last_stage=len(stages) - 1,
+            )
+        )
+    return tuple(plans)
 
 
-@dataclass
+@dataclass(slots=True)
 class EntryState:
     """One parallel entry of the active stage."""
 
@@ -48,7 +68,7 @@ class EntryState:
     visits_left: int
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestState:
     """One in-flight request."""
 
@@ -60,20 +80,25 @@ class RequestState:
     spans: list = field(default_factory=list)
 
     def sample_stage_entries(
-        self, rng: np.random.Generator
+        self, next_uniform: Callable[[], float]
     ) -> list[EntryState]:
-        """Materialize the next stage's entries with sampled visit counts."""
-        self.stage_index += 1
+        """Materialize the next stage's entries with sampled visit counts.
+
+        ``next_uniform`` serves the simulator's *entry* variate stream
+        (see :mod:`repro.sim.des.variates`); one uniform is consumed per
+        plan entry, in stage order, whether or not the visit count is
+        fractional — a fixed consumption rate both execution modes share.
+        """
+        stage = self.stage_index + 1
+        self.stage_index = stage
         entries: list[EntryState] = []
-        for service, visits in self.plan.stages[self.stage_index]:
-            whole = int(np.floor(visits))
-            frac = visits - whole
-            count = whole + (1 if rng.random() < frac else 0)
+        for service, whole, frac in self.plan.stages[stage]:
+            count = whole + (1 if next_uniform() < frac else 0)
             if count > 0:
-                entries.append(EntryState(service=service, visits_left=count))
+                entries.append(EntryState(service, count))
         self.entries_pending = len(entries)
         return entries
 
     @property
     def finished_stages(self) -> bool:
-        return self.stage_index >= len(self.plan.stages) - 1
+        return self.stage_index >= self.plan.last_stage

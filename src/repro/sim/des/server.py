@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 __all__ = ["CpuJob", "ServiceServer"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuJob:
     """One CPU burst of one visit."""
 

@@ -12,21 +12,43 @@ Executes an application's request plans against CFS-quota servers:
 The simulator is single-allocation/single-rate per run; the
 :class:`~repro.sim.des.engine.DESEngine` wraps runs into the
 ``Environment`` protocol.
+
+Two execution modes share the event logic in :class:`_SimCore` and the
+per-purpose variate streams of :mod:`repro.sim.des.variates`:
+
+* :class:`MicroserviceSimulator` (production, vectorized): pre-draws
+  every stream in NumPy blocks, pre-computes the whole arrival and
+  background schedules up to the horizon, and runs the heap as plain
+  ``(time, seq, ...)`` tuples (:class:`~repro.sim.des.events.FastEventQueue`).
+* :class:`~repro.sim.des.reference.ReferenceSimulator` (the retained
+  scalar oracle): one scalar Generator call per variate, dataclass
+  events, lazy arrival draws — the transparently-correct implementation
+  the fidelity gate holds the vectorized mode bit-identical to.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from heapq import heappop, heappush
+from operator import attrgetter
 
 import numpy as np
 
 from repro.apps.spec import AppSpec
-from repro.sim.des.arrivals import MMPPArrivals, PoissonArrivals
-from repro.sim.des.events import EventKind, EventQueue
+from repro.sim.des.arrivals import mmpp_times, poisson_times
+from repro.sim.des.events import EventKind, FastEventQueue
 from repro.sim.des.metrics import MeasurementWindow
 from repro.sim.des.request import RequestState, compile_plans
 from repro.sim.des.server import CpuJob, ServiceServer
 from repro.sim.des.tracing import Span, TraceLog
+from repro.sim.des.variates import (
+    BlockExp,
+    BlockGamma,
+    BlockNormal,
+    BlockUniform,
+    spawn_streams,
+)
 from repro.sim.types import Allocation, IntervalMetrics
 
 __all__ = ["SimConfig", "MicroserviceSimulator"]
@@ -78,7 +100,7 @@ class SimConfig:
             raise ValueError("cpu_speed must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Visit:
     """Payload threading one visit through CPU_DONE / WAIT_DONE."""
 
@@ -89,8 +111,28 @@ class _Visit:
     cpu_time: float = 0.0
 
 
-class MicroserviceSimulator:
-    """One simulation run of one application at one allocation and rate."""
+_JOB_REMAINING = attrgetter("remaining")
+
+# Hoisted enum members: enum attribute access costs a metaclass lookup,
+# which the vectorized fast paths pay hundreds of thousands of times.
+_ARRIVAL = EventKind.ARRIVAL
+_STAGE_START = EventKind.STAGE_START
+_CPU_DONE = EventKind.CPU_DONE
+_WAIT_DONE = EventKind.WAIT_DONE
+_QUOTA_EXHAUST = EventKind.QUOTA_EXHAUST
+_PERIOD_END = EventKind.PERIOD_END
+_BACKGROUND = EventKind.BACKGROUND
+
+
+class _SimCore:
+    """Event logic shared by the vectorized and reference simulators.
+
+    Subclasses supply the variate streams (:meth:`_init_streams`), the
+    event queue (:meth:`_make_queue`), the arrival/background sources,
+    and the event-loop drain.  Everything here consumes randomness only
+    through those abstractions, so both modes execute the same float
+    operations in the same order.
+    """
 
     def __init__(
         self,
@@ -105,7 +147,6 @@ class MicroserviceSimulator:
             raise ValueError("workload must be positive")
         self.app = app
         self.config = config or SimConfig()
-        self.rng = np.random.default_rng(seed)
         self.servers = {
             name: ServiceServer(
                 name, max(allocation[name], 1e-3), period=self.config.period
@@ -113,45 +154,93 @@ class MicroserviceSimulator:
             for name in app.service_names
         }
         self.plans = compile_plans(app)
-        self._weights = np.asarray([p.weight for p in self.plans])
-        self._weights = self._weights / self._weights.sum()
+        weights = np.asarray([p.weight for p in self.plans], dtype=np.float64)
+        self._plan_cum = np.cumsum(weights / weights.sum()).tolist()
+        self._n_plans = len(self.plans)
         self.workload_rps = float(workload_rps)
-        if self.config.arrivals == "poisson":
-            self.arrivals = PoissonArrivals(self.workload_rps, self.rng)
-        else:
-            self.arrivals = MMPPArrivals(
-                self.workload_rps,
-                self.rng,
-                burst_factor=self.config.burst_factor,
-                burst_fraction=self.config.burst_fraction,
-            )
-        self.queue = EventQueue()
+        self.queue = self._make_queue()
         self.window = MeasurementWindow()
         self.traces = TraceLog() if self.config.trace else None
         self._next_request_id = 0
         self._next_job_id = 0
         self.in_flight = 0
-        self._demand_shape = (
-            1.0 / self.config.demand_cv**2 if self.config.demand_cv > 0 else 0.0
-        )
+        cfg = self.config
+        shape = 1.0 / cfg.demand_cv**2 if cfg.demand_cv > 0 else 0.0
+        self._demand_shape = shape
+        self._jitter = cfg.wait_jitter
+        # Per-service constants, resolved once: (demand mean, Gamma scale
+        # or None when the demand is deterministic), wait floor, and the
+        # background work/gap exponential scales.
+        self._demand_params: dict[str, tuple[float, float | None]] = {}
+        self._floor: dict[str, float] = {}
+        self._bg_work_scale: dict[str, float] = {}
+        self._hop_latency = app.hop_latency
+        for name in app.service_names:
+            svc = app.service(name)
+            mean = svc.cpu_demand / cfg.cpu_speed
+            if mean <= 0:
+                self._demand_params[name] = (0.0, None)
+            elif shape <= 0:
+                self._demand_params[name] = (mean, None)
+            else:
+                self._demand_params[name] = (mean, mean / shape)
+            self._floor[name] = svc.latency_floor / cfg.cpu_speed
+            self._bg_work_scale[name] = (
+                svc.baseline_cores / cfg.cpu_speed
+            ) * cfg.background_interval
+        core, background = spawn_streams(seed, len(app.service_names))
+        self._init_streams(core, background)
+
+    # -- mode hooks --------------------------------------------------------------
+    def _make_queue(self):
+        raise NotImplementedError
+
+    def _init_streams(self, core, background) -> None:
+        raise NotImplementedError
+
+    def _prepare(self, horizon: float) -> None:
+        """Per-run setup before the first event is pushed (default: none)."""
+
+    def _first_arrival_time(self) -> float:
+        raise NotImplementedError
+
+    def _next_arrival_time(self, now: float) -> float | None:
+        raise NotImplementedError
+
+    def _background_first_time(self, service: str) -> float:
+        raise NotImplementedError
+
+    def _background_work(self, service: str) -> float:
+        raise NotImplementedError
+
+    def _background_next_time(self, service: str, now: float) -> float | None:
+        raise NotImplementedError
+
+    def _drain(self, horizon: float, warmup: float) -> bool:
+        """Pop-and-dispatch until the horizon; True once warmup was reset."""
+        raise NotImplementedError
 
     # -- demand sampling ---------------------------------------------------------
     def _sample_cpu_demand(self, service: str) -> float:
-        mean = self.app.service(service).cpu_demand / self.config.cpu_speed
-        if mean <= 0:
-            return 0.0
-        if self._demand_shape <= 0:
+        mean, scale = self._demand_params[service]
+        if scale is None:
             return mean
-        return float(
-            self.rng.gamma(self._demand_shape, mean / self._demand_shape)
-        )
+        return self._next_gamma() * scale
 
     def _sample_wait(self, service: str, cpu_time: float) -> float:
-        floor = self.app.service(service).latency_floor / self.config.cpu_speed
-        base = max(floor - cpu_time, 0.0)
-        if base == 0.0 or self.config.wait_jitter == 0:
+        base = self._floor[service] - cpu_time
+        if base <= 0.0:
+            return 0.0
+        jitter = self._jitter
+        if jitter == 0:
             return base
-        return base * float(np.exp(self.rng.normal(0.0, self.config.wait_jitter)))
+        return base * float(np.exp(jitter * self._next_normal()))
+
+    def _choose_plan(self):
+        idx = bisect_right(self._plan_cum, self._next_plan_u())
+        if idx >= self._n_plans:  # u landed past cum[-1]'s rounding
+            idx = self._n_plans - 1
+        return self.plans[idx]
 
     # -- event scheduling ----------------------------------------------------------
     def _resched(self, server: ServiceServer) -> None:
@@ -236,7 +325,7 @@ class MicroserviceSimulator:
             self._complete_request(request)
         else:
             self.queue.push(
-                now + self.app.hop_latency, EventKind.STAGE_START, payload=request
+                now + self._hop_latency, EventKind.STAGE_START, payload=request
             )
 
     def _complete_request(self, request: RequestState) -> None:
@@ -244,7 +333,7 @@ class MicroserviceSimulator:
         self.window.record_completion(self.queue.now - request.arrived_at)
 
     def _start_stage(self, request: RequestState) -> None:
-        entries = request.sample_stage_entries(self.rng)
+        entries = request.sample_stage_entries(self._next_entry_u)
         if not entries:
             # Every call in the stage sampled to zero visits.
             if request.finished_stages:
@@ -266,19 +355,18 @@ class MicroserviceSimulator:
     # -- event handlers ------------------------------------------------------------
     def _on_arrival(self, horizon: float) -> None:
         now = self.queue.now
-        plan = self.plans[
-            int(self.rng.choice(len(self.plans), p=self._weights))
-        ]
         request = RequestState(
-            request_id=self._next_request_id, plan=plan, arrived_at=now
+            request_id=self._next_request_id,
+            plan=self._choose_plan(),
+            arrived_at=now,
         )
         self._next_request_id += 1
         self.in_flight += 1
         self.window.started += 1
         self.queue.push(now, EventKind.STAGE_START, payload=request)
-        gap = self.arrivals.next_gap()
-        if now + gap <= horizon:
-            self.queue.push(now + gap, EventKind.ARRIVAL, payload=horizon)
+        t = self._next_arrival_time(now)
+        if t is not None and t <= horizon:
+            self.queue.push(t, EventKind.ARRIVAL, payload=horizon)
 
     def _on_cpu_done(self, service: str, job_id: int, epoch: int) -> None:
         server = self.servers[service]
@@ -299,12 +387,9 @@ class MicroserviceSimulator:
     def _on_background(self, service: str, horizon: float) -> None:
         """One baseline-demand CPU burst (runtime/GC overhead)."""
         now = self.queue.now
-        server = self.servers[service]
-        baseline = self.app.service(service).baseline_cores / self.config.cpu_speed
-        work = float(
-            self.rng.exponential(baseline * self.config.background_interval)
-        )
+        work = self._background_work(service)
         if work > 0:
+            server = self.servers[service]
             server.advance(now)
             job = CpuJob(job_id=self._next_job_id, remaining=work, visit_ref=None)
             self._next_job_id += 1
@@ -313,11 +398,9 @@ class MicroserviceSimulator:
             if was_idle:
                 self._schedule_period_end(server)
             self._resched(server)
-        gap = float(self.rng.exponential(self.config.background_interval))
-        if now + gap <= horizon:
-            self.queue.push(
-                now + gap, EventKind.BACKGROUND, payload=(service, horizon)
-            )
+        t = self._background_next_time(service, now)
+        if t is not None and t <= horizon:
+            self.queue.push(t, EventKind.BACKGROUND, payload=(service, horizon))
 
     def _on_quota_exhaust(self, service: str, epoch: int) -> None:
         server = self.servers[service]
@@ -348,44 +431,23 @@ class MicroserviceSimulator:
         if warmup < 0:
             raise ValueError("warmup must be >= 0")
         horizon = warmup + duration
-        self.queue.push(self.arrivals.next_gap(), EventKind.ARRIVAL, payload=horizon)
+        self._prepare(horizon)
+        self.queue.push(
+            self._first_arrival_time(), EventKind.ARRIVAL, payload=horizon
+        )
         if self.config.background:
             for name in self.app.service_names:
                 if self.app.service(name).baseline_cores > 0:
-                    first = float(
-                        self.rng.exponential(self.config.background_interval)
-                    )
                     self.queue.push(
-                        first, EventKind.BACKGROUND, payload=(name, horizon)
+                        self._background_first_time(name),
+                        EventKind.BACKGROUND,
+                        payload=(name, horizon),
                     )
-        warmup_done = warmup == 0.0
-        while len(self.queue) and self.queue.peek_time() <= horizon:
-            event = self.queue.pop()
-            if not warmup_done and event.time >= warmup:
-                self._reset_measurement(warmup)
-                warmup_done = True
-            if event.kind is EventKind.ARRIVAL:
-                self._on_arrival(event.payload)
-            elif event.kind is EventKind.STAGE_START:
-                self._start_stage(event.payload)
-            elif event.kind is EventKind.CPU_DONE:
-                service, job_id = event.payload
-                self._on_cpu_done(service, job_id, event.epoch)
-            elif event.kind is EventKind.WAIT_DONE:
-                self._finish_visit(event.payload)
-            elif event.kind is EventKind.QUOTA_EXHAUST:
-                self._on_quota_exhaust(event.payload, event.epoch)
-            elif event.kind is EventKind.PERIOD_END:
-                self._on_period_end(event.payload)
-            elif event.kind is EventKind.BACKGROUND:
-                service, bg_horizon = event.payload
-                self._on_background(service, bg_horizon)
+        warmup_done = self._drain(horizon, warmup)
         for server in self.servers.values():
             server.advance(horizon)
         measured = duration if warmup_done else horizon
-        return self.window.build(
-            self.servers, measured, self.workload_rps
-        )
+        return self.window.build(self.servers, measured, self.workload_rps)
 
     def _reset_measurement(self, at: float) -> None:
         for server in self.servers.values():
@@ -394,3 +456,552 @@ class MicroserviceSimulator:
         self.window = MeasurementWindow()
         if self.traces is not None:
             self.traces.clear()
+
+
+class MicroserviceSimulator(_SimCore):
+    """One simulation run of one application at one allocation and rate.
+
+    The vectorized production mode: every variate stream is pre-drawn in
+    NumPy blocks, the arrival and per-service background schedules are
+    pre-computed as arrays before the first event fires, and the event
+    heap holds plain tuples.  Bit-identical to
+    :class:`~repro.sim.des.reference.ReferenceSimulator` — traces,
+    metrics, and counters — under the
+    :mod:`repro.sim.des.variates` stream contract.
+    """
+
+    def _make_queue(self) -> FastEventQueue:
+        return FastEventQueue()
+
+    def _init_streams(self, core, background) -> None:
+        self._arrival_exp = BlockExp(core[0])
+        self._next_plan_u = BlockUniform(core[1]).next
+        self._next_entry_u = BlockUniform(core[2]).next
+        self._next_gamma = (
+            BlockGamma(core[3], self._demand_shape).next
+            if self._demand_shape > 0
+            else None
+        )
+        self._next_normal = BlockNormal(core[4]).next
+        self._bg_exp = {
+            name: BlockExp(background[i])
+            for i, name in enumerate(self.app.service_names)
+        }
+        self._arrival_times: list[float] = []
+        self._arrival_idx = 0
+        self._bg_works: dict[str, list[float]] = {}
+        self._bg_times: dict[str, list[float]] = {}
+        self._bg_idx: dict[str, int] = {}
+
+    # -- pre-computed schedules ---------------------------------------------------
+    def _prepare(self, horizon: float) -> None:
+        cfg = self.config
+        if cfg.arrivals == "poisson":
+            self._arrival_times = poisson_times(
+                self._arrival_exp, self.workload_rps, horizon
+            )
+        else:
+            self._arrival_times = mmpp_times(
+                self._arrival_exp,
+                self.workload_rps,
+                horizon,
+                burst_factor=cfg.burst_factor,
+                burst_fraction=cfg.burst_fraction,
+            )
+        self._arrival_idx = 1
+        if not cfg.background:
+            return
+        interval = cfg.background_interval
+        for name in self.app.service_names:
+            if self.app.service(name).baseline_cores <= 0:
+                continue
+            stream = self._bg_exp[name]
+            work_scale = self._bg_work_scale[name]
+            # Same per-event draw order as the reference handler: the
+            # work burst first, then the gap to the next event.
+            t = stream.next() * interval
+            times = [t]
+            works: list[float] = []
+            while t <= horizon:
+                works.append(stream.next() * work_scale)
+                t = t + stream.next() * interval
+                if t > horizon:
+                    break
+                times.append(t)
+            self._bg_times[name] = times
+            self._bg_works[name] = works
+            self._bg_idx[name] = 0
+
+    def _first_arrival_time(self) -> float:
+        return self._arrival_times[0]
+
+    def _next_arrival_time(self, now: float) -> float | None:
+        idx = self._arrival_idx
+        if idx >= len(self._arrival_times):
+            return None
+        self._arrival_idx = idx + 1
+        return self._arrival_times[idx]
+
+    def _background_first_time(self, service: str) -> float:
+        return self._bg_times[service][0]
+
+    def _background_work(self, service: str) -> float:
+        return self._bg_works[service][self._bg_idx[service]]
+
+    def _background_next_time(self, service: str, now: float) -> float | None:
+        idx = self._bg_idx[service] + 1
+        self._bg_idx[service] = idx
+        times = self._bg_times[service]
+        if idx >= len(times):
+            return None
+        return times[idx]
+
+    # -- hot loop ----------------------------------------------------------------
+    #
+    # The overrides below are the hand-optimized copies of the hottest
+    # _SimCore paths: same draws from the same streams, same pushes in
+    # the same order (so the (time, seq) event sequence — and therefore
+    # every trace, metric, and payload byte — matches the reference),
+    # with the queue/server method calls inlined.  The property tests and
+    # ``benchmarks/des_gate.py`` hold them to the reference bit for bit.
+
+    def _drain(self, horizon: float, warmup: float) -> bool:
+        queue = self.queue
+        heap = queue._heap
+        warmup_done = warmup == 0.0
+        # Locals for the dispatch: attribute lookups cost real time at
+        # tens of thousands of events per run.
+        arrival = _ARRIVAL
+        stage_start = _STAGE_START
+        cpu_done = _CPU_DONE
+        wait_done = _WAIT_DONE
+        quota_exhaust = _QUOTA_EXHAUST
+        period_end = _PERIOD_END
+        background = _BACKGROUND
+        on_cpu_done = self._on_cpu_done
+        finish_visit = self._finish_visit
+        on_quota = self._on_quota_exhaust
+        on_period_end = self._on_period_end
+        start_stage = self._start_stage
+        on_arrival = self._on_arrival
+        on_background = self._on_background
+        pop = heappop
+        # Dispatch in event-frequency order (CPU_DONE and QUOTA_EXHAUST
+        # dominate: every resched arms one of each).
+        while heap and heap[0][0] <= horizon:
+            time, _seq, kind, payload, epoch = pop(heap)
+            queue.now = time
+            if not warmup_done and time >= warmup:
+                self._reset_measurement(warmup)
+                warmup_done = True
+            if kind is cpu_done:
+                on_cpu_done(payload[0], payload[1], epoch)
+            elif kind is quota_exhaust:
+                on_quota(payload, epoch)
+            elif kind is period_end:
+                on_period_end(payload)
+            elif kind is wait_done:
+                finish_visit(payload)
+            elif kind is stage_start:
+                start_stage(payload)
+            elif kind is background:
+                on_background(payload[0], payload[1])
+            else:  # ARRIVAL
+                on_arrival(payload)
+        return warmup_done
+
+    def _resched(self, server: ServiceServer) -> None:
+        # Inlined ``next_completion``/``time_to_quota_exhaust``/``push``:
+        # both queries share one gate (busy and unthrottled), and every
+        # pushed time is ``now + dt`` with ``dt >= 0``, so the queue's
+        # past-check/clamp can never fire.
+        jobs = server.jobs
+        if not jobs or server.throttled:
+            return
+        queue = self.queue
+        now = queue.now
+        heap = queue._heap
+        seq = queue._next_seq
+        queue._next_seq = seq + 2
+        epoch = server.epoch
+        job = min(jobs.values(), key=_JOB_REMAINING)
+        remaining = job.remaining
+        heappush(
+            heap,
+            (
+                now + (remaining if remaining > 0.0 else 0.0),
+                seq,
+                _CPU_DONE,
+                (server.name, job.job_id),
+                epoch,
+            ),
+        )
+        quota = server.quota_left
+        heappush(
+            heap,
+            (
+                now + (quota if quota > 0.0 else 0.0) / len(jobs),
+                seq + 1,
+                _QUOTA_EXHAUST,
+                server.name,
+                epoch,
+            ),
+        )
+
+    def _advance(self, server: ServiceServer, now: float) -> None:
+        # Inlined ``ServiceServer.advance``: event times are heap-ordered,
+        # so the backwards guard can never fire from the drain loop.
+        elapsed = now - server.last_advance
+        if elapsed > 0.0:
+            jobs = server.jobs
+            n = len(jobs)
+            if n and not server.throttled:
+                used = n * elapsed
+                for job in jobs.values():
+                    job.remaining -= elapsed
+                server.usage_seconds += used
+                server.quota_left -= used
+                server.period_usage += used
+            elif n:
+                server.throttle_seconds += elapsed
+        server.last_advance = now
+
+    def _schedule_period_end(self, server: ServiceServer) -> None:
+        if server.period_event_armed:
+            return
+        queue = self.queue
+        period = self.config.period
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(
+            queue._heap,
+            (
+                (int(queue.now / period + 1e-9) + 1) * period,
+                seq,
+                _PERIOD_END,
+                server.name,
+                -1,
+            ),
+        )
+        server.period_event_armed = True
+
+    def _start_visit(self, visit: _Visit) -> None:
+        queue = self.queue
+        now = queue.now
+        service = visit.service
+        server = self.servers[service]
+        jobs = server.jobs
+        # Inlined advance.
+        elapsed = now - server.last_advance
+        if elapsed > 0.0:
+            n = len(jobs)
+            if n and not server.throttled:
+                used = n * elapsed
+                for job in jobs.values():
+                    job.remaining -= elapsed
+                server.usage_seconds += used
+                server.quota_left -= used
+                server.period_usage += used
+            elif n:
+                server.throttle_seconds += elapsed
+        server.last_advance = now
+        mean, scale = self._demand_params[service]
+        demand = mean if scale is None else self._next_gamma() * scale
+        visit.span_start = now
+        visit.cpu_time = demand
+        if demand <= 0:
+            self._finish_cpu_phase(visit)
+            return
+        job_id = self._next_job_id
+        self._next_job_id = job_id + 1
+        if not jobs:
+            # Inlined ``add_job`` idle branch + period-end arming.
+            server.sync_period(now)
+            self._schedule_period_end(server)
+        jobs[job_id] = CpuJob(job_id, demand, visit, now)
+        epoch = server.epoch = server.epoch + 1
+        # Inlined resched (jobs is non-empty; sync_period may have just
+        # cleared a stale throttle, so the flag is read after it).
+        if not server.throttled:
+            heap = queue._heap
+            seq = queue._next_seq
+            queue._next_seq = seq + 2
+            job = min(jobs.values(), key=_JOB_REMAINING)
+            remaining = job.remaining
+            heappush(
+                heap,
+                (
+                    now + (remaining if remaining > 0.0 else 0.0),
+                    seq,
+                    _CPU_DONE,
+                    (service, job.job_id),
+                    epoch,
+                ),
+            )
+            quota = server.quota_left
+            heappush(
+                heap,
+                (
+                    now + (quota if quota > 0.0 else 0.0) / len(jobs),
+                    seq + 1,
+                    _QUOTA_EXHAUST,
+                    service,
+                    epoch,
+                ),
+            )
+
+    def _finish_cpu_phase(self, visit: _Visit) -> None:
+        # Inlined ``_sample_wait`` plus a direct WAIT_DONE push.
+        base = self._floor[visit.service] - visit.cpu_time
+        jitter = self._jitter
+        if base <= 0.0:
+            wait = 0.0
+        elif jitter == 0:
+            wait = base
+        else:
+            wait = base * float(np.exp(jitter * self._next_normal()))
+        queue = self.queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(
+            queue._heap,
+            (queue.now + wait, seq, _WAIT_DONE, visit, -1),
+        )
+
+    def _finish_visit(self, visit: _Visit) -> None:
+        queue = self.queue
+        now = queue.now
+        traces = self.traces
+        if traces is not None:
+            traces.record(
+                Span(visit.request.request_id, visit.service, visit.span_start, now, visit.cpu_time)
+            )
+        left = visit.visits_left - 1
+        visit.visits_left = left
+        if left > 0:
+            self._start_visit(visit)
+            return
+        request = visit.request
+        pending = request.entries_pending - 1
+        request.entries_pending = pending
+        if pending > 0:
+            return
+        if request.stage_index >= request.plan.last_stage:
+            self.in_flight -= 1
+            self.window.record_completion(now - request.arrived_at)
+        else:
+            seq = queue._next_seq
+            queue._next_seq = seq + 1
+            heappush(
+                queue._heap,
+                (now + self._hop_latency, seq, _STAGE_START, request, -1),
+            )
+
+    def _start_stage(self, request: RequestState) -> None:
+        entries = request.sample_stage_entries(self._next_entry_u)
+        if not entries:
+            # Every call in the stage sampled to zero visits.
+            if request.stage_index >= request.plan.last_stage:
+                self.in_flight -= 1
+                self.window.record_completion(
+                    self.queue.now - request.arrived_at
+                )
+            else:
+                queue = self.queue
+                seq = queue._next_seq
+                queue._next_seq = seq + 1
+                heappush(
+                    queue._heap,
+                    (queue.now, seq, _STAGE_START, request, -1),
+                )
+            return
+        start_visit = self._start_visit
+        for entry in entries:
+            start_visit(_Visit(request, entry.service, entry.visits_left))
+
+    def _on_cpu_done(self, service: str, job_id: int, epoch: int) -> None:
+        server = self.servers[service]
+        jobs = server.jobs
+        if epoch != server.epoch or job_id not in jobs:
+            return  # stale
+        queue = self.queue
+        now = queue.now
+        # Inlined advance (jobs is non-empty: job_id is in it).
+        elapsed = now - server.last_advance
+        if elapsed > 0.0:
+            if not server.throttled:
+                used = len(jobs) * elapsed
+                for job in jobs.values():
+                    job.remaining -= elapsed
+                server.usage_seconds += used
+                server.quota_left -= used
+                server.period_usage += used
+            else:
+                server.throttle_seconds += elapsed
+        server.last_advance = now
+        job = jobs[job_id]
+        if job.remaining > _DONE_EPS:
+            # Numerical drift; re-arm from current state.
+            self._resched(server)
+            return
+        del jobs[job_id]
+        epoch = server.epoch = server.epoch + 1
+        # Inlined resched.
+        if jobs and not server.throttled:
+            heap = queue._heap
+            seq = queue._next_seq
+            queue._next_seq = seq + 2
+            nxt = min(jobs.values(), key=_JOB_REMAINING)
+            remaining = nxt.remaining
+            heappush(
+                heap,
+                (
+                    now + (remaining if remaining > 0.0 else 0.0),
+                    seq,
+                    _CPU_DONE,
+                    (service, nxt.job_id),
+                    epoch,
+                ),
+            )
+            quota = server.quota_left
+            heappush(
+                heap,
+                (
+                    now + (quota if quota > 0.0 else 0.0) / len(jobs),
+                    seq + 1,
+                    _QUOTA_EXHAUST,
+                    service,
+                    epoch,
+                ),
+            )
+        visit = job.visit_ref
+        if visit is None:
+            return  # background jobs just end
+        # Inlined _finish_cpu_phase.
+        base = self._floor[service] - visit.cpu_time
+        jitter = self._jitter
+        if base <= 0.0:
+            wait = 0.0
+        elif jitter == 0:
+            wait = base
+        else:
+            wait = base * float(np.exp(jitter * self._next_normal()))
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (now + wait, seq, _WAIT_DONE, visit, -1))
+
+    def _on_quota_exhaust(self, service: str, epoch: int) -> None:
+        server = self.servers[service]
+        if epoch != server.epoch:
+            return  # stale
+        self._advance(server, self.queue.now)
+        if not server.jobs or server.quota_left > _DONE_EPS:
+            self._resched(server)
+            return
+        server.set_throttled()
+
+    def _on_period_end(self, service: str) -> None:
+        server = self.servers[service]
+        server.period_event_armed = False
+        now = self.queue.now
+        self._advance(server, now)
+        server.new_period(now)
+        if server.jobs:
+            self._schedule_period_end(server)
+            self._resched(server)
+
+    def _on_arrival(self, horizon: float) -> None:
+        queue = self.queue
+        now = queue.now
+        request_id = self._next_request_id
+        self._next_request_id = request_id + 1
+        # Inlined _choose_plan.
+        idx = bisect_right(self._plan_cum, self._next_plan_u())
+        if idx >= self._n_plans:  # u landed past cum[-1]'s rounding
+            idx = self._n_plans - 1
+        request = RequestState(
+            request_id=request_id, plan=self.plans[idx], arrived_at=now
+        )
+        self.in_flight += 1
+        self.window.started += 1
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (now, seq, _STAGE_START, request, -1))
+        aidx = self._arrival_idx
+        times = self._arrival_times
+        if aidx < len(times):
+            self._arrival_idx = aidx + 1
+            t = times[aidx]
+            if t <= horizon:
+                seq = queue._next_seq
+                queue._next_seq = seq + 1
+                heappush(queue._heap, (t, seq, _ARRIVAL, horizon, -1))
+
+    def _on_background(self, service: str, horizon: float) -> None:
+        queue = self.queue
+        now = queue.now
+        bg_idx = self._bg_idx[service]
+        work = self._bg_works[service][bg_idx]
+        if work > 0:
+            server = self.servers[service]
+            jobs = server.jobs
+            # Inlined advance.
+            elapsed = now - server.last_advance
+            if elapsed > 0.0:
+                n = len(jobs)
+                if n and not server.throttled:
+                    used = n * elapsed
+                    for job in jobs.values():
+                        job.remaining -= elapsed
+                    server.usage_seconds += used
+                    server.quota_left -= used
+                    server.period_usage += used
+                elif n:
+                    server.throttle_seconds += elapsed
+            server.last_advance = now
+            job_id = self._next_job_id
+            self._next_job_id = job_id + 1
+            if not jobs:
+                server.sync_period(now)
+                self._schedule_period_end(server)
+            jobs[job_id] = CpuJob(job_id, work, None)
+            epoch = server.epoch = server.epoch + 1
+            # Inlined resched.
+            if not server.throttled:
+                heap = queue._heap
+                seq = queue._next_seq
+                queue._next_seq = seq + 2
+                nxt = min(jobs.values(), key=_JOB_REMAINING)
+                remaining = nxt.remaining
+                heappush(
+                    heap,
+                    (
+                        now + (remaining if remaining > 0.0 else 0.0),
+                        seq,
+                        _CPU_DONE,
+                        (service, nxt.job_id),
+                        epoch,
+                    ),
+                )
+                quota = server.quota_left
+                heappush(
+                    heap,
+                    (
+                        now + (quota if quota > 0.0 else 0.0) / len(jobs),
+                        seq + 1,
+                        _QUOTA_EXHAUST,
+                        service,
+                        epoch,
+                    ),
+                )
+        bg_idx += 1
+        self._bg_idx[service] = bg_idx
+        times = self._bg_times[service]
+        if bg_idx < len(times):
+            t = times[bg_idx]
+            if t <= horizon:
+                seq = queue._next_seq
+                queue._next_seq = seq + 1
+                heappush(
+                    queue._heap, (t, seq, _BACKGROUND, (service, horizon), -1)
+                )

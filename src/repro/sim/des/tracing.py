@@ -13,7 +13,7 @@ from dataclasses import dataclass
 __all__ = ["Span", "TraceLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One service visit inside one request."""
 

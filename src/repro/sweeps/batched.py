@@ -17,8 +17,9 @@ dicts returned here are exactly what
 ``repro.experiments.runner._run_unit_worker`` returns for the same unit —
 the same JSON bytes land in the sweep store either way.
 
-Cells that :func:`batch_key` cannot place in a group (DES engine, custom
-engine params, unknown autoscalers/hooks, invalid component params) run
+Cells that :func:`batch_key` cannot place in a group (DES engine,
+non-noise engine params, unknown autoscalers/hooks, invalid component
+params) run
 through the scalar worker unchanged — a fallback, never an error.  Each
 fallback carries a machine-readable reason slug
 (:func:`batch_fallback_reason`), which the scheduler tallies into
@@ -43,6 +44,7 @@ from repro.experiments.spec import ExperimentSpec
 from repro.obs.decision import capture_decision_info
 from repro.sim.batched import BatchObservation, BatchedAnalyticalEngine
 from repro.sim.concurrency import gamma_quantile
+from repro.sim.noise import NoiseModel
 from repro.sim.types import Allocation, IntervalMetrics, ServiceMetrics
 from repro.workload.replay import rate_schedule
 
@@ -84,14 +86,15 @@ def classify_unit(
     """``(batch key, None)`` for batchable specs, ``(None, reason)`` else.
 
     Units sharing a key can be stacked into one batch: same app (service
-    set and calibration), same autoscaler kind (one vectorized bank), and
-    same horizon (one time loop).  Everything else — workload level and
-    kind, α/β and other autoscaler params, CPU speed and SLO hooks,
-    interval, SLO, headroom, seeds — varies freely *within* a batch.
+    set and calibration), same autoscaler kind (one vectorized bank),
+    same horizon (one time loop), and same engine noise model (one
+    vectorized observation).  Everything else — workload level and kind,
+    α/β and other autoscaler params, CPU speed and SLO hooks, interval,
+    SLO, headroom, seeds — varies freely *within* a batch.
 
     The reason is a stable machine-readable slug (``engine:des``,
     ``autoscaler:fast_pema``, ``hook:my_hook``, ``pema_horizon``,
-    ``engine_params``, ``hook_params:set_slo``,
+    ``engine_params``, ``engine_params:noise``, ``hook_params:set_slo``,
     ``autoscaler_params:rule``, ``set_slo_without_pema``) — the
     scheduler tallies these into ``SweepReport.fallbacks`` and the CLI
     prints them, so nobody mistakes a mostly-scalar "batched" sweep for
@@ -103,8 +106,19 @@ def classify_unit(
     """
     if spec.engine.kind != "analytical":
         return None, f"engine:{spec.engine.kind}"
+    noise_model: NoiseModel | None = None
     if spec.engine.params:
-        return None, "engine_params"
+        engine_params = dict(spec.engine.params)
+        noise = engine_params.pop("noise", None)
+        if engine_params:
+            # latency_params/cfs overrides stay scalar: they change the
+            # closed-form kernel itself, not just the noise stream.
+            return None, "engine_params"
+        if noise is not None:
+            try:
+                noise_model = NoiseModel(**noise)
+            except (TypeError, ValueError):
+                return None, "engine_params:noise"
     kind = spec.autoscaler.kind
     if kind not in BATCHABLE_AUTOSCALERS:
         return None, f"autoscaler:{kind}"
@@ -152,11 +166,21 @@ def classify_unit(
                 seed=0,
                 **params,
             )
-        elif spec.autoscaler.params:  # static takes no params
-            return bad_params
+        elif spec.autoscaler.params:  # static: bottleneck_rps [+ scale]
+            params = dict(spec.autoscaler.params)
+            bottleneck_rps = params.pop("bottleneck_rps", None)
+            scale = params.pop("scale", 1.0)
+            if params:  # unknown key → scalar factory raises TypeError
+                return bad_params
+            if bottleneck_rps is None:
+                if scale != 1.0:  # "'scale' needs 'bottleneck_rps'"
+                    return bad_params
+            else:
+                float(bottleneck_rps)
+                float(scale)
     except (TypeError, ValueError):
         return bad_params
-    return (spec.app, kind, spec.n_steps), None
+    return (spec.app, kind, spec.n_steps, noise_model), None
 
 
 def batch_key(spec: ExperimentSpec) -> tuple[Hashable, ...] | None:
@@ -322,7 +346,7 @@ def _run_units_batched(
     key = batch_key(specs[0])
     if key is None or any(batch_key(s) != key for s in specs[1:]):
         raise ValueError("units do not form one compatible batch group")
-    app_name, kind, n_steps = key
+    app_name, kind, n_steps, noise_model = key
     app = build_app(app_name)
     names = app.service_names
     n_cells = len(units)
@@ -348,7 +372,10 @@ def _run_units_batched(
         start_rates,
         np.asarray([s.headroom for s in specs], dtype=np.float64),
     )
-    engine = BatchedAnalyticalEngine(app, engine_seeds)
+    # ``noise_model`` is shared by construction: it is part of the batch
+    # key, and ``None`` means every cell uses the engine default — the
+    # same resolution the scalar engine factory performs.
+    engine = BatchedAnalyticalEngine(app, engine_seeds, noise=noise_model)
 
     if kind == "pema":
         configs = [
@@ -394,9 +421,27 @@ def _run_units_batched(
             start,
         )
         allocation = bank.allocation
-    else:  # static — the allocation simply never changes
+    else:  # static — the allocation is pinned at build time, never changes
         bank = None
-        allocation = start
+        if any(s.autoscaler.params for s in specs):
+            # bottleneck_rps/scale cells pin a model-derived allocation;
+            # run each through the scalar registry factory so the pinned
+            # rows are byte-equal to ``build_unit``'s.
+            allocation = np.stack(
+                [
+                    AUTOSCALERS.build(
+                        kind,
+                        app,
+                        Allocation.from_array(names, start[i]),
+                        slos[i],
+                        seed=seeds[i],
+                        **s.autoscaler.params,
+                    ).allocation.as_array(names)
+                    for i, s in enumerate(specs)
+                ]
+            )
+        else:
+            allocation = start
 
     # Decision tracing: cells whose spec requested the channel record one
     # info dict per step from their bank (PEMA/manager banks; other

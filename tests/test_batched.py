@@ -200,16 +200,38 @@ class TestUnitEquivalence:
 
 class TestBatchKey:
     def test_groups_by_app_autoscaler_horizon(self):
-        assert batch_key(spec()) == ("sockshop", "pema", 4)
+        assert batch_key(spec()) == ("sockshop", "pema", 4, None)
         assert batch_key(spec(app="trainticket", workload=225.0)) == (
-            "trainticket", "pema", 4
+            "trainticket", "pema", 4, None
         )
         assert batch_key(spec(autoscaler={"kind": "rule"})) == (
-            "sockshop", "rule", 4
+            "sockshop", "rule", 4, None
         )
         # Workload/seed/interval/slo/params differences stay in-group.
         assert batch_key(spec(workload=600.0, seed=9, interval=60.0)) == \
             batch_key(spec(slo=0.3, headroom=4.0))
+
+    def test_noise_override_batches_by_model(self):
+        # A noise engine override joins a batch group keyed by its model;
+        # different models (or the default) stay in separate groups.
+        noisy = spec(
+            engine={"kind": "analytical", "params": {"noise": {"sigma": 0.0}}}
+        )
+        key, reason = classify_unit(noisy)
+        assert reason is None
+        assert key[:3] == ("sockshop", "pema", 4)
+        assert key == batch_key(
+            spec(engine={"kind": "analytical",
+                         "params": {"noise": {"sigma": 0.0}}},
+                 workload=600.0)
+        )
+        assert key != batch_key(spec())
+        # Static cells with a pinned bottleneck allocation batch too.
+        pinned = spec(
+            autoscaler={"kind": "static",
+                        "params": {"bottleneck_rps": 500.0, "scale": 1.2}}
+        )
+        assert batch_key(pinned) == ("sockshop", "static", 4, None)
 
     def test_unbatchable_kinds_fall_back(self):
         assert batch_key(spec(engine={"kind": "des"})) is None
@@ -256,6 +278,13 @@ class TestBatchKey:
         assert batch_fallback_reason(
             spec(n_steps=100_001)
         ) == "pema_horizon"
+        assert batch_fallback_reason(
+            spec(engine={"kind": "analytical",
+                         "params": {"noise": {"sigma": -1.0}}})
+        ) == "engine_params:noise"
+        assert batch_fallback_reason(
+            spec(autoscaler={"kind": "static", "params": {"scale": 0.5}})
+        ) == "autoscaler_params:static"  # scale needs bottleneck_rps
 
     def test_classify_is_key_plus_reason(self):
         for s in (spec(), spec(engine={"kind": "des"})):
@@ -399,24 +428,31 @@ class TestGridEquivalence:
         assert grid_summary_json(scalar) == grid_summary_json(batched)
 
     def test_ported_figure_grids_validate_and_partition(self):
-        # fig10 cells carry static params + engine noise overrides:
-        # scalar fallback.  fig11 is plain PEMA and fig18 the
-        # workload-aware manager (bank-driven since the replay port):
-        # both batchable.
+        # Every shipped grid batches — including fig10, whose cells carry
+        # static bottleneck params + engine noise overrides (batched by
+        # noise model since the noise-aware key).
         from repro.sweeps.batched import batch_key
 
-        for name, batchable in (
-            ("fig10_workload_response", False),
-            ("fig11_pema_sockshop", True),
-            ("fig18_burst", True),
+        for name in (
+            "fig10_workload_response",
+            "fig11_pema_sockshop",
+            "fig18_burst",
         ):
             grid = SweepGrid.read(f"benchmarks/grids/{name}.json")
             grid.validate()
             keys = {batch_key(cell.spec) for cell in grid.cells()}
-            if batchable:
-                assert None not in keys, name
-            else:
-                assert keys == {None}, name
+            assert None not in keys, name
+
+    def test_fig10_noise_and_static_grid_byte_identical(self):
+        # fig10 exercises both new batch paths at once: noise-model
+        # engine overrides and pinned static bottleneck allocations.
+        grid = SweepGrid.read("benchmarks/grids/fig10_workload_response.json")
+        scalar = run_grid(grid, batch=False)
+        batched = run_grid(grid, batch=True)
+        assert [a.to_json() for a in scalar.artifacts] == [
+            a.to_json() for a in batched.artifacts
+        ]
+        assert batched.report.fallbacks == {}
 
     def test_fig18_workload_aware_grid_byte_identical(self):
         # The workload-aware manager batches through the scalar-manager

@@ -313,11 +313,12 @@ def small_replay_grid():
 
 class TestReplayBatching:
     def test_replay_cells_are_batchable(self):
-        assert batch_key(replay_spec()) == ("sockshop", "pema", 25)
+        assert batch_key(replay_spec()) == ("sockshop", "pema", 25, None)
         assert batch_key(manager_replay_spec()) == (
             "sockshop",
             "workload_aware_pema",
             40,
+            None,
         )
         # Bad manager params fall back to the scalar path (same error there).
         assert (

@@ -1,10 +1,14 @@
 """Intra-repo link check for the Markdown docs.
 
-Scans ``README.md`` and every ``docs/*.md`` for Markdown links and inline
-path references, and verifies that every *intra-repository* target exists
-(external ``http(s)``/``mailto`` links are ignored; ``#anchors`` are
-stripped).  Exits non-zero listing every dead link — the CI docs job runs
-this so the docs tree can't rot silently.
+Scans ``README.md`` and every Markdown file under ``docs/``,
+``benchmarks/``, and ``examples/`` for Markdown links and inline-code
+path references, and verifies that every *intra-repository* target
+exists (external ``http(s)``/``mailto`` links are ignored; ``#anchors``
+are stripped).  Inline-code references are backtick-quoted repo paths
+like ```benchmarks/des_gate.py`` — any token rooted at a known top-level
+directory resolves from the repo root, so renaming a gate or grid file
+breaks CI instead of silently rotting the prose.  Exits non-zero listing
+every dead link.
 
 Usage::
 
@@ -21,10 +25,16 @@ from pathlib import Path
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: Backtick-quoted repo paths: `src/...py`, `benchmarks/grids/x.json`, ...
+_CODE_PATH = re.compile(
+    r"`((?:src|docs|tools|tests|benchmarks|examples)/[\w./-]+\.\w+)`"
+)
+
 
 def doc_files(root: Path) -> list[Path]:
     files = [root / "README.md"]
-    files += sorted((root / "docs").glob("*.md"))
+    for tree in ("docs", "benchmarks", "examples"):
+        files += sorted((root / tree).rglob("*.md"))
     return [f for f in files if f.exists()]
 
 
@@ -32,7 +42,8 @@ def dead_links(root: Path) -> list[tuple[Path, str]]:
     """Every (source file, target) whose intra-repo target is missing."""
     missing: list[tuple[Path, str]] = []
     for source in doc_files(root):
-        for target in _LINK.findall(source.read_text()):
+        text = source.read_text()
+        for target in _LINK.findall(text):
             if target.startswith(_EXTERNAL):
                 continue
             path_part = target.split("#", 1)[0]
@@ -40,6 +51,9 @@ def dead_links(root: Path) -> list[tuple[Path, str]]:
                 continue
             resolved = (source.parent / path_part).resolve()
             if not resolved.exists():
+                missing.append((source, target))
+        for target in _CODE_PATH.findall(text):
+            if not (root / target).exists():
                 missing.append((source, target))
     return missing
 
