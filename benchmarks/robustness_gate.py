@@ -1,0 +1,212 @@
+"""CI gate: deterministic fault injection across all three executors.
+
+Runs the faulted smoke grid (every disturbance kind crossed with every
+controller family) through the scalar sweep path, the batched sweep
+path, and the streamed control plane, and enforces the robustness
+contracts the fault layer promises:
+
+* **batch coverage** — every faulted unit must batch: the batched run's
+  ``SweepReport.fallbacks`` must be empty and ``scalar_units`` zero;
+* **scalar/batched parity** — byte-identical aggregate summaries and
+  byte-identical cache entries between the two sweep modes;
+* **streamed parity** — every cell streamed through a
+  :class:`repro.service.ServiceRuntime` guardian (including the
+  metric-delivery faults the driver perturbs with) must finish with a
+  decision payload byte-identical to the offline unit worker's;
+* **crash recovery** — a guardian killed mid-stream by an injected
+  crash must restart from the recorded decision feed and still produce
+  the offline bytes, with the restart visible in its status row.
+
+Writes a ``BENCH_robustness.json`` artifact with the measured numbers
+(including the per-disturbance controller report) either way, and exits
+non-zero when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/robustness_gate.py \
+        --out BENCH_robustness.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments import clear_optimum_cache
+from repro.experiments.runner import _run_unit_worker
+from repro.service import ServiceRuntime
+from repro.sweeps import SweepGrid, SweepStore, grid_summary_json, group_reduce, run_grid
+
+
+def dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _store_bytes(store: SweepStore) -> list[bytes]:
+    return sorted(path.read_bytes() for path in store.entry_paths())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid",
+                        default="benchmarks/grids/robustness_smoke.json")
+    parser.add_argument("--out", default="BENCH_robustness.json")
+    parser.add_argument("--cache-root", default=None,
+                        help="directory for the two mode caches "
+                        "(default: a fresh temporary directory)")
+    parser.add_argument("--crash-step", type=int, default=3,
+                        help="step at which the recovery check kills "
+                        "its guardian")
+    args = parser.parse_args(argv)
+
+    grid = SweepGrid.read(args.grid)
+    cells = grid.cells()
+    units = sum(cell.spec.repeats for cell in cells)
+    tmp_cache = None
+    if args.cache_root:
+        cache_root = Path(args.cache_root)
+    else:  # don't litter the working tree with cache entries
+        tmp_cache = tempfile.TemporaryDirectory(prefix="robustness-gate-")
+        cache_root = Path(tmp_cache.name)
+
+    failures: list[str] = []
+    bench: dict = {"grid": grid.name, "cells": len(cells), "units": units}
+
+    # -- scalar vs batched sweeps ------------------------------------------------
+    summaries: dict[str, str] = {}
+    stores: dict[str, SweepStore] = {}
+    runs: dict = {}
+    for mode, batch in (("scalar", False), ("batched", True)):
+        store = stores[mode] = SweepStore(cache_root / mode)
+        store.clear()
+        clear_optimum_cache()
+        run = runs[mode] = run_grid(grid, store=store, batch=batch,
+                                    cells=cells)
+        summaries[mode] = grid_summary_json(run)
+        bench[mode] = {
+            "seconds": run.report.seconds,
+            "batched_units": run.report.batched_units,
+            "scalar_units": run.report.scalar_units,
+            "fallbacks": dict(run.report.fallbacks),
+        }
+    if runs["batched"].report.fallbacks:
+        failures.append(
+            "faulted units fell back to scalar under --batch: "
+            f"{runs['batched'].report.fallbacks}"
+        )
+    if runs["batched"].report.scalar_units:
+        failures.append(
+            f"{runs['batched'].report.scalar_units} units ran scalar "
+            "in the batched sweep"
+        )
+    if summaries["scalar"] != summaries["batched"]:
+        failures.append("batched aggregate differs from scalar aggregate")
+    if _store_bytes(stores["scalar"]) != _store_bytes(stores["batched"]):
+        failures.append("batched cache entries differ from scalar entries")
+
+    # The robustness report: controllers compared per disturbance.
+    bench["report"] = group_reduce(
+        runs["scalar"], ["disturbance", "autoscaler"],
+        metrics=("violation_rate_mean", "recovery_steps_max",
+                 "cost_cpu_seconds_mean"),
+    )
+
+    # -- streamed parity ---------------------------------------------------------
+    offline = {
+        cell.spec.name: dumps(_run_unit_worker(cell.spec.to_dict(), 0))
+        for cell in cells
+    }
+    runtime = ServiceRuntime()
+    runtime.start()
+    try:
+        for cell in cells:
+            runtime.register(cell.spec)
+        submitted = runtime.drive()
+        bench["streamed_ticks_submitted"] = submitted
+        streamed_ok = 0
+        for cell in cells:
+            guardian = runtime.orchestrator.guardians[cell.spec.name]
+            if guardian.error is not None:
+                failures.append(
+                    f"{cell.spec.name}: streamed run poisoned: "
+                    f"{guardian.error}"
+                )
+            elif not guardian.complete:
+                failures.append(
+                    f"{cell.spec.name}: streamed run incomplete "
+                    f"({guardian.steps_done}/{cell.spec.n_steps} steps)"
+                )
+            elif dumps(guardian.result_payload()) != offline[cell.spec.name]:
+                failures.append(
+                    f"{cell.spec.name}: streamed decision history "
+                    "differs from the offline runner's payload"
+                )
+            else:
+                streamed_ok += 1
+        bench["streamed_parity_cells"] = streamed_ok
+        bench["stream_duplicates_dropped"] = sum(
+            g.duplicates_dropped
+            for g in runtime.orchestrator.guardians.values()
+        )
+        bench["stream_reordered"] = sum(
+            g.reordered for g in runtime.orchestrator.guardians.values()
+        )
+    finally:
+        runtime.shutdown()
+
+    # -- mid-stream crash recovery -----------------------------------------------
+    crash_cell = next(
+        cell for cell in cells
+        if cell.coords.get("disturbance") == "crash"
+        and cell.coords.get("autoscaler") == "pema"
+    )
+    runtime = ServiceRuntime()
+    runtime.start()
+    try:
+        guardian = runtime.register(crash_cell.spec, app_id="recovery-probe")
+        guardian.inject_failure(args.crash_step, "crash")
+        runtime.drive()
+        survivor = runtime.orchestrator.guardians["recovery-probe"]
+        bench["recovery"] = {
+            "crash_step": args.crash_step,
+            "restarts": survivor.restarts,
+            "status": survivor.status()["status"],
+        }
+        if survivor.restarts < 1:
+            failures.append("recovery probe never restarted its guardian")
+        if survivor.error is not None or not survivor.complete:
+            failures.append(
+                f"recovery probe did not finish clean: "
+                f"error={survivor.error!r}, "
+                f"steps={survivor.steps_done}/{crash_cell.spec.n_steps}"
+            )
+        elif dumps(survivor.result_payload()) != offline[crash_cell.spec.name]:
+            failures.append(
+                "recovered decision history differs from the "
+                "uninterrupted offline payload"
+            )
+    finally:
+        runtime.shutdown()
+
+    bench["passed"] = not failures
+    bench["failures"] = failures
+    Path(args.out).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    if tmp_cache is not None:
+        tmp_cache.cleanup()
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"robustness gate passed: {len(cells)} faulted cells batched, "
+        "scalar == batched == streamed, crash recovery byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

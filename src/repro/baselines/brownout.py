@@ -1,0 +1,130 @@
+"""Brownout — degrade service level instead of scaling resources.
+
+The self-adaptive brownout line of work (dimmer-controlled optional
+content) keeps resources *fixed* and trades response quality for
+latency: a dimmer θ ∈ [0, 1] sets how much optional work each request
+performs, and a feedback controller moves θ to hold the latency
+setpoint.  Here the dimmer actuates the analytical engine's app-wide
+``service_level`` channel — a degraded response costs proportionally
+less CPU demand — so a brownout cell answers the robustness question
+"what if we never rescaled and only degraded?".
+
+Controller shape (the classic brownout loop): a proportional step on the
+normalized error against a safety-margin setpoint, with *asymmetric*
+smoothing — recovery (raising θ) is damped hard so one good interval
+does not undo a violation response, while degradation acts at full gain.
+
+Determinism: pure float arithmetic, no RNG; the batched path binds each
+scalar controller to a per-cell facade of the batched engine, so the
+dimmer writes the same floats in the same order as scalar execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.types import Allocation, IntervalMetrics
+
+__all__ = ["BrownoutController"]
+
+
+class BrownoutController:
+    """Hold a fixed allocation; move a service-level dimmer to meet the SLO.
+
+    Per interval, with setpoint ``margin * slo``::
+
+        error <- (setpoint - latency_p95) / setpoint   # positive = headroom
+        if error > 0: error <- error * smoothing       # damped recovery
+        theta <- clamp(theta + gain * error, 0, 1)
+        dim   <- dim_floor + (1 - dim_floor) * theta
+
+    ``dim`` is pushed to the bound environment's ``set_service_level``
+    channel (when an environment is bound), taking effect from the next
+    interval on — the same decide-then-observe order every execution
+    path uses.
+    """
+
+    def __init__(
+        self,
+        initial_allocation: Allocation,
+        slo: float,
+        *,
+        gain: float = 0.5,
+        smoothing: float = 0.1,
+        margin: float = 0.9,
+        dim_floor: float = 0.2,
+        theta: float = 1.0,
+    ) -> None:
+        if slo <= 0:
+            raise ValueError(f"slo must be positive: {slo}")
+        if gain <= 0:
+            raise ValueError(f"gain must be positive: {gain}")
+        if not 0 < smoothing <= 1:
+            raise ValueError(f"smoothing must be in (0, 1]: {smoothing}")
+        if not 0 < margin <= 1:
+            raise ValueError(f"margin must be in (0, 1]: {margin}")
+        if not 0 < dim_floor < 1:
+            raise ValueError(f"dim_floor must be in (0, 1): {dim_floor}")
+        if not 0 <= theta <= 1:
+            raise ValueError(f"theta must be in [0, 1]: {theta}")
+        self.slo = float(slo)
+        self.gain = float(gain)
+        self.smoothing = float(smoothing)
+        self.margin = float(margin)
+        self.dim_floor = float(dim_floor)
+        self.theta = float(theta)
+        self._allocation = initial_allocation
+        self._environment: Any = None
+        self._last: dict[str, Any] | None = None
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    def bind_environment(self, environment: Any) -> None:
+        """Attach the engine whose ``set_service_level`` the dimmer drives."""
+        if not hasattr(environment, "set_service_level"):
+            raise ValueError(
+                f"engine {type(environment).__name__} has no service-level "
+                f"channel (brownout needs the analytical engine)"
+            )
+        self._environment = environment
+
+    def dim(self) -> float:
+        """The current service-level dimmer value in [dim_floor, 1]."""
+        return self.dim_floor + (1.0 - self.dim_floor) * self.theta
+
+    def decide(self, metrics: IntervalMetrics) -> Allocation:
+        setpoint = self.margin * self.slo
+        error = (setpoint - metrics.latency_p95) / setpoint
+        if error > 0:
+            error = error * self.smoothing
+        theta = self.theta + self.gain * error
+        if theta > 1.0:
+            theta = 1.0
+        elif theta < 0.0:
+            theta = 0.0
+        self.theta = theta
+        dim = self.dim()
+        if self._environment is not None:
+            self._environment.set_service_level(dim)
+        self._last = {
+            "kind": "brownout",
+            "error": float(error),
+            "theta": float(theta),
+            "dim": float(dim),
+        }
+        return self._allocation
+
+    def last_decision(self) -> dict[str, Any] | None:
+        """The causal record of the latest step (``decision_trace``)."""
+        return self._last
+
+    def state_snapshot(self) -> dict[str, Any]:
+        """Controller state for the ``manager_state`` capture channel."""
+        return {
+            "kind": "brownout",
+            "theta": float(self.theta),
+            "dim": float(self.dim()),
+            "slo": float(self.slo),
+        }

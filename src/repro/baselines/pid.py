@@ -1,0 +1,131 @@
+"""PID — classic feedback-control autoscaling baseline.
+
+The control-theoretic family the related work hands us (EWMA/PI
+controllers tracking a latency setpoint): the controller measures the
+normalized SLO error of each interval and scales the *whole* allocation
+multiplicatively — no per-service model, no workload awareness, just
+proportional + integral + derivative terms on the error signal.  It is
+the natural middle ground between the threshold RULE baseline (no
+latency feedback at all) and PEMA (model-guided per-service navigation),
+which is exactly the comparison the robustness report draws.
+
+Determinism: the controller is pure float arithmetic on the observed
+latency — no RNG — so a batched bank of scalar controllers is trivially
+byte-identical to scalar execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.types import Allocation, IntervalMetrics
+
+__all__ = ["PIDController"]
+
+
+class PIDController:
+    """Scale CPU multiplicatively on the normalized SLO error.
+
+    Per interval, with ``e = (latency_p95 - slo) / slo`` (positive means
+    the SLO is violated)::
+
+        integral   <- clamp(integral + e, ±integral_limit)
+        derivative <- e - previous_e
+        u          <- kp * e + ki * integral + kd * derivative
+        factor     <- clamp(1 + u, 1 - max_step, 1 + max_step)
+        alloc      <- clamp(alloc * factor, min_cpu, max_cpu)
+
+    The anti-windup clamp on the integral keeps a long violation burst
+    from locking the controller at its rail for the rest of the run.
+    """
+
+    def __init__(
+        self,
+        initial_allocation: Allocation,
+        slo: float,
+        *,
+        kp: float = 0.8,
+        ki: float = 0.1,
+        kd: float = 0.05,
+        max_step: float = 0.5,
+        integral_limit: float = 10.0,
+        min_cpu: float = 0.05,
+        max_cpu: float = 32.0,
+    ) -> None:
+        if slo <= 0:
+            raise ValueError(f"slo must be positive: {slo}")
+        if kp < 0 or ki < 0 or kd < 0:
+            raise ValueError("gains must be non-negative")
+        if not 0 < max_step < 1:
+            raise ValueError(f"max_step must be in (0, 1): {max_step}")
+        if integral_limit <= 0:
+            raise ValueError(f"integral_limit must be positive: {integral_limit}")
+        if min_cpu <= 0 or max_cpu <= min_cpu:
+            raise ValueError("need 0 < min_cpu < max_cpu")
+        self.slo = float(slo)
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.max_step = float(max_step)
+        self.integral_limit = float(integral_limit)
+        self.min_cpu = float(min_cpu)
+        self.max_cpu = float(max_cpu)
+        self._allocation = initial_allocation
+        self._integral = 0.0
+        self._previous_error = 0.0
+        self._last: dict[str, Any] | None = None
+
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    def set_slo(self, slo: float) -> None:
+        """Change the latency setpoint mid-run (the ``set_slo`` hook)."""
+        if slo <= 0:
+            raise ValueError(f"slo must be positive: {slo}")
+        self.slo = float(slo)
+
+    def decide(self, metrics: IntervalMetrics) -> Allocation:
+        error = (metrics.latency_p95 - self.slo) / self.slo
+        integral = self._integral + error
+        if integral > self.integral_limit:
+            integral = self.integral_limit
+        elif integral < -self.integral_limit:
+            integral = -self.integral_limit
+        derivative = error - self._previous_error
+        self._integral = integral
+        self._previous_error = error
+        control = self.kp * error + self.ki * integral + self.kd * derivative
+        factor = 1.0 + control
+        if factor > 1.0 + self.max_step:
+            factor = 1.0 + self.max_step
+        elif factor < 1.0 - self.max_step:
+            factor = 1.0 - self.max_step
+        new_values: dict[str, float] = {}
+        for name in self._allocation:
+            new_values[name] = min(
+                max(self._allocation[name] * factor, self.min_cpu),
+                self.max_cpu,
+            )
+        self._allocation = Allocation(new_values)
+        self._last = {
+            "kind": "pid",
+            "error": float(error),
+            "integral": float(integral),
+            "derivative": float(derivative),
+            "factor": float(factor),
+        }
+        return self._allocation
+
+    def last_decision(self) -> dict[str, Any] | None:
+        """The causal record of the latest step (``decision_trace``)."""
+        return self._last
+
+    def state_snapshot(self) -> dict[str, Any]:
+        """Controller state for the ``manager_state`` capture channel."""
+        return {
+            "kind": "pid",
+            "integral": float(self._integral),
+            "previous_error": float(self._previous_error),
+            "slo": float(self.slo),
+        }

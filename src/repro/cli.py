@@ -232,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reg.add_argument("--kind", default=None,
                      choices=["engines", "autoscalers", "workloads", "hooks",
-                              "drivers", "state-stores"],
+                              "faults", "drivers", "state-stores"],
                      help="restrict the listing to one registry")
     reg.add_argument("--json", action="store_true",
                      help="emit the listing as JSON instead of a table")
@@ -646,16 +646,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return _error(exc)
     status = runtime.status()
     flush = runtime.shutdown()
-    print(f"\n{'app':24s} {'steps':>6s} {'done':>5s} {'viol':>5s} "
-          f"{'unit':>5s} {'p50ms':>7s} {'p95ms':>7s} {'qpeak':>5s}  error")
+    print(f"\n{'app':24s} {'status':>8s} {'steps':>6s} {'done':>5s} "
+          f"{'viol':>5s} {'unit':>5s} {'rst':>3s} {'p50ms':>7s} "
+          f"{'p95ms':>7s} {'qpeak':>5s}  error")
     for row in status["apps"]:
         entry = flush.get(row["app"], {})
         p50 = row.get("tick_p50_ms")
         p95 = row.get("tick_p95_ms")
-        print(f"{row['app']:24s} {row['steps_done']:6d} "
+        print(f"{row['app']:24s} {row.get('status', 'ok'):>8s} "
+              f"{row['steps_done']:6d} "
               f"{'yes' if row['complete'] else 'no':>5s} "
               f"{row['violations']:5d} "
               f"{'yes' if entry.get('unit_entry') else 'no':>5s} "
+              f"{row.get('restarts', 0):3d} "
               f"{'-' if p50 is None else format(p50, '.2f'):>7s} "
               f"{'-' if p95 is None else format(p95, '.2f'):>7s} "
               f"{row.get('queue_peak', 0):5d}  "
@@ -814,6 +817,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_registry(args: argparse.Namespace) -> int:
     from repro.experiments import AUTOSCALERS, ENGINES, HOOKS, WORKLOADS
+    from repro.faults import FAULTS
     from repro.service import LOAD_DRIVERS, STATE_STORES
 
     registries = {
@@ -821,6 +825,7 @@ def _cmd_registry(args: argparse.Namespace) -> int:
         "autoscalers": AUTOSCALERS,
         "workloads": WORKLOADS,
         "hooks": HOOKS,
+        "faults": FAULTS,
         "drivers": LOAD_DRIVERS,
         "state-stores": STATE_STORES,
     }

@@ -180,6 +180,22 @@ def _optimum(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
     return OptimumAllocator(app, start, **params)
 
 
+@AUTOSCALERS.register("pid")
+def _pid(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    """PID feedback baseline: multiplicative CPU scaling on normalized SLO error."""
+    from repro.baselines import PIDController
+
+    return PIDController(start, slo, **params)
+
+
+@AUTOSCALERS.register("brownout")
+def _brownout(app, start, slo, *, seed: int = 0, **params):  # noqa: ARG001
+    """Brownout baseline: fixed CPU, a service-level dimmer degrades to hold the SLO."""
+    from repro.baselines import BrownoutController
+
+    return BrownoutController(start, slo, **params)
+
+
 @AUTOSCALERS.register("workload_aware_pema")
 def _workload_aware_pema(app, start, slo, *, seed: int = 0, **params):
     """Dynamic-workload-range manager (S3.4): range-tree of PEMA processes."""
@@ -295,6 +311,16 @@ def _phased(**params):
     return PhasedTrace(phases)
 
 
+@WORKLOADS.register("flash_crowd")
+def _flash_crowd(**params):
+    """Multiplicative rate spike over a nested {"base"} trace: {"at", "ramp", "factor", "hold", "decay"}."""
+    from repro.faults import FlashCrowdTrace
+
+    return FlashCrowdTrace(
+        _nested_trace(params.pop("base"), "flash_crowd 'base'"), **params
+    )
+
+
 @WORKLOADS.register("replay")
 def _replay(**params):
     """Long-horizon trace replay: ordered {"segments"}, optional {"loop"}.
@@ -358,3 +384,51 @@ def _set_cpu_speed_hook(*, at: int, speed: float):
             loop.environment.set_cpu_speed(speed)
 
     return hook
+
+
+@HOOKS.register("service_crash")
+def _service_crash_hook(**params):
+    """One service's capacity collapses for a window, then recovers: {"at", "duration", "service", "residual"}."""
+    from repro.faults import engine_fault_hook
+
+    return engine_fault_hook("service_crash", params)
+
+
+@HOOKS.register("calibration_drift")
+def _calibration_drift_hook(**params):
+    """CPU demands drift by a compounding {"rate"} per step: {"at", "service", "every", "until"}."""
+    from repro.faults import engine_fault_hook
+
+    return engine_fault_hook("calibration_drift", params)
+
+
+@HOOKS.register("correlated_surge")
+def _correlated_surge_hook(**params):
+    """Several services' demands shift at once: {"services", "factor", "at", "duration"}."""
+    from repro.faults import engine_fault_hook
+
+    return engine_fault_hook("correlated_surge", params)
+
+
+@HOOKS.register("metric_dropout")
+def _metric_dropout_hook(**params):
+    """Service-layer delivery fault: drop the sample for step {"at"}, retransmit next round."""
+    from repro.faults import stream_fault_hook
+
+    return stream_fault_hook("metric_dropout", params)
+
+
+@HOOKS.register("metric_duplicate")
+def _metric_duplicate_hook(**params):
+    """Service-layer delivery fault: deliver the sample for step {"at"} twice."""
+    from repro.faults import stream_fault_hook
+
+    return stream_fault_hook("metric_duplicate", params)
+
+
+@HOOKS.register("metric_delay")
+def _metric_delay_hook(**params):
+    """Service-layer delivery fault: deliver step {"at"}'s sample {"rounds"} rounds late."""
+    from repro.faults import stream_fault_hook
+
+    return stream_fault_hook("metric_delay", params)

@@ -137,6 +137,12 @@ def build_unit(
         seed=seed,
         **spec.autoscaler.params,
     )
+    # Actuating controllers (brownout's service-level dimmer) need the
+    # engine they drive; every executor builds units through here, so the
+    # binding is identical across scalar, batched, and streamed runs.
+    bind = getattr(autoscaler, "bind_environment", None)
+    if callable(bind):
+        bind(engine)
     # Autoscalers that carry their own (mutable) SLO drive the loop's
     # violation bookkeeping live, so set_slo hooks show up in the records.
     loop = ControlLoop(

@@ -19,6 +19,7 @@ gate.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any
 
 from repro.core.loop import LoopRecord, LoopResult
@@ -28,10 +29,16 @@ from repro.experiments.runner import (
     hooks_on_step,
 )
 from repro.experiments.spec import ExperimentSpec
+from repro.faults import reorder_window_for, stream_fault_entries
 from repro.metrics.export import loop_result_to_dict
 from repro.obs.decision import capture_decision_info, decision_record
 from repro.service.rescaler import Rescaler
-from repro.service.telemetry import GUARDIAN_QUEUE_PEAK, GUARDIAN_TICK_SECONDS
+from repro.service.telemetry import (
+    GUARDIAN_QUEUE_PEAK,
+    GUARDIAN_TICK_SECONDS,
+    STREAM_DUPLICATES_DROPPED,
+    STREAM_REORDERED,
+)
 from repro.service.types import Decision, MetricSample, ServiceError
 
 __all__ = ["Guardian"]
@@ -65,9 +72,22 @@ class Guardian:
         """Deterministic per-step decision records, filled when the
         spec's ``capture`` requested the ``decision_trace`` channel."""
         self.error: str | None = None
+        self.restarts = 0
+        """How many times the orchestrator rebuilt this app's guardian."""
+        self.duplicates_dropped = 0
+        self.reordered = 0
         self._on_step = hooks_on_step(spec)
         self._allocation = self.unit.autoscaler.allocation
         self._capture_trace = "decision_trace" in spec.capture
+        # Stream-fault tolerance: specs that declare delivery faults get
+        # dedup and a bounded reorder buffer sized for the worst declared
+        # delay; clean specs keep the strict legacy protocol (any step
+        # mismatch poisons), so existing behavior is untouched.
+        self._stream_faulted = bool(stream_fault_entries(spec))
+        self._reorder_window = reorder_window_for(spec)
+        self._buffered: dict[int, MetricSample] = {}
+        self._replaying = False
+        self._fail_at: dict[int, tuple[str, float]] = {}
 
     # -- the tick protocol -------------------------------------------------------
     @property
@@ -99,13 +119,27 @@ class Guardian:
                 f"app {self.app_id!r}: got step {sample.step}, "
                 f"expected {step} (out-of-order or duplicated tick)"
             )
+        failure = self._fail_at.pop(step, None)
+        if failure is not None:
+            fail_kind, seconds = failure
+            if fail_kind == "hang":
+                time.sleep(seconds)
+            else:
+                raise RuntimeError(
+                    f"injected {fail_kind} at step {step} of "
+                    f"app {self.app_id!r}"
+                )
         loop = self.unit.loop
         if self._on_step is not None:
             self._on_step(step, loop)
         t = step * self.spec.interval
         rps = float(sample.rps)
         allocation = self._allocation
-        self.rescaler.apply(self, allocation)
+        if not self._replaying:
+            # Replayed steps were already actuated (and counted) by the
+            # guardian this one replaces; re-applying would double the
+            # rescale accounting without changing any observation.
+            self.rescaler.apply(self, allocation)
         metrics = self.rescaler.observe(self, allocation, rps)
         slo_now = loop.current_slo()
         record = LoopRecord(
@@ -141,6 +175,62 @@ class Guardian:
         )
         self.decisions.append(decision)
         return decision
+
+    def offer(self, sample: MetricSample) -> list[Decision]:
+        """Accept a possibly duplicated/reordered sample; tick what's due.
+
+        Clean specs keep the strict legacy protocol — the sample ticks
+        directly and any step mismatch raises.  Specs declaring stream
+        faults get graceful degradation instead: past-step samples are
+        dropped as duplicates, future steps within the reorder window
+        wait in a bounded buffer — the guardian *holds its last
+        allocation* until the gap fills — and only a gap beyond the
+        window poisons.  Returns the decisions taken, in step order,
+        which is exactly the uninterrupted sequence: the reorder buffer
+        restores the processed order, so the decision bytes match a
+        fault-free delivery.
+        """
+        if not self._stream_faulted or sample.step is None:
+            return [self.tick(sample)]
+        step = sample.step
+        expected = self.steps_done
+        if step < expected:
+            self.duplicates_dropped += 1
+            STREAM_DUPLICATES_DROPPED.inc(app=self.app_id)
+            return []
+        if step > expected:
+            if step - expected > self._reorder_window:
+                raise ServiceError(
+                    f"app {self.app_id!r}: got step {step}, "
+                    f"expected {expected} (out-of-order or duplicated tick)"
+                )
+            if step in self._buffered:
+                self.duplicates_dropped += 1
+                STREAM_DUPLICATES_DROPPED.inc(app=self.app_id)
+            else:
+                self._buffered[step] = sample
+                self.reordered += 1
+                STREAM_REORDERED.inc(app=self.app_id)
+            return []
+        decisions = [self.tick(sample)]
+        while self.steps_done in self._buffered:
+            decisions.append(self.tick(self._buffered.pop(self.steps_done)))
+        return decisions
+
+    def inject_failure(
+        self, step: int, kind: str = "crash", *, seconds: float = 0.0
+    ) -> None:
+        """Test seam: make the tick at ``step`` crash or hang.
+
+        ``crash`` raises before the step runs; ``hang`` sleeps
+        ``seconds`` of wall clock first, then proceeds normally — long
+        enough to trip an orchestrator tick timeout.  Injected failures
+        are one-shot and deliberately *not* carried over to a restarted
+        guardian, so recovery replays run clean.
+        """
+        if kind not in ("crash", "hang"):
+            raise ValueError(f"unknown failure kind: {kind!r}")
+        self._fail_at[int(step)] = (kind, float(seconds))
 
     # -- introspection -----------------------------------------------------------
     def result_payload(self) -> dict[str, Any]:
@@ -194,6 +284,15 @@ class Guardian:
             "n_steps": self.spec.n_steps,
             "steps_done": self.steps_done,
             "complete": self.complete,
+            "status": (
+                "poisoned"
+                if self.error is not None
+                else ("complete" if self.complete else "ok")
+            ),
+            "restarts": self.restarts,
+            "duplicates_dropped": self.duplicates_dropped,
+            "reordered": self.reordered,
+            "buffered": len(self._buffered),
             "queue_depth": self.queue.qsize(),
             "queue_size": self.queue.maxsize,
             "queue_peak": int(queue_peak) if queue_peak is not None else 0,

@@ -19,11 +19,16 @@ is bridged onto the service's asyncio event loop with
 mutation model in :mod:`repro.service.orchestrator` holds even with
 concurrent HTTP clients.  Unknown apps map to 404, bad parameters to
 400, everything else to 500 with the error message in the JSON body.
+The bridge itself is bounded: a request the event loop cannot answer
+within the bridge timeout is cancelled and returns 504, and a request
+racing service shutdown (the loop already stopped or closed) returns
+503 instead of hanging the handler thread forever.
 """
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,6 +46,14 @@ _BRIDGE_TIMEOUT = 30.0  # seconds a handler thread waits for the event loop
 
 class _BadRequest(ValueError):
     """Maps to HTTP 400."""
+
+
+class _BridgeTimeout(RuntimeError):
+    """Maps to HTTP 504: the event loop did not answer in time."""
+
+
+class _Unavailable(RuntimeError):
+    """Maps to HTTP 503: the request raced service shutdown."""
 
 
 def _banner() -> dict[str, Any]:
@@ -84,14 +97,33 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _on_loop(self, fn: Callable[[Orchestrator], Any]) -> Any:
-        """Run ``fn(orchestrator)`` on the service event loop, blocking."""
+        """Run ``fn(orchestrator)`` on the service event loop, blocking.
+
+        The wait is bounded: a timeout cancels the scheduled call and
+        surfaces 504, and a loop that is already stopped or closed
+        (request racing shutdown) surfaces 503 — a handler thread never
+        blocks forever on a plane that will not answer.
+        """
         server: ServiceServer = self.server  # type: ignore[assignment]
 
         async def call() -> Any:
             return fn(server.orchestrator)
 
-        future = asyncio.run_coroutine_threadsafe(call(), server.loop)
-        return future.result(timeout=_BRIDGE_TIMEOUT)
+        if server.loop.is_closed() or not server.loop.is_running():
+            raise _Unavailable("service is shutting down")
+        try:
+            future = asyncio.run_coroutine_threadsafe(call(), server.loop)
+        except RuntimeError as exc:
+            raise _Unavailable(f"service is shutting down: {exc}") from None
+        try:
+            return future.result(timeout=server.bridge_timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise _BridgeTimeout(
+                f"event loop did not answer within {server.bridge_timeout}s"
+            ) from None
+        except concurrent.futures.CancelledError:
+            raise _Unavailable("service is shutting down") from None
 
     def _dispatch(self, fn: Callable[[Orchestrator], Any]) -> None:
         try:
@@ -100,6 +132,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
         except ServiceError as exc:
             self._send_json(404, {"error": str(exc)})
+        except _Unavailable as exc:
+            self._send_json(503, {"error": str(exc)})
+        except _BridgeTimeout as exc:
+            self._send_json(504, {"error": str(exc)})
         except Exception as exc:  # surface, don't kill the handler thread
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
@@ -182,15 +218,20 @@ class ServiceServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        bridge_timeout: float = _BRIDGE_TIMEOUT,
     ) -> None:
+        if bridge_timeout <= 0:
+            raise ValueError(f"bridge_timeout must be positive: {bridge_timeout}")
         self.orchestrator = orchestrator
         self.loop = loop
+        self.bridge_timeout = float(bridge_timeout)
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         # Expose service context to handler threads through the server
         # object (the only channel BaseHTTPRequestHandler offers).
         self._httpd.orchestrator = orchestrator  # type: ignore[attr-defined]
         self._httpd.loop = loop  # type: ignore[attr-defined]
+        self._httpd.bridge_timeout = self.bridge_timeout  # type: ignore[attr-defined]
         self.host = host
         self.port = int(self._httpd.server_address[1])
         self.url = f"http://{host}:{self.port}"

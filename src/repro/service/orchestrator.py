@@ -17,6 +17,16 @@ producer, not the plane).  Graceful shutdown enqueues a sentinel behind
 every pending sample, joins the tasks, and flushes the state store —
 so every accepted sample is either ticked or accounted for before the
 process exits.
+
+Resilience model: a :class:`~repro.service.types.ServiceError` is a
+protocol violation — the guardian poisons immediately (it keeps
+draining its queue so the driver never blocks, but takes no further
+decisions).  Any *other* tick failure — an app crash, or a tick
+exceeding the opt-in ``tick_timeout`` — is retryable: the orchestrator
+backs off exponentially, rebuilds a fresh guardian, deterministically
+replays the recorded decision feed (same workload floats, same order —
+so the resumed feed is byte-identical to an uninterrupted run), and
+retries the same sample, up to ``max_restarts`` times before poisoning.
 """
 
 from __future__ import annotations
@@ -26,16 +36,30 @@ from time import perf_counter
 from typing import Any
 
 from repro.experiments.spec import ExperimentSpec
+from repro.faults import stream_delivery, stream_fault_entries
 from repro.service.drivers import LOAD_DRIVERS, LoadDriver
 from repro.service.guardian import Guardian
 from repro.service.rescaler import Rescaler
 from repro.service.state import ServiceStateStore
-from repro.service.telemetry import GUARDIAN_QUEUE_PEAK, GUARDIAN_TICK_SECONDS
+from repro.service.telemetry import (
+    GUARDIAN_BACKOFF_RETRIES,
+    GUARDIAN_POISONED,
+    GUARDIAN_QUEUE_PEAK,
+    GUARDIAN_RESTARTS,
+    GUARDIAN_TICK_SECONDS,
+    GUARDIAN_TICK_TIMEOUTS,
+    STREAM_DUPLICATES_DROPPED,
+    STREAM_REORDERED,
+)
 from repro.service.types import MetricSample, ServiceError
 
 __all__ = ["Orchestrator"]
 
 _STOP = object()  # queue sentinel: drain, then exit the guardian task
+
+
+class _TickTimeout(RuntimeError):
+    """A tick outlived ``tick_timeout`` — retryable, unlike ServiceError."""
 
 
 class Orchestrator:
@@ -47,12 +71,28 @@ class Orchestrator:
         store: ServiceStateStore | None = None,
         rescaler: Rescaler | None = None,
         queue_size: int = 64,
+        tick_timeout: float | None = None,
+        max_restarts: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
     ) -> None:
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if tick_timeout is not None and tick_timeout <= 0:
+            raise ValueError(f"tick_timeout must be positive: {tick_timeout}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0: {max_restarts}")
+        if backoff_base <= 0:
+            raise ValueError(f"backoff_base must be positive: {backoff_base}")
+        if backoff_max < backoff_base:
+            raise ValueError("backoff_max must be >= backoff_base")
         self.store = store if store is not None else ServiceStateStore()
         self.rescaler = rescaler or Rescaler()
         self.queue_size = queue_size
+        self.tick_timeout = tick_timeout
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
         self.guardians: dict[str, Guardian] = {}
         self.ticks = 0
         self._tasks: dict[str, asyncio.Task] = {}
@@ -103,8 +143,17 @@ class Orchestrator:
         del self.guardians[app_id]
         self.store.forget(app_id)
         self.rescaler.forget(app_id)
-        GUARDIAN_TICK_SECONDS.remove(app=app_id)
-        GUARDIAN_QUEUE_PEAK.remove(app=app_id)
+        for metric in (
+            GUARDIAN_TICK_SECONDS,
+            GUARDIAN_QUEUE_PEAK,
+            GUARDIAN_POISONED,
+            GUARDIAN_RESTARTS,
+            GUARDIAN_BACKOFF_RETRIES,
+            GUARDIAN_TICK_TIMEOUTS,
+            STREAM_DUPLICATES_DROPPED,
+            STREAM_REORDERED,
+        ):
+            metric.remove(app=app_id)
 
     def _guardian(self, app_id: str) -> Guardian:
         try:
@@ -135,19 +184,116 @@ class Orchestrator:
                     return
                 if guardian.error is not None:
                     continue  # poisoned guardian: drop, never block the driver
-                started = perf_counter()
-                decision = guardian.tick(sample)
-                GUARDIAN_TICK_SECONDS.observe(
-                    perf_counter() - started, app=guardian.app_id
-                )
-                self.ticks += 1
-                self.store.record_decision(guardian, decision)
-            except ServiceError as exc:
-                guardian.error = str(exc)
-            except Exception as exc:  # keep the plane alive on app failure
-                guardian.error = f"{type(exc).__name__}: {exc}"
+                guardian = await self._tick_with_recovery(guardian, sample)
             finally:
                 guardian.queue.task_done()
+
+    async def _tick_with_recovery(
+        self, guardian: Guardian, sample: Any
+    ) -> Guardian:
+        """Tick ``sample``; crash/timeout gets backoff + restart + retry.
+
+        Returns the guardian now registered for the app — a fresh one if
+        a restart happened.  ``ServiceError`` is a protocol violation,
+        never retried: replaying the same feed would violate it again.
+        """
+        attempts = 0
+        while True:
+            try:
+                await self._offer(guardian, sample)
+                return guardian
+            except ServiceError as exc:
+                self._poison(guardian, str(exc))
+                return guardian
+            except Exception as exc:  # keep the plane alive on app failure
+                if attempts >= self.max_restarts:
+                    self._poison(guardian, f"{type(exc).__name__}: {exc}")
+                    return guardian
+                delay = min(
+                    self.backoff_base * 2**attempts, self.backoff_max
+                )
+                attempts += 1
+                GUARDIAN_BACKOFF_RETRIES.inc(app=guardian.app_id)
+                await asyncio.sleep(delay)
+                guardian = self._restart_guardian(guardian)
+
+    async def _offer(self, guardian: Guardian, sample: Any) -> None:
+        """One offer through the (optional) tick-timeout guard.
+
+        Without a timeout the offer runs inline on the event loop — the
+        zero-overhead path every clean deployment uses.  With one, it
+        runs on an executor thread under ``wait_for``; on expiry the
+        thread (and the guardian object it may still be mutating) is
+        abandoned wholesale and a retryable :class:`_TickTimeout` is
+        raised — the restart path rebuilds a fresh guardian, so the
+        wedged object is never consulted again.
+        """
+        started = perf_counter()
+        if self.tick_timeout is None:
+            decisions = guardian.offer(sample)
+        else:
+            loop = asyncio.get_running_loop()
+            try:
+                decisions = await asyncio.wait_for(
+                    loop.run_in_executor(None, guardian.offer, sample),
+                    self.tick_timeout,
+                )
+            except asyncio.TimeoutError:
+                GUARDIAN_TICK_TIMEOUTS.inc(app=guardian.app_id)
+                raise _TickTimeout(
+                    f"tick for step {sample.step} of app "
+                    f"{guardian.app_id!r} exceeded {self.tick_timeout}s"
+                ) from None
+        GUARDIAN_TICK_SECONDS.observe(
+            perf_counter() - started, app=guardian.app_id
+        )
+        for decision in decisions:
+            self.ticks += 1
+            self.store.record_decision(guardian, decision)
+
+    def _poison(self, guardian: Guardian, message: str) -> None:
+        guardian.error = message
+        GUARDIAN_POISONED.inc(app=guardian.app_id)
+
+    def _restart_guardian(self, old: Guardian) -> Guardian:
+        """A fresh guardian resuming from the recorded decision feed.
+
+        The replacement rebuilds the unit from the spec and replays the
+        store's recorded workload floats through ``tick`` — the engine
+        and autoscaler consume the same values in the same order as the
+        original partial run, so the resumed decision feed is
+        byte-identical to an uninterrupted one.  The old object (possibly
+        wedged in an abandoned executor thread) is dropped wholesale; its
+        queue, reorder buffer, and fault counters carry over.  Injected
+        test failures deliberately do not.
+        """
+        fresh = Guardian(
+            old.app_id,
+            old.spec,
+            old.repeat,
+            rescaler=self.rescaler,
+            queue_size=max(1, old.queue.maxsize),
+        )
+        fresh.queue = old.queue
+        fresh._buffered = dict(old._buffered)
+        fresh.restarts = old.restarts + 1
+        fresh.duplicates_dropped = old.duplicates_dropped
+        fresh.reordered = old.reordered
+        fresh._replaying = True
+        try:
+            for row in self.store.decisions(old.app_id):
+                fresh.tick(
+                    MetricSample(
+                        app=old.app_id,
+                        rps=float(row["record"]["workload"]),
+                        step=int(row["step"]),
+                    )
+                )
+        finally:
+            fresh._replaying = False
+        self.guardians[old.app_id] = fresh
+        GUARDIAN_RESTARTS.inc(app=old.app_id)
+        return fresh
 
     async def submit(self, sample: MetricSample) -> None:
         """Enqueue one metric sample (awaits when the app's queue is full).
@@ -187,6 +333,13 @@ class Orchestrator:
         turns the same schedule into a real-time (or scaled) run; 0
         streams as fast as backpressure allows.  Returns the number of
         samples submitted; a requested shutdown interrupts the stream.
+
+        Specs declaring stream faults get a perturbed delivery schedule
+        (:func:`repro.faults.stream_delivery`): delayed/dropped samples
+        are rescheduled whole rounds later — and delivered *after* that
+        round's native sample, so the guardian's reorder buffer is
+        actually exercised — while duplicated samples are submitted
+        twice for the guardian to dedup.
         """
         if driver is None or isinstance(driver, str):
             driver = LOAD_DRIVERS.build(driver or "replay")
@@ -194,7 +347,7 @@ class Orchestrator:
             self._guardian(app_id)
             for app_id in (apps if apps is not None else self.guardians)
         ]
-        plans: list[tuple[Guardian, int, Any]] = []
+        plans: list[tuple[Guardian, int, Any, list, dict]] = []
         for guardian in selected:
             steps = (
                 n_steps
@@ -202,25 +355,43 @@ class Orchestrator:
                 else max(0, guardian.spec.n_steps - guardian.steps_done)
             )
             plans.append(
-                (guardian, guardian.steps_done, driver.rates(guardian, steps))
+                (
+                    guardian,
+                    guardian.steps_done,
+                    driver.rates(guardian, steps),
+                    stream_fault_entries(guardian.spec),
+                    {},  # round -> rescheduled samples awaiting delivery
+                )
             )
         submitted = 0
-        rounds = max((len(rates) for _, _, rates in plans), default=0)
-        for k in range(rounds):
+        rounds = max((len(rates) for _, _, rates, _, _ in plans), default=0)
+        k = 0
+        while k < rounds or any(pending for *_, pending in plans):
             if self._shutdown_requested.is_set():
                 break
-            for guardian, base_step, rates in plans:
+            for guardian, base_step, rates, entries, pending in plans:
                 if k < len(rates):
-                    await self.submit(
-                        MetricSample(
-                            app=guardian.app_id,
-                            rps=float(rates[k]),
-                            step=base_step + k,
-                        )
+                    step = base_step + k
+                    delay, copies = (
+                        stream_delivery(entries, step) if entries else (0, 1)
                     )
+                    sample = MetricSample(
+                        app=guardian.app_id, rps=float(rates[k]), step=step
+                    )
+                    if delay > 0:
+                        pending.setdefault(k + delay, []).extend(
+                            [sample] * copies
+                        )
+                    else:
+                        for _ in range(copies):
+                            await self.submit(sample)
+                            submitted += 1
+                for late in pending.pop(k, ()):
+                    await self.submit(late)
                     submitted += 1
             if tick > 0:
                 await asyncio.sleep(tick)
+            k += 1
         await self.join()
         return submitted
 

@@ -2,10 +2,12 @@
 
 One module declares every metric the control plane reports, so the
 ``GET /metrics`` scrape surface is defined in one place: guardian tick
-latency (per app), per-app queue-depth high-water marks, and the
-Rescaler's actuation counters.  Registration is idempotent
-(get-or-create), so importing this module any number of times — or
-alongside tests that build their own registries — is safe.
+latency (per app), per-app queue-depth high-water marks, the resilience
+counters (poisonings, restarts, backoff retries, tick timeouts,
+stream-fault dedup/reorder events), and the Rescaler's actuation
+counters.  Registration is idempotent (get-or-create), so importing
+this module any number of times — or alongside tests that build their
+own registries — is safe.
 """
 
 from __future__ import annotations
@@ -15,6 +17,12 @@ from repro.obs.metrics import default_registry
 __all__ = [
     "GUARDIAN_TICK_SECONDS",
     "GUARDIAN_QUEUE_PEAK",
+    "GUARDIAN_POISONED",
+    "GUARDIAN_RESTARTS",
+    "GUARDIAN_BACKOFF_RETRIES",
+    "GUARDIAN_TICK_TIMEOUTS",
+    "STREAM_DUPLICATES_DROPPED",
+    "STREAM_REORDERED",
     "RESCALER_APPLIES",
     "RESCALER_SCALE_UPS",
     "RESCALER_SCALE_DOWNS",
@@ -32,6 +40,42 @@ GUARDIAN_TICK_SECONDS = _REG.histogram(
 GUARDIAN_QUEUE_PEAK = _REG.gauge(
     "repro_guardian_queue_depth_peak",
     "High-water mark of a guardian's bounded metrics queue.",
+    labelnames=("app",),
+)
+
+GUARDIAN_POISONED = _REG.counter(
+    "repro_guardian_poisoned_total",
+    "Guardians taken out of service after an unrecoverable error.",
+    labelnames=("app",),
+)
+
+GUARDIAN_RESTARTS = _REG.counter(
+    "repro_guardian_restarts_total",
+    "Guardian rebuilds that replayed the recorded decision feed.",
+    labelnames=("app",),
+)
+
+GUARDIAN_BACKOFF_RETRIES = _REG.counter(
+    "repro_guardian_backoff_retries_total",
+    "Tick retries taken after an exponential-backoff delay.",
+    labelnames=("app",),
+)
+
+GUARDIAN_TICK_TIMEOUTS = _REG.counter(
+    "repro_guardian_tick_timeouts_total",
+    "Ticks abandoned after exceeding the configured tick timeout.",
+    labelnames=("app",),
+)
+
+STREAM_DUPLICATES_DROPPED = _REG.counter(
+    "repro_stream_duplicates_dropped_total",
+    "Duplicate metric samples deduplicated by a guardian.",
+    labelnames=("app",),
+)
+
+STREAM_REORDERED = _REG.counter(
+    "repro_stream_reordered_total",
+    "Out-of-order metric samples held in a guardian's reorder buffer.",
     labelnames=("app",),
 )
 

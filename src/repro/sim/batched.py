@@ -100,6 +100,16 @@ class BatchedAnalyticalEngine:
         self._canonical_workloads: list[dict[tuple[float, float], float]] = [
             {} for _ in self._rngs
         ]
+        # Fault-injection channels (repro.faults), per cell × service.
+        # All-ones means "no disturbance"; ``x * 1.0`` is bitwise identity
+        # for finite floats, so clean cells inside a faulted batch still
+        # produce their clean bytes.  ``_faulted`` keeps fully clean
+        # batches on the exact pre-fault code path.
+        shape = (len(self._rngs), len(app.service_names))
+        self._capacity_scale = np.ones(shape)
+        self._demand_scale = np.ones(shape)
+        self._service_level = np.ones(len(self._rngs))
+        self._faulted = False
 
     @property
     def app(self) -> "AppSpec":
@@ -115,6 +125,53 @@ class BatchedAnalyticalEngine:
             raise ValueError(f"speed must be positive: {speed}")
         self.cpu_speed[cell] = float(speed)
         # The scalar engine clears its concurrency-model cache here.
+        self._canonical_workloads[cell].clear()
+
+    # -- fault-injection channels (repro.faults) ---------------------------------
+    def _service_index(self, service: str | None) -> int | slice:
+        if service is None:
+            return slice(None)
+        try:
+            return self._app.service_names.index(service)
+        except ValueError:
+            raise ValueError(
+                f"unknown service {service!r} for app {self._app.name!r}"
+            ) from None
+
+    def set_capacity_scale(
+        self, cell: int, scale: float, service: str | None = None
+    ) -> None:
+        """One cell's effective-capacity scale (``service_crash``).
+
+        Mirrors :meth:`AnalyticalEngine.set_capacity_scale`: capacity does
+        not enter the concurrency model, so no cache invalidation.
+        """
+        if scale < 0:
+            raise ValueError(f"capacity scale must be >= 0: {scale}")
+        self._capacity_scale[cell, self._service_index(service)] = float(scale)
+        self._faulted = True
+
+    def set_demand_scale(
+        self, cell: int, scale: float, service: str | None = None
+    ) -> None:
+        """One cell's CPU-demand scale (``calibration_drift``).
+
+        Demands enter the concurrency model: the cell's canonical-workload
+        map is cleared, exactly as the scalar engine clears its model
+        cache.
+        """
+        if scale <= 0:
+            raise ValueError(f"demand scale must be positive: {scale}")
+        self._demand_scale[cell, self._service_index(service)] = float(scale)
+        self._faulted = True
+        self._canonical_workloads[cell].clear()
+
+    def set_service_level(self, cell: int, level: float) -> None:
+        """One cell's app-wide service-level dimmer (brownout actuation)."""
+        if not 0 < level <= 1.0:
+            raise ValueError(f"service level must be in (0, 1]: {level}")
+        self._service_level[cell] = float(level)
+        self._faulted = True
         self._canonical_workloads[cell].clear()
 
     def observe(
@@ -135,6 +192,11 @@ class BatchedAnalyticalEngine:
             raise ValueError("workload must be >= 0")
         if np.any(interval <= 0):
             raise ValueError("interval must be positive")
+        if self._faulted:
+            # Same rebinding as the scalar engine: the recorded allocation
+            # stays the controller's; everything downstream sees the
+            # effective capacity.
+            alloc = alloc * self._capacity_scale
 
         # Deterministic closed forms: the shared noiseless kernel (same
         # formula order as the scalar engine's ``_concurrency`` +
@@ -151,7 +213,13 @@ class BatchedAnalyticalEngine:
                 seen[key] = float(workload[i])
             else:
                 model_workload[i] = canonical
-        sig = self._kernel.evaluate(alloc, model_workload, self.cpu_speed)
+        if self._faulted:
+            demand_scale = self._demand_scale * self._service_level[:, None]
+            sig = self._kernel.evaluate(
+                alloc, model_workload, self.cpu_speed, demand_scale
+            )
+        else:
+            sig = self._kernel.evaluate(alloc, model_workload, self.cpu_speed)
         excess_arr = sig.overload * np.maximum(alloc, 1e-12)
         frac = self.cfs.throttled_fraction(sig.exceed, excess_arr, alloc)
         thr_seconds = frac * interval[:, None]

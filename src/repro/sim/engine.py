@@ -76,6 +76,14 @@ class AnalyticalEngine:
         self._baselines = app.baseline_array()
         self._cache: dict[tuple[float, float], ConcurrencyModel] = {}
         self._kernel = NoiselessLatencyKernel(app, params=self.latency_params)
+        # Fault-injection channels (repro.faults).  All-ones / 1.0 means
+        # "no disturbance"; ``_faulted`` keeps clean runs on the exact
+        # pre-fault code path so their bytes are provably unchanged.
+        n_services = len(app.service_names)
+        self._capacity_scale = np.ones(n_services)
+        self._demand_scale = np.ones(n_services)
+        self._service_level = 1.0
+        self._faulted = False
 
     # -- Environment protocol --------------------------------------------------
     @property
@@ -90,6 +98,12 @@ class AnalyticalEngine:
     ) -> IntervalMetrics:
         """One monitoring interval's metrics, with measurement noise."""
         alloc = allocation.as_array(self._app.service_names)
+        if self._faulted:
+            # A crashed service *behaves* as a fraction of its nominal
+            # capacity; the controller still accounts the CPU it asked for
+            # (the recorded allocation is the controller's, not the
+            # effective one).
+            alloc = alloc * self._capacity_scale
         model = self._concurrency(workload_rps)
         exceed = model.exceed_probability(alloc)
         excess_arr = model.overload(alloc) * np.maximum(alloc, 1e-12)
@@ -170,6 +184,59 @@ class AnalyticalEngine:
         self._cpu_speed = float(speed)
         self._cache.clear()
 
+    # -- fault-injection channels (repro.faults) ---------------------------------
+    def _service_index(self, service: str) -> int:
+        try:
+            return self._app.service_names.index(service)
+        except ValueError:
+            raise ValueError(
+                f"unknown service {service!r} for app {self._app.name!r}"
+            ) from None
+
+    def set_capacity_scale(self, scale: float, service: str | None = None) -> None:
+        """Scale a service's *effective* capacity (``service_crash``).
+
+        The allocation the controller chose is recorded unchanged; the
+        engine behaves as if only ``scale`` of it were usable.  Capacity
+        does not enter the concurrency model, so the model cache stays
+        valid.
+        """
+        if scale < 0:
+            raise ValueError(f"capacity scale must be >= 0: {scale}")
+        if service is None:
+            self._capacity_scale[:] = float(scale)
+        else:
+            self._capacity_scale[self._service_index(service)] = float(scale)
+        self._faulted = True
+
+    def set_demand_scale(self, scale: float, service: str | None = None) -> None:
+        """Scale a service's calibrated CPU demand (``calibration_drift``).
+
+        Demands enter the concurrency model, so the model cache is
+        cleared — the same invalidation :meth:`set_cpu_speed` performs.
+        """
+        if scale <= 0:
+            raise ValueError(f"demand scale must be positive: {scale}")
+        if service is None:
+            self._demand_scale[:] = float(scale)
+        else:
+            self._demand_scale[self._service_index(service)] = float(scale)
+        self._faulted = True
+        self._cache.clear()
+
+    def set_service_level(self, level: float) -> None:
+        """Set the app-wide service-level dimmer (brownout actuation).
+
+        ``level`` multiplies every service's CPU demand — serving a
+        degraded (cheaper) response.  Clears the model cache like
+        :meth:`set_demand_scale`.
+        """
+        if not 0 < level <= 1.0:
+            raise ValueError(f"service level must be in (0, 1]: {level}")
+        self._service_level = float(level)
+        self._faulted = True
+        self._cache.clear()
+
     # -- internals ------------------------------------------------------------------
     def _concurrency(self, workload_rps: float) -> ConcurrencyModel:
         if workload_rps < 0:
@@ -177,8 +244,14 @@ class AnalyticalEngine:
         key = (round(float(workload_rps), 9), self._cpu_speed)
         model = self._cache.get(key)
         if model is None:
+            if self._faulted:
+                demands = self._demands * (
+                    self._demand_scale * self._service_level
+                )
+            else:
+                demands = self._demands
             mean = (
-                workload_rps * self._visits * self._demands + self._baselines
+                workload_rps * self._visits * demands + self._baselines
             ) / self._cpu_speed
             model = ConcurrencyModel(mean=mean, burstiness=self._burst)
             if len(self._cache) > 4096:

@@ -277,11 +277,17 @@ class NoiselessLatencyKernel:
         alloc: np.ndarray,
         workload_rps: np.ndarray,
         cpu_speed: float | np.ndarray = 1.0,
+        demand_scale: np.ndarray | None = None,
     ) -> KernelSignals:
         """All deterministic signals for a ``(B, S)`` batch of allocations.
 
         ``workload_rps`` is ``(B,)``; ``cpu_speed`` is a scalar shared by
-        the batch or a per-row ``(B,)`` array.
+        the batch or a per-row ``(B,)`` array.  ``demand_scale``, when
+        given, multiplies the calibrated per-service CPU demands (the
+        fault-injection drift channel): a ``(B, S)`` array applied as
+        ``demands * demand_scale`` — the exact operation order the scalar
+        engine uses, so a row with an all-ones scale stays bit-identical
+        to the unscaled evaluation.
         """
         alloc = np.asarray(alloc, dtype=np.float64)
         workload = np.asarray(workload_rps, dtype=np.float64)
@@ -299,8 +305,12 @@ class NoiselessLatencyKernel:
         speed = np.asarray(cpu_speed, dtype=np.float64)
         col = speed if speed.ndim == 0 else speed[:, None]
 
+        if demand_scale is None:
+            demands = self._demands
+        else:
+            demands = self._demands * np.asarray(demand_scale, dtype=np.float64)
         mean = (
-            workload[:, None] * self._visits * self._demands + self._baselines
+            workload[:, None] * self._visits * demands + self._baselines
         ) / col
         shape = np.where(mean > _EPS, mean / self._burst, 0.0)
         scale = self._burst

@@ -35,9 +35,26 @@ METRIC_NAMES = (
     "settled_total_std",
     "settled_total_p95",
     "violation_rate_mean",
+    "recovery_steps_max",
     "response_p95_mean",
     "cost_cpu_seconds_mean",
 )
+
+
+def _longest_violation_streak(violated: Iterable[bool]) -> int:
+    """Length of the longest run of consecutive SLO-violating intervals.
+
+    The robustness report's recovery-time proxy: after a disturbance, a
+    controller that re-establishes the SLO quickly has a short worst
+    streak, one that never recovers has a streak the length of the
+    remaining horizon.
+    """
+    longest = current = 0
+    for flag in violated:
+        current = current + 1 if flag else 0
+        if current > longest:
+            longest = current
+    return longest
 
 _REDUCERS: dict[str, Callable[[Sequence[float]], float]] = {
     "mean": lambda v: float(np.mean(v)),
@@ -68,11 +85,16 @@ def artifact_metrics(
         float(np.sum(result.total_cpu)) * interval
         for result in artifact.results
     ]
+    streaks = [
+        _longest_violation_streak(r.violated for r in result.records)
+        for result in artifact.results
+    ]
     return {
         "settled_total_mean": float(np.mean(settled)),
         "settled_total_std": float(np.std(settled)),
         "settled_total_p95": float(np.percentile(settled, 95)),
         "violation_rate_mean": float(np.mean(rates)),
+        "recovery_steps_max": float(np.max(streaks)),
         "response_p95_mean": float(np.mean(p95s)),
         "cost_cpu_seconds_mean": float(np.mean(costs)),
     }

@@ -35,12 +35,21 @@ from typing import Any, Hashable, Sequence
 import numpy as np
 
 from repro.apps import build_app
+from repro.baselines.brownout import BrownoutController
+from repro.baselines.pid import PIDController
 from repro.baselines.rule import RuleBasedAutoscaler, RuleBatch
 from repro.core.batch import PEMABatch
 from repro.core.config import PEMAConfig
 from repro.experiments.registry import AUTOSCALERS, HOOKS, WORKLOADS
 from repro.experiments.runner import capture_manager_state
 from repro.experiments.spec import ExperimentSpec
+from repro.faults import (
+    ENGINE_FAULT_KINDS,
+    STREAM_FAULT_KINDS,
+    apply_fault_actions,
+    fault_actions,
+    normalize_fault_params,
+)
 from repro.obs.decision import capture_decision_info
 from repro.sim.batched import BatchObservation, BatchedAnalyticalEngine
 from repro.sim.concurrency import gamma_quantile
@@ -68,16 +77,22 @@ def batch_from_env(default: bool = False) -> bool:
     return value.strip().lower() in ("1", "true", "yes", "on")
 
 #: Autoscaler kinds a batch group can hold.  ``pema``/``rule`` decide
-#: through fully vectorized banks; ``optimum`` and ``workload_aware_pema``
-#: ride the vectorized engine with bank-driven scalar decisions (the
-#: expensive closed-form observation is still one call per batch).
+#: through fully vectorized banks; ``optimum``, ``workload_aware_pema``,
+#: ``pid``, and ``brownout`` ride the vectorized engine with bank-driven
+#: scalar decisions (the expensive closed-form observation is still one
+#: call per batch).
 BATCHABLE_AUTOSCALERS = (
     "pema", "rule", "static", "optimum", "workload_aware_pema",
+    "pid", "brownout",
 )
 
-#: Hook kinds the batched loop can dispatch (``set_slo`` only drives a
-#: PEMA bank; other autoscalers have no ``set_slo``, exactly as scalar).
-_BATCHABLE_HOOKS = ("set_slo", "set_cpu_speed")
+#: Hook kinds the batched loop can dispatch.  ``set_slo`` only drives a
+#: PEMA bank (other autoscalers have no ``set_slo``, exactly as scalar);
+#: engine faults go through the shared :func:`repro.faults.fault_actions`
+#: schedule; stream faults are delivery disturbances, offline no-ops.
+_BATCHABLE_HOOKS = (
+    ("set_slo", "set_cpu_speed") + ENGINE_FAULT_KINDS + STREAM_FAULT_KINDS
+)
 
 
 def classify_unit(
@@ -142,6 +157,14 @@ def classify_unit(
         elif kind == "rule":
             RuleBasedAutoscaler(
                 Allocation({"probe": 1.0}), **spec.autoscaler.params
+            )
+        elif kind == "pid":
+            PIDController(
+                Allocation({"probe": 1.0}), 1.0, **spec.autoscaler.params
+            )
+        elif kind == "brownout":
+            BrownoutController(
+                Allocation({"probe": 1.0}), 1.0, **spec.autoscaler.params
             )
         elif kind == "optimum":
             params = dict(spec.autoscaler.params)
@@ -240,18 +263,48 @@ class _OptimumBank:
         return self.allocation
 
 
+class _CellEnvironment:
+    """One batch row presented through the scalar engine's channel API.
+
+    Exposes the scalar :class:`~repro.sim.engine.AnalyticalEngine` setter
+    signatures for a single cell of a batched engine, so the shared fault
+    schedule (:func:`repro.faults.apply_fault_actions`) and actuating
+    controllers (brownout's service-level dimmer) drive the batched
+    engine through exactly the calls they make against a scalar one.
+    """
+
+    def __init__(self, engine: BatchedAnalyticalEngine, cell: int) -> None:
+        self._engine = engine
+        self._cell = cell
+
+    def set_capacity_scale(
+        self, scale: float, service: str | None = None
+    ) -> None:
+        self._engine.set_capacity_scale(self._cell, scale, service=service)
+
+    def set_demand_scale(
+        self, scale: float, service: str | None = None
+    ) -> None:
+        self._engine.set_demand_scale(self._cell, scale, service=service)
+
+    def set_service_level(self, level: float) -> None:
+        self._engine.set_service_level(self._cell, level)
+
+
 class _ManagerBank:
-    """Bank of scalar :class:`~repro.core.WorkloadAwarePEMA` managers.
+    """Bank of scalar decision-makers (manager, PID, brownout cells).
 
     The dynamic-range manager's decision logic is a per-cell state
-    machine over a growing range tree — not array math — so, in the
-    :class:`_OptimumBank` style, the bank keeps one *scalar* manager per
-    cell and only the engine observation is vectorized.  Each step
+    machine over a growing range tree — not array math — and the PID and
+    brownout baselines are tiny per-cell feedback laws, so, in the
+    :class:`_OptimumBank` style, the bank keeps one *scalar* controller
+    per cell and only the engine observation is vectorized.  Each step
     rebuilds the exact :class:`~repro.sim.types.IntervalMetrics` the
     scalar control loop would pass (row ``i`` of a batched observation
-    is bit-identical to the scalar engine's), so every manager consumes
-    the same floats and the same private RNG stream as its scalar run —
-    decisions, range splits, and captured manager state included.
+    is bit-identical to the scalar engine's), so every controller
+    consumes the same floats and the same private RNG stream as its
+    scalar run — decisions, range splits, dimmer writes, and captured
+    manager state included.
     """
 
     def __init__(self, managers: Sequence[Any], names: tuple[str, ...]) -> None:
@@ -386,24 +439,26 @@ def _run_units_batched(
         bank: PEMABatch | RuleBatch | _OptimumBank | _ManagerBank | None
         bank = PEMABatch(names, slos, start, configs, seeds)
         allocation = bank.allocation
-    elif kind == "workload_aware_pema":
-        # Build each cell's manager through the registry factory, exactly
-        # as the scalar ``build_unit`` does (start_rps/config handling,
-        # seeding convention), so the bank's managers are byte-equal.
-        bank = _ManagerBank(
-            [
-                AUTOSCALERS.build(
-                    kind,
-                    app,
-                    Allocation.from_array(names, start[i]),
-                    slos[i],
-                    seed=seeds[i],
-                    **s.autoscaler.params,
-                )
-                for i, s in enumerate(specs)
-            ],
-            names,
-        )
+    elif kind in ("workload_aware_pema", "pid", "brownout"):
+        # Build each cell's controller through the registry factory,
+        # exactly as the scalar ``build_unit`` does (param handling,
+        # seeding convention, environment binding), so the bank's
+        # controllers are byte-equal.
+        managers = []
+        for i, s in enumerate(specs):
+            manager = AUTOSCALERS.build(
+                kind,
+                app,
+                Allocation.from_array(names, start[i]),
+                slos[i],
+                seed=seeds[i],
+                **s.autoscaler.params,
+            )
+            bind = getattr(manager, "bind_environment", None)
+            if callable(bind):
+                bind(_CellEnvironment(engine, i))
+            managers.append(manager)
+        bank = _ManagerBank(managers, names)
         allocation = bank.allocation
     elif kind == "rule":
         scalers = [
@@ -452,17 +507,25 @@ def _run_units_batched(
     if trace_cells and isinstance(bank, (PEMABatch, _ManagerBank)):
         bank.enable_decision_trace(trace_cells)
 
-    # Hook schedule: (cell, fire-step, hook-kind, value), in spec order.
-    hook_entries = [
-        (
-            i,
-            hook.params["at"],
-            hook.kind,
-            hook.params["slo" if hook.kind == "set_slo" else "speed"],
-        )
-        for i, spec in enumerate(specs)
-        for hook in spec.hooks
-    ]
+    # Hook schedule: (cell, hook-kind, params), in spec order.  Timed
+    # setters fire at their step; engine faults consult the shared
+    # :func:`repro.faults.fault_actions` schedule every step and apply it
+    # through the cell's scalar-API facade; stream faults are delivery
+    # disturbances — offline no-ops, exactly as their scalar hooks.
+    cell_envs = [_CellEnvironment(engine, i) for i in range(n_cells)]
+    hook_entries = []
+    for i, spec in enumerate(specs):
+        for hook in spec.hooks:
+            if hook.kind in ENGINE_FAULT_KINDS:
+                hook_entries.append(
+                    (
+                        i,
+                        hook.kind,
+                        normalize_fault_params(hook.kind, dict(hook.params)),
+                    )
+                )
+            elif hook.kind in ("set_slo", "set_cpu_speed"):
+                hook_entries.append((i, hook.kind, dict(hook.params)))
 
     fixed_slo = np.asarray(slos, dtype=np.float64)
     resp = np.empty((n_steps, n_cells))
@@ -486,13 +549,18 @@ def _run_units_batched(
     )
 
     for step in range(n_steps):
-        for cell, at, hook_kind, value in hook_entries:
-            if step == at:
-                if hook_kind == "set_slo":
+        for cell, hook_kind, params in hook_entries:
+            if hook_kind == "set_slo":
+                if step == params["at"]:
                     assert isinstance(bank, PEMABatch)
-                    bank.set_slo(cell, value)
-                else:
-                    engine.set_cpu_speed(cell, value)
+                    bank.set_slo(cell, params["slo"])
+            elif hook_kind == "set_cpu_speed":
+                if step == params["at"]:
+                    engine.set_cpu_speed(cell, params["speed"])
+            else:
+                actions = fault_actions(hook_kind, params, step)
+                if actions:
+                    apply_fault_actions(cell_envs[cell], actions)
         rates = rates_all[step]
         obs = engine.observe(allocation, rates, intervals)
         step_totals = allocation.sum(axis=1)

@@ -1,0 +1,280 @@
+"""Tests for the control plane's resilience machinery.
+
+Crash quarantine + restart (replaying the recorded decision feed to a
+bit-exact resume), tick timeouts, graceful degradation under
+metric-delivery faults, poisoning surfacing, and the bounded HTTP
+bridge (504/503).
+"""
+
+import asyncio
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.runner import _run_unit_worker
+from repro.experiments.spec import ExperimentSpec
+from repro.service import (
+    Guardian,
+    MetricSample,
+    Orchestrator,
+    ServiceError,
+    service_session,
+)
+from repro.service.http import ServiceServer
+
+
+def dumps(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def make_spec(hooks=(), **overrides) -> ExperimentSpec:
+    data = {
+        "name": "robust",
+        "app": "sockshop",
+        "workload": {
+            "kind": "sinusoid",
+            "params": {"low": 150.0, "high": 650.0, "period": 5000.0},
+        },
+        "n_steps": 8,
+        "seed": 3,
+        "hooks": list(hooks),
+    }
+    data.update(overrides)
+    return ExperimentSpec.from_dict(data)
+
+
+def run_service(spec, *, fail_step=None, fail_kind="crash", seconds=0.0,
+                **orch_kwargs):
+    """Drive one app to completion, returning (guardian, orchestrator)."""
+
+    async def run():
+        orch = Orchestrator(**orch_kwargs)
+        guardian = orch.register(spec)
+        if fail_step is not None:
+            guardian.inject_failure(fail_step, fail_kind, seconds=seconds)
+        await orch.start()
+        await orch.drive()
+        await orch.shutdown()
+        return orch.guardians[spec.name], orch
+
+    return asyncio.run(run())
+
+
+class TestCrashRecovery:
+    def test_restart_resumes_to_offline_bytes(self):
+        spec = make_spec(
+            hooks=[{"kind": "service_crash",
+                    "params": {"at": 2, "duration": 3,
+                               "service": "frontend"}}],
+            capture=["manager_state"],
+        )
+        offline = dumps(_run_unit_worker(spec.to_dict(), 0))
+        guardian, orch = run_service(spec, fail_step=4, backoff_base=0.001)
+        assert guardian.restarts == 1
+        assert guardian.error is None
+        assert guardian.complete
+        assert dumps(guardian.result_payload()) == offline
+        # The decision feed holds every step exactly once, in order.
+        steps = [row["step"] for row in orch.store.decisions(spec.name)]
+        assert steps == list(range(spec.n_steps))
+        assert guardian.status()["status"] == "complete"
+        assert guardian.status()["restarts"] == 1
+
+    def test_crash_at_step_zero_restarts_with_empty_feed(self):
+        spec = make_spec()
+        offline = dumps(_run_unit_worker(spec.to_dict(), 0))
+        guardian, _ = run_service(spec, fail_step=0, backoff_base=0.001)
+        assert guardian.restarts == 1
+        assert dumps(guardian.result_payload()) == offline
+
+    def test_exhausted_restarts_poison(self, monkeypatch):
+        spec = make_spec()
+
+        def always_broken(self, sample):
+            raise RuntimeError("controller wedged")
+
+        monkeypatch.setattr(Guardian, "offer", always_broken)
+        guardian, orch = run_service(
+            spec, max_restarts=1, backoff_base=0.001
+        )
+        status = guardian.status()
+        assert status["status"] == "poisoned"
+        assert "controller wedged" in status["error"]
+        # The poisoning surfaces in the fleet status rows too.
+        row = next(
+            r for r in orch.status()["apps"] if r["app"] == spec.name
+        )
+        assert row["status"] == "poisoned"
+        assert "RuntimeError" in row["error"]
+
+    def test_protocol_violation_poisons_without_retry(self):
+        spec = make_spec()
+
+        async def run():
+            orch = Orchestrator(backoff_base=0.001)
+            guardian = orch.register(spec)
+            await orch.start()
+            await orch.submit(
+                MetricSample(app=spec.name, rps=300.0, step=5)
+            )
+            await orch.guardians[spec.name].queue.join()
+            await orch.shutdown()
+            return guardian
+
+        guardian = asyncio.run(run())
+        assert guardian.restarts == 0  # ServiceError is never retried
+        assert guardian.status()["status"] == "poisoned"
+        assert "out-of-order or duplicated tick" in guardian.error
+
+
+class TestTickTimeout:
+    def test_hung_tick_is_abandoned_and_recovered(self):
+        spec = make_spec()
+        offline = dumps(_run_unit_worker(spec.to_dict(), 0))
+        guardian, _ = run_service(
+            spec, fail_step=3, fail_kind="hang", seconds=1.0,
+            tick_timeout=0.15, backoff_base=0.001,
+        )
+        assert guardian.restarts == 1
+        assert guardian.error is None
+        assert dumps(guardian.result_payload()) == offline
+
+    def test_fast_ticks_pass_under_timeout(self):
+        spec = make_spec()
+        offline = dumps(_run_unit_worker(spec.to_dict(), 0))
+        guardian, _ = run_service(spec, tick_timeout=30.0)
+        assert guardian.restarts == 0
+        assert dumps(guardian.result_payload()) == offline
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            Orchestrator(tick_timeout=0.0)
+        with pytest.raises(ValueError):
+            Orchestrator(max_restarts=-1)
+        with pytest.raises(ValueError):
+            Orchestrator(backoff_base=0.0)
+
+
+class TestStreamFaultDegradation:
+    def test_perturbed_delivery_matches_offline_bytes(self):
+        spec = make_spec(hooks=[
+            {"kind": "metric_delay", "params": {"at": 2, "rounds": 2}},
+            {"kind": "metric_dropout", "params": {"at": 5}},
+            {"kind": "metric_duplicate", "params": {"at": 1}},
+        ])
+        offline = dumps(_run_unit_worker(spec.to_dict(), 0))
+        guardian, _ = run_service(spec)
+        assert guardian.error is None
+        assert guardian.complete
+        assert dumps(guardian.result_payload()) == offline
+        status = guardian.status()
+        assert status["duplicates_dropped"] >= 1
+        assert status["reordered"] >= 1
+        assert status["buffered"] == 0  # the buffer fully drained
+
+    def test_duplicate_sample_dropped_not_poisoned(self):
+        spec = make_spec(
+            hooks=[{"kind": "metric_duplicate", "params": {"at": 0}}]
+        )
+        guardian = Guardian("dup", spec)
+        assert len(guardian.offer(
+            MetricSample(app="dup", rps=200.0, step=0))) == 1
+        assert guardian.offer(
+            MetricSample(app="dup", rps=200.0, step=0)) == []
+        assert guardian.duplicates_dropped == 1
+        assert guardian.error is None
+
+    def test_reorder_buffer_holds_last_allocation_then_drains(self):
+        spec = make_spec(
+            hooks=[{"kind": "metric_delay",
+                    "params": {"at": 0, "rounds": 2}}]
+        )
+        guardian = Guardian("late", spec)
+        # Steps 1 and 2 arrive before step 0: buffered, no decisions yet.
+        assert guardian.offer(
+            MetricSample(app="late", rps=210.0, step=1)) == []
+        assert guardian.offer(
+            MetricSample(app="late", rps=220.0, step=2)) == []
+        assert guardian.steps_done == 0
+        assert guardian.reordered == 2
+        # The late step 0 releases all three, in step order.
+        decisions = guardian.offer(
+            MetricSample(app="late", rps=200.0, step=0))
+        assert [d.step for d in decisions] == [0, 1, 2]
+
+    def test_gap_beyond_window_still_poisons(self):
+        spec = make_spec(
+            hooks=[{"kind": "metric_delay",
+                    "params": {"at": 0, "rounds": 1}}]
+        )
+        guardian = Guardian("gap", spec)
+        with pytest.raises(ServiceError):
+            guardian.offer(MetricSample(app="gap", rps=200.0, step=3))
+
+    def test_clean_spec_keeps_strict_protocol(self):
+        guardian = Guardian("strict", make_spec())
+        guardian.offer(MetricSample(app="strict", rps=200.0, step=0))
+        with pytest.raises(ServiceError):
+            guardian.offer(MetricSample(app="strict", rps=200.0, step=0))
+
+    def test_inject_failure_rejects_unknown_kind(self):
+        guardian = Guardian("probe", make_spec())
+        with pytest.raises(ValueError):
+            guardian.inject_failure(1, "melt")
+
+
+class TestHTTPBridgeBounds:
+    def test_blocked_loop_times_out_with_504(self):
+        spec = make_spec()
+        with service_session([spec]) as runtime:
+            server = ServiceServer(
+                runtime.orchestrator, runtime._loop, bridge_timeout=0.2
+            )
+            server.start()
+            try:
+                # A healthy loop answers fine through the short bridge.
+                with urllib.request.urlopen(
+                    server.url + "/apps", timeout=10
+                ) as response:
+                    assert response.status == 200
+                # Wedge the event loop past the bridge timeout.
+                runtime._loop.call_soon_threadsafe(time.sleep, 0.8)
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(server.url + "/apps", timeout=10)
+                assert err.value.code == 504
+                body = json.loads(err.value.read())
+                assert "did not answer" in body["error"]
+            finally:
+                server.stop()
+
+    def test_closed_loop_returns_503(self):
+        spec = make_spec()
+        runtime_ref = {}
+        with service_session([spec]) as runtime:
+            runtime_ref["loop"] = runtime._loop
+            runtime_ref["orch"] = runtime.orchestrator
+        # The session is shut down; a fresh server over the dead loop
+        # must refuse rather than hang its handler thread.
+        server = ServiceServer(
+            runtime_ref["orch"], runtime_ref["loop"], bridge_timeout=0.5
+        )
+        server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/apps", timeout=10)
+            assert err.value.code == 503
+            body = json.loads(err.value.read())
+            assert "shutting down" in body["error"]
+        finally:
+            server.stop()
+
+    def test_bridge_timeout_validation(self):
+        spec = make_spec()
+        with service_session([spec]) as runtime:
+            with pytest.raises(ValueError):
+                ServiceServer(
+                    runtime.orchestrator, runtime._loop, bridge_timeout=0.0
+                )
