@@ -1,0 +1,284 @@
+"""CI gate: distributed lease/claim workers over one shared SweepStore.
+
+Enforces the three properties the distributed layer promises:
+
+* **scaling** — two cold worker processes must finish the smoke grid at
+  least ``--min-speedup`` times faster than one cold worker (best-of
+  ``--repeats`` per fleet size, fresh store each run, workers forked
+  from a parent that never computed a unit so both arms start equally
+  cold); on a single-CPU host, where parallel speedup is physically
+  impossible, the requirement degrades to ``--single-cpu-floor`` (no
+  pathological slowdown from claim/lease overhead);
+* **byte parity** — the merged aggregate summary and every cache entry
+  must be byte-identical across one worker, two workers, and a plain
+  serial ``run_grid``;
+* **healing** — a worker SIGKILLed while holding a live lease on an
+  uncomputed unit must not lose the sweep: a second worker reclaims the
+  stale lease, completes the grid, and the merged bytes still match the
+  serial run.
+
+Writes a ``BENCH_dist.json`` artifact with the measured numbers either
+way, and exits non-zero when a gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/dist_gate.py \
+        --grid benchmarks/grids/ci_dist_smoke.json --out BENCH_dist.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.spec import ExperimentSpec
+from repro.sweeps import (
+    SweepGrid,
+    SweepStore,
+    grid_summary_json,
+    merge_grid,
+    missing_units,
+    plan_tasks,
+    run_distributed,
+    run_grid,
+    run_worker,
+)
+
+#: Task granularity for every fleet in this gate: fine enough that two
+#: workers balance 16 units, coarse enough to keep claim traffic low.
+CHUNK_SIZE = 2
+
+
+def _store_bytes(store: SweepStore) -> dict[str, bytes]:
+    return {
+        path.relative_to(store.root).as_posix(): path.read_bytes()
+        for path in store.entry_paths()
+    }
+
+
+def _victim_entry(specs_data, store_root, flag_path, kwargs):
+    """Worker that freezes after its second claim, awaiting SIGKILL."""
+    specs = [ExperimentSpec.from_dict(data) for data in specs_data]
+    claims = 0
+
+    def on_task(stage, task):
+        nonlocal claims
+        if stage == "claimed":
+            claims += 1
+            if claims == 2:
+                Path(flag_path).touch()
+                time.sleep(300.0)
+
+    run_worker(specs, SweepStore(store_root), on_task=on_task, **kwargs)
+
+
+def _timed_fleet(grid, cache_root, workers, repeats):
+    """Best-of-``repeats`` cold distributed runs with ``workers`` procs."""
+    best = None
+    summary = None
+    payload_bytes = None
+    for attempt in range(repeats):
+        store = SweepStore(cache_root / f"w{workers}-{attempt}")
+        started = time.time()
+        run, reports = run_distributed(
+            grid, store, workers=workers, chunk_size=CHUNK_SIZE
+        )
+        seconds = time.time() - started
+        exit_codes = [
+            rep for rep in reports if "worker_exit_codes" in rep
+        ]
+        if exit_codes:
+            raise RuntimeError(
+                f"{workers}-worker fleet had failed workers: {exit_codes}"
+            )
+        if best is None or seconds < best["seconds"]:
+            units = run.report.units
+            best = {
+                "workers": workers,
+                "seconds": seconds,
+                "cells_per_sec": units / seconds if seconds > 0 else 0.0,
+                "tasks_done": [
+                    {rep["worker"]: rep["tasks_done"]}
+                    for rep in reports
+                    if "worker" in rep
+                ],
+            }
+            summary = grid_summary_json(run)
+            payload_bytes = _store_bytes(store)
+    return best, summary, payload_bytes
+
+
+def _chaos_kill_and_heal(grid, cache_root):
+    """SIGKILL a worker mid-chunk; a second worker must heal the sweep."""
+    specs = [cell.spec for cell in grid.cells()]
+    store = SweepStore(cache_root / "chaos")
+    flag = cache_root / "victim-blocked"
+    ctx = multiprocessing.get_context()
+    victim = ctx.Process(
+        target=_victim_entry,
+        args=(
+            [spec.to_dict() for spec in specs],
+            str(store.root),
+            str(flag),
+            dict(worker_id="victim", lease_ttl=1.0, chunk_size=CHUNK_SIZE),
+        ),
+    )
+    victim.start()
+    try:
+        deadline = time.time() + 120.0
+        while not flag.exists():
+            if time.time() > deadline:
+                raise RuntimeError("victim never reached its second claim")
+            if not victim.is_alive():
+                raise RuntimeError("victim exited before being killed")
+            time.sleep(0.005)
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join()
+    finally:
+        if victim.is_alive():
+            victim.kill()
+            victim.join()
+    killed_with_lease = bool(
+        list((store.queue_root(plan_tasks(specs, CHUNK_SIZE).plan_id)
+              / "leases").glob("*.json"))
+    )
+    units_missing_after_kill = len(missing_units(specs, store))
+    healer = run_worker(
+        specs, store, worker_id="healer", lease_ttl=0.2,
+        chunk_size=CHUNK_SIZE, poll_interval=0.01,
+    )
+    run = merge_grid(grid, store)
+    return {
+        "victim_exitcode": victim.exitcode,
+        "killed_with_lease": killed_with_lease,
+        "units_missing_after_kill": units_missing_after_kill,
+        "healer_tasks_stolen": healer.tasks_stolen,
+        "healer_tasks_claimed": healer.tasks_claimed,
+        "units_missing_after_heal": len(missing_units(specs, store)),
+    }, grid_summary_json(run), _store_bytes(store)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--grid",
+                        default="benchmarks/grids/ci_dist_smoke.json")
+    parser.add_argument("--out", default="BENCH_dist.json")
+    parser.add_argument("--cache-root", default=None,
+                        help="directory for the per-run stores "
+                        "(default: a fresh temporary directory)")
+    parser.add_argument("--min-speedup", type=float, default=1.8)
+    parser.add_argument("--single-cpu-floor", type=float, default=0.7,
+                        help="speedup floor applied instead of "
+                        "--min-speedup when only one CPU is available")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="cold runs per fleet size (best one counts)")
+    args = parser.parse_args(argv)
+
+    grid = SweepGrid.read(args.grid)
+    units = sum(cell.spec.repeats for cell in grid.cells())
+    tmp_cache = None
+    if args.cache_root:
+        cache_root = Path(args.cache_root)
+    else:
+        tmp_cache = tempfile.TemporaryDirectory(prefix="dist-gate-")
+        cache_root = Path(tmp_cache.name)
+
+    failures: list[str] = []
+    repeats = max(args.repeats, 1)
+
+    # Timing first: the parent has computed no units yet, so the forked
+    # workers of both arms start with identical (cold) process state.
+    one, one_summary, one_bytes = _timed_fleet(grid, cache_root, 1, repeats)
+    two, two_summary, two_bytes = _timed_fleet(grid, cache_root, 2, repeats)
+    speedup = (
+        one["seconds"] / two["seconds"] if two["seconds"] > 0 else float("inf")
+    )
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cpus = os.cpu_count() or 1
+    required = args.min_speedup if cpus >= 2 else args.single_cpu_floor
+    if speedup < required:
+        failures.append(
+            f"2-worker speedup {speedup:.2f}x < required "
+            f"{required:.2f}x on {cpus} CPU(s) ({one['seconds']:.2f}s vs "
+            f"{two['seconds']:.2f}s)"
+        )
+
+    # Parity: one worker == two workers == plain serial execution.
+    serial_store = SweepStore(cache_root / "serial")
+    serial = run_grid(grid, store=serial_store)
+    serial_summary = grid_summary_json(serial)
+    serial_bytes = _store_bytes(serial_store)
+    if one_summary != serial_summary:
+        failures.append("1-worker aggregate differs from serial aggregate")
+    if two_summary != serial_summary:
+        failures.append("2-worker aggregate differs from serial aggregate")
+    if one_bytes != serial_bytes:
+        failures.append("1-worker cache entries differ from serial entries")
+    if two_bytes != serial_bytes:
+        failures.append("2-worker cache entries differ from serial entries")
+
+    # Chaos: SIGKILL mid-chunk, heal, and match the serial bytes anyway.
+    chaos, chaos_summary, chaos_bytes = _chaos_kill_and_heal(grid, cache_root)
+    if chaos["victim_exitcode"] != -signal.SIGKILL:
+        failures.append(
+            f"victim exitcode {chaos['victim_exitcode']} != -SIGKILL"
+        )
+    if not chaos["killed_with_lease"]:
+        failures.append("victim died without leaving a lease to reclaim")
+    if chaos["units_missing_after_kill"] == 0:
+        failures.append("kill landed after every unit was computed")
+    if chaos["healer_tasks_stolen"] < 1:
+        failures.append("healer never reclaimed the victim's stale lease")
+    if chaos["units_missing_after_heal"] != 0:
+        failures.append(
+            f"{chaos['units_missing_after_heal']} unit(s) lost after healing"
+        )
+    if chaos_summary != serial_summary:
+        failures.append("healed aggregate differs from serial aggregate")
+    if chaos_bytes != serial_bytes:
+        failures.append("healed cache entries differ from serial entries")
+
+    bench = {
+        "grid": grid.name,
+        "units": units,
+        "chunk_size": CHUNK_SIZE,
+        "one_worker": one,
+        "two_workers": two,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+        "required_speedup": required,
+        "cpus": cpus,
+        "timing_repeats": repeats,
+        "serial_seconds": serial.report.seconds,
+        "chaos": chaos,
+        "passed": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(
+        json.dumps(bench, indent=2, sort_keys=True) + "\n"
+    )
+    print(json.dumps(bench, indent=2, sort_keys=True))
+    if tmp_cache is not None:
+        tmp_cache.cleanup()
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(f"dist gate passed: 2 workers {speedup:.2f}x one worker "
+          f"({two['seconds']:.2f}s vs {one['seconds']:.2f}s), "
+          f"SIGKILL healed with "
+          f"{chaos['healer_tasks_stolen']} steal(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

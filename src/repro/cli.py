@@ -142,6 +142,32 @@ def build_parser() -> argparse.ArgumentParser:
                      "fall back to the scalar path and the fallback "
                      "reasons are reported; default: the "
                      "REPRO_SWEEP_BATCH environment variable)")
+    swp.add_argument("--worker", action="store_true",
+                     help="run as a distributed pull worker: claim task "
+                     "chunks from the shared --cache directory (lease "
+                     "files with heartbeat renewal), compute and persist "
+                     "their units, and exit when the whole grid is done; "
+                     "start N of these — processes or hosts sharing the "
+                     "directory — to fan one sweep out")
+    swp.add_argument("--coordinator", action="store_true",
+                     help="wait until every unit of the grid is persisted "
+                     "in --cache (computing nothing), then merge and "
+                     "print the report — byte-identical to a serial run")
+    swp.add_argument("--workers", type=int, default=0,
+                     help="with --coordinator: also spawn this many local "
+                     "worker processes before merging (a one-command "
+                     "single-machine distributed run)")
+    swp.add_argument("--worker-id", default=None,
+                     help="this worker's id in lease files and reports "
+                     "(default: <hostname>-<pid>)")
+    swp.add_argument("--lease-ttl", type=float, default=None,
+                     help="seconds before an unrenewed task lease counts "
+                     "as stale and may be reclaimed by another worker "
+                     "(default 30; must exceed the longest single unit "
+                     "or batched group compute)")
+    swp.add_argument("--wait-timeout", type=float, default=None,
+                     help="with --coordinator: give up after this many "
+                     "seconds with units still missing")
     swp.add_argument("--out", default=None,
                      help="write the aggregate summary (per-cell metrics) "
                      "to this JSON file")
@@ -421,6 +447,103 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return status
 
 
+def _sweep_worker(args: argparse.Namespace, cells, store, batch: bool) -> int:
+    """``repro sweep --worker``: one pull worker over the shared store."""
+    from repro.sweeps.distributed import DEFAULT_LEASE_TTL, run_worker
+
+    if args.out:
+        return _error("--out needs the merged run: use --coordinator "
+                      "(workers only compute and persist units)")
+    lease_ttl = (
+        args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+    )
+
+    def on_task(stage, task) -> None:
+        if stage != "unit":
+            print(f"[{stage}] {task.task_id} ({len(task.units)} units)",
+                  flush=True)
+
+    report = run_worker(
+        [cell.spec for cell in cells],
+        store,
+        worker_id=args.worker_id,
+        lease_ttl=lease_ttl,
+        chunk_size=args.chunk_size,
+        batch=batch,
+        on_task=on_task,
+    )
+    print(f"worker {report.worker}: {report.tasks_claimed} task(s) claimed "
+          f"({report.tasks_stolen} stolen), {report.units_computed} "
+          f"computed, {report.units_cached} cached, {report.heartbeats} "
+          f"heartbeat(s) in {report.seconds:.2f}s")
+    if report.fallbacks:
+        reasons = ", ".join(
+            f"{reason} x{count}"
+            for reason, count in sorted(report.fallbacks.items())
+        )
+        print(f"batch fallbacks: {reasons}")
+    if args.metrics_out:
+        from repro.obs import default_registry
+
+        Path(args.metrics_out).write_text(default_registry().render())
+        print(f"metrics written to {args.metrics_out}")
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _sweep_coordinate(args: argparse.Namespace, grid, cells, store,
+                      batch: bool):
+    """``repro sweep --coordinator``: spawn/await workers, then merge."""
+    from repro.sweeps.distributed import (
+        DEFAULT_LEASE_TTL,
+        run_distributed,
+        wait_for_grid,
+    )
+
+    lease_ttl = (
+        args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL
+    )
+    if args.workers:
+        run, reports = run_distributed(
+            grid,
+            store,
+            workers=args.workers,
+            batch=batch,
+            lease_ttl=lease_ttl,
+            chunk_size=args.chunk_size,
+            cells=cells,
+        )
+        for rep in reports:
+            if "worker" not in rep:
+                continue
+            print(f"[worker {rep['worker']}] {rep['tasks_claimed']} task(s) "
+                  f"claimed ({rep['tasks_stolen']} stolen), "
+                  f"{rep['units_computed']} computed, "
+                  f"{rep['units_cached']} cached in {rep['seconds']:.2f}s",
+                  flush=True)
+        return run
+
+    last = [-1]
+
+    def wait_progress(present: int, total: int) -> None:
+        if present != last[0]:
+            last[0] = present
+            print(f"[coordinator] {present}/{total} units present",
+                  flush=True)
+
+    return wait_for_grid(
+        grid,
+        store,
+        timeout=args.wait_timeout,
+        cells=cells,
+        on_progress=wait_progress,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweeps import (
         SweepGrid,
@@ -445,12 +568,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return _error("--parallel must be >= 1")
     if args.chunk_size is not None and args.chunk_size < 1:
         return _error("--chunk-size must be >= 1")
+    if args.worker and args.coordinator:
+        return _error("--worker and --coordinator are mutually exclusive")
+    if (args.worker or args.coordinator) and not args.cache:
+        return _error("--worker/--coordinator need --cache (the shared "
+                      "store is the work queue)")
+    if args.workers and not args.coordinator:
+        return _error("--workers needs --coordinator")
+    if args.workers < 0:
+        return _error("--workers must be >= 0")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        return _error("--lease-ttl must be > 0")
     store = SweepStore(args.cache) if args.cache else None
     batch = args.batch if args.batch is not None else env_batch_default()
     units = sum(cell.spec.repeats for cell in cells)
     print(f"# sweep {grid.name}: {len(cells)} cells, {units} units"
           + (", batched" if batch else "")
           + (f", cache {store.root}" if store is not None else ""))
+
+    if args.worker:
+        return _sweep_worker(args, cells, store, batch)
 
     from repro.experiments import optimum_cache_info
 
@@ -482,19 +619,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               flush=True)
 
     try:
-        run = run_grid(
-            grid,
-            store=store,
-            reuse=args.resume,
-            parallel=args.parallel,
-            chunk_size=args.chunk_size,
-            batch=batch,
-            on_progress=progress,
-            cells=cells,
-        )
+        if args.coordinator:
+            run = _sweep_coordinate(args, grid, cells, store, batch)
+        else:
+            run = run_grid(
+                grid,
+                store=store,
+                reuse=args.resume,
+                parallel=args.parallel,
+                chunk_size=args.chunk_size,
+                batch=batch,
+                on_progress=progress,
+                cells=cells,
+            )
         print()
         print(cells_table(run))
         summary_json = grid_summary_json(run)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except LookupError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

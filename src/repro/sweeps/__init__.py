@@ -20,7 +20,12 @@ file plus an incremental execution pipeline:
   compatible cell groups as vectorized NumPy batches
   (:mod:`repro.sweeps.batched`), byte-identical to the scalar path;
 * :mod:`repro.sweeps.aggregate` — grouped reductions (mean/p95/cost over
-  seeds, per-axis tables) and a byte-stable aggregate JSON.
+  seeds, per-axis tables) and a byte-stable aggregate JSON;
+* :func:`run_worker` / :func:`run_distributed` / :func:`wait_for_grid`
+  (:mod:`repro.sweeps.distributed`) — lease/claim workers pulling task
+  chunks from one shared store directory (``repro sweep --worker``),
+  healing from worker death via stale-lease reclamation, with the merged
+  run byte-identical to a serial one.
 
 Quickstart::
 
@@ -51,6 +56,19 @@ from repro.sweeps.batched import (
     classify_unit,
     run_units_batched,
 )
+from repro.sweeps.distributed import (
+    DEFAULT_LEASE_TTL,
+    DistPlan,
+    DistTask,
+    WorkerReport,
+    merge_grid,
+    missing_units,
+    plan_tasks,
+    run_distributed,
+    run_worker,
+    wait_for_grid,
+    worker_reports,
+)
 from repro.sweeps.grid import (
     SweepAxis,
     SweepCell,
@@ -62,11 +80,14 @@ from repro.sweeps.scheduler import (
     GridRun,
     SweepProgress,
     SweepReport,
+    build_artifacts,
     run_grid,
     run_sweep_cached,
 )
 from repro.sweeps.store import (
     JsonDirectoryStore,
+    Lease,
+    LeaseNamespace,
     StoreStats,
     SweepStore,
     canonical_key,
@@ -80,11 +101,25 @@ __all__ = [
     "validate_override_path",
     "SweepStore",
     "JsonDirectoryStore",
+    "Lease",
+    "LeaseNamespace",
     "StoreStats",
     "canonical_key",
     "run_sweep_cached",
     "run_grid",
+    "build_artifacts",
     "GridRun",
+    "DEFAULT_LEASE_TTL",
+    "DistPlan",
+    "DistTask",
+    "WorkerReport",
+    "plan_tasks",
+    "run_worker",
+    "missing_units",
+    "merge_grid",
+    "wait_for_grid",
+    "run_distributed",
+    "worker_reports",
     "BATCHABLE_AUTOSCALERS",
     "batch_from_env",
     "batch_key",

@@ -47,6 +47,7 @@ __all__ = [
     "SweepProgress",
     "SweepReport",
     "GridRun",
+    "build_artifacts",
     "run_sweep_cached",
     "run_grid",
 ]
@@ -169,6 +170,26 @@ class SweepReport:
 def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
     for start in range(0, len(items), size):
         yield items[start : start + size]
+
+
+def build_artifacts(
+    specs: Sequence[ExperimentSpec],
+    results: dict[tuple[int, int], dict],
+) -> list[ExperimentArtifact]:
+    """Assemble per-spec artifacts from ``(spec_index, repeat)`` payloads.
+
+    The one aggregation step every execution mode funnels through —
+    serial, process-parallel, batched, and the distributed merge
+    (:mod:`repro.sweeps.distributed`) — so however the payloads were
+    produced, identical payload bytes yield identical artifacts.
+    """
+    return [
+        ExperimentArtifact.from_payloads(
+            spec,
+            [results[(spec_index, repeat)] for repeat in range(spec.repeats)],
+        )
+        for spec_index, spec in enumerate(specs)
+    ]
 
 
 def _partition_chunk(
@@ -396,13 +417,7 @@ def run_sweep_cached(
     phases["run"] -= phases["persist"]
 
     aggregate_started = perf_counter()
-    artifacts = [
-        ExperimentArtifact.from_payloads(
-            spec,
-            [results[(spec_index, repeat)] for repeat in range(spec.repeats)],
-        )
-        for spec_index, spec in enumerate(specs)
-    ]
+    artifacts = build_artifacts(specs, results)
     phases["aggregate"] = perf_counter() - aggregate_started
     optimum_after = optimum_cache_info()
     report = SweepReport(

@@ -26,6 +26,8 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, TYPE_CHECKING
@@ -37,12 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "JsonDirectoryStore",
+    "Lease",
+    "LeaseNamespace",
     "SweepStore",
     "StoreStats",
     "canonical_key",
 ]
 
 _FORMAT = 1
+
+#: Queue state (leases, done markers, worker reports) lives under this
+#: directory inside a store root.  Entry files live under two-hex-char
+#: shards (``ab/<digest>.json``), so the queue namespace can never
+#: collide with — or be globbed up as — a cache entry.
+QUEUE_DIRNAME = "_queue"
 
 # Process-global mirrors of the per-handle StoreStats counters: store
 # handles come and go (one per sweep, per service state dir), the
@@ -183,6 +193,208 @@ class JsonDirectoryStore:
             except FileNotFoundError:
                 pass
         return len(paths)
+
+    # -- queue namespace ---------------------------------------------------------
+    def queue_root(self, plan_id: str) -> Path:
+        """The coordination directory of one distributed plan.
+
+        Holds ``leases/``, ``done/`` and ``workers/`` subdirectories —
+        the claim state :mod:`repro.sweeps.distributed` layers over the
+        cache entries.  Disjoint from the entry shards by construction.
+        """
+        return self.root / QUEUE_DIRNAME / plan_id
+
+
+def _write_json_replace(path: Path, payload: Any) -> None:
+    """Atomically (re)write ``path`` with a JSON payload.
+
+    Same temp-file-in-target-directory + ``os.replace`` discipline as
+    cache entries: a reader never observes a half-written file, and
+    concurrent writers leave exactly one winner's bytes.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem[:16]}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, allow_nan=False)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one task: who, until when, under which token.
+
+    The ``token`` is what makes ownership checkable: every acquisition —
+    fresh or stolen — mints a new one, and renew/release only act when
+    the on-disk lease still carries the caller's token.
+    """
+
+    task_id: str
+    worker: str
+    token: str
+    expires: float
+    acquired: float
+    renewals: int = 0
+    stolen_from: str | None = None
+
+    @property
+    def stolen(self) -> bool:
+        return self.stolen_from is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": self.task_id,
+            "worker": self.worker,
+            "token": self.token,
+            "expires": self.expires,
+            "acquired": self.acquired,
+            "renewals": self.renewals,
+            "stolen_from": self.stolen_from,
+        }
+
+
+@dataclass
+class LeaseNamespace:
+    """Atomic lease files over a shared directory (one file per task).
+
+    The claim protocol needs only two filesystem guarantees — exclusive
+    create (``O_CREAT|O_EXCL``) and atomic rename — both of which hold on
+    local filesystems and NFSv4-style shared mounts:
+
+    * **fresh claim** — exclusively create ``<task_id>.json``; losing the
+      race means another worker holds the task;
+    * **takeover** — an *expired* (or corrupt-and-stale) lease is replaced
+      via temp-file + ``os.replace``, then re-read: only the worker whose
+      token survived the rename proceeds;
+    * **renewal/release** — read-verify the token first, so a worker that
+      lost its lease to a steal cannot silently extend or delete the
+      thief's claim.
+
+    Leases are an *optimization*, not a correctness mechanism: in the
+    worst interleavings two workers may both believe they own a task and
+    compute it twice, but every result lands in the content-addressed
+    store under the same key with identical bytes, so duplicated work can
+    never corrupt a sweep.  Expiry compares wall-clock timestamps across
+    workers, so multi-host fleets need loosely synchronized clocks (NTP
+    drift ≪ the TTL).
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, task_id: str) -> Path:
+        return self.root / f"{task_id}.json"
+
+    def read(self, task_id: str) -> dict[str, Any] | None:
+        """The current lease record, or None (absent or unreadable)."""
+        try:
+            data = json.loads(self.path_for(task_id).read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _fresh_by_mtime(self, task_id: str, ttl: float, now: float) -> bool:
+        """Is an unreadable lease file young enough to be an in-flight write?
+
+        A reader can catch a lease between exclusive create and content
+        write; treating every unreadable file as stale would steal claims
+        that are microseconds old.  An unreadable file older than one TTL
+        really is garbage.
+        """
+        try:
+            mtime = self.path_for(task_id).stat().st_mtime
+        except OSError:
+            return False
+        return mtime > now - max(ttl, 1e-9)
+
+    def acquire(
+        self,
+        task_id: str,
+        worker: str,
+        ttl: float,
+        *,
+        now: float | None = None,
+    ) -> Lease | None:
+        """Try to claim ``task_id``; returns the lease or None if held.
+
+        A lease whose expiry has passed is taken over (``Lease.stolen``
+        is set on the result).  ``ttl`` ≤ 0 makes every lease instantly
+        stale — useful in tests, never in production.
+        """
+        now = time.time() if now is None else now
+        lease = Lease(
+            task_id=task_id,
+            worker=worker,
+            token=uuid.uuid4().hex,
+            expires=now + ttl,
+            acquired=now,
+        )
+        path = self.path_for(task_id)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            current = self.read(task_id)
+            if current is not None:
+                if float(current.get("expires", 0.0)) > now:
+                    return None  # live claim by someone else
+                holder = current.get("worker")
+            else:
+                if self._fresh_by_mtime(task_id, ttl, now):
+                    return None  # probably an in-flight fresh claim
+                holder = None
+            lease = Lease(**{**lease.__dict__, "stolen_from": holder})
+            _write_json_replace(path, lease.to_dict())
+            after = self.read(task_id)
+            if after is not None and after.get("token") == lease.token:
+                return lease
+            return None  # lost the takeover race to another stealer
+        with os.fdopen(fd, "w") as fh:
+            json.dump(lease.to_dict(), fh, sort_keys=True, allow_nan=False)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return lease
+
+    def renew(
+        self, lease: Lease, ttl: float, *, now: float | None = None
+    ) -> Lease | None:
+        """Extend a held lease; returns the renewed lease or None if lost."""
+        now = time.time() if now is None else now
+        current = self.read(lease.task_id)
+        if current is None or current.get("token") != lease.token:
+            return None
+        renewed = Lease(
+            **{
+                **lease.__dict__,
+                "expires": now + ttl,
+                "renewals": lease.renewals + 1,
+            }
+        )
+        _write_json_replace(self.path_for(lease.task_id), renewed.to_dict())
+        return renewed
+
+    def release(self, lease: Lease) -> bool:
+        """Drop a held lease; returns False if it was no longer ours."""
+        current = self.read(lease.task_id)
+        if current is None or current.get("token") != lease.token:
+            return False
+        try:
+            self.path_for(lease.task_id).unlink()
+        except FileNotFoundError:
+            pass
+        return True
 
 
 @dataclass

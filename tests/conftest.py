@@ -1,4 +1,6 @@
-"""Shared fixtures: a small synthetic app plus the paper's prototypes."""
+"""Shared fixtures: a small synthetic app, the paper's prototypes, and
+the sweep-layer builders (tmp store + small spec/grid factories) that the
+sweep, batched, replay, fault, and distributed suites all build on."""
 
 from __future__ import annotations
 
@@ -7,8 +9,10 @@ import pytest
 
 from repro.apps import build_app
 from repro.apps.spec import AppSpec, RequestClass, ServiceSpec, Stage
+from repro.experiments import ExperimentSpec
 from repro.sim import AnalyticalEngine, Allocation
 from repro.sim.types import IntervalMetrics, ServiceMetrics
+from repro.sweeps import SweepGrid, SweepStore
 
 
 def build_tiny_app() -> AppSpec:
@@ -115,3 +119,51 @@ def metrics_factory():
 @pytest.fixture
 def tiny_allocation() -> Allocation:
     return Allocation({"front": 1.0, "logic": 0.8, "db": 0.9, "cache": 0.3})
+
+
+# -- sweep-layer builders ------------------------------------------------------
+# Plain functions (importable via ``from tests.conftest import ...``) so
+# hypothesis tests can construct per-example values without
+# function-scoped-fixture health checks; fixture wrappers below for
+# ordinary tests.
+
+def make_sweep_spec(**overrides) -> ExperimentSpec:
+    """The canonical small sweep unit: sockshop @ 700 rps, 4 steps.
+
+    Component overrides may be plain mappings (``workload={"kind": ...}``,
+    ``hooks=[{...}]``) — the spec constructor coerces them.
+    """
+    base = dict(app="sockshop", workload=700.0, n_steps=4, seed=0)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def make_small_grid(**grid_overrides) -> SweepGrid:
+    """A 2x2 workload x alpha grid over :func:`make_sweep_spec` (x2 repeats)."""
+    kwargs = dict(
+        name="g",
+        base=make_sweep_spec(repeats=2),
+        axes=(
+            {"name": "workload", "path": "workload", "values": [600.0, 700.0]},
+            {"name": "alpha", "path": "autoscaler.params.alpha",
+             "values": [0.4, 0.5]},
+        ),
+    )
+    kwargs.update(grid_overrides)
+    return SweepGrid(**kwargs)
+
+
+@pytest.fixture
+def sweep_store(tmp_path) -> SweepStore:
+    """A fresh content-addressed store under this test's tmp dir."""
+    return SweepStore(tmp_path / "sweep-store")
+
+
+@pytest.fixture(scope="session")
+def sweep_spec_factory():
+    return make_sweep_spec
+
+
+@pytest.fixture(scope="session")
+def small_grid_factory():
+    return make_small_grid

@@ -34,12 +34,7 @@ from repro.sweeps import (
     run_units_batched,
 )
 from repro.sweeps.scheduler import _partition_chunk
-
-
-def spec(**overrides) -> ExperimentSpec:
-    base = dict(app="sockshop", workload=700.0, n_steps=4, seed=0)
-    base.update(overrides)
-    return ExperimentSpec(**base)
+from tests.conftest import make_sweep_spec as spec
 
 
 def scalar_payload(s: ExperimentSpec, repeat: int = 0) -> dict:
@@ -466,6 +461,7 @@ class TestGridEquivalence:
         assert grid_summary_json(scalar) == grid_summary_json(batched)
         assert batched.report.batched_units == batched.report.units
 
+    @pytest.mark.slow
     def test_fig15_grid_byte_identical(self):
         # The acceptance-criterion grid: three apps, PEMA (3 repeats) and
         # RULE (30-step) cells — six batch groups.
@@ -516,6 +512,7 @@ def mini_grid_units(draw):
     return [s for s, _ in units]
 
 
+@pytest.mark.slow
 class TestPropertyEquivalence:
     @settings(max_examples=12, deadline=None)
     @given(specs=mini_grid_units())

@@ -40,6 +40,7 @@ from repro.sweeps import (
     run_units_batched,
 )
 from repro.workload.generators import ConstantWorkload
+from tests.conftest import make_sweep_spec
 
 
 def dumps(payload) -> str:
@@ -49,14 +50,12 @@ def dumps(payload) -> str:
 def make_spec(hooks=(), **overrides) -> ExperimentSpec:
     data = {
         "name": "faulted",
-        "app": "sockshop",
         "workload": {"kind": "constant", "params": {"rps": 320.0}},
         "n_steps": 6,
-        "seed": 0,
         "hooks": list(hooks),
     }
     data.update(overrides)
-    return ExperimentSpec.from_dict(data)
+    return make_sweep_spec(**data)
 
 
 # -- the shared schedule ---------------------------------------------------------

@@ -11,6 +11,8 @@ from repro.sim import AnalyticalEngine, Allocation, NoiseModel
 from repro.sim.types import IntervalMetrics, ServiceMetrics
 from tests.conftest import build_tiny_app
 
+pytestmark = pytest.mark.slow
+
 SERVICES = ("a", "b", "c")
 
 _APP = build_tiny_app()

@@ -342,6 +342,7 @@ class TestReplayBatching:
         )
         assert batched["manager_state"]["splits"]
 
+    @pytest.mark.slow
     @settings(max_examples=10, deadline=None)
     @given(
         seeds=st.lists(
@@ -390,11 +391,10 @@ class TestReplayBatching:
         )
         assert scalar_bytes == batched_bytes
 
-    def test_cross_mode_cache_reuse(self, tmp_path):
+    def test_cross_mode_cache_reuse(self, sweep_store):
         grid = small_replay_grid()
-        store = SweepStore(tmp_path)
-        cold = run_grid(grid, store=store, batch=True)
-        warm = run_grid(grid, store=store, batch=False)
+        cold = run_grid(grid, store=sweep_store, batch=True)
+        warm = run_grid(grid, store=sweep_store, batch=False)
         assert cold.report.cache_hits == 0
         assert warm.report.cache_hits == warm.report.units
         assert grid_summary_json(warm) == grid_summary_json(cold)
@@ -404,14 +404,14 @@ class TestReplayBatching:
         # Manager state survives the store round trip.
         assert all(a.manager_state(0)["splits"] for a in warm.artifacts)
 
-    def test_kill_and_resume_mid_replay_byte_identical(self, tmp_path):
+    def test_kill_and_resume_mid_replay_byte_identical(self, sweep_store):
         grid = small_replay_grid()
         uninterrupted = run_grid(grid, batch=True)
 
         class Killed(RuntimeError):
             pass
 
-        store = SweepStore(tmp_path)
+        store = sweep_store
 
         def die_after_first_chunk(progress):
             if progress.chunk >= 1:

@@ -10,7 +10,6 @@ import pytest
 import repro.baselines
 import repro.experiments.runner as runner_mod
 from repro.experiments import (
-    ExperimentSpec,
     clear_optimum_cache,
     optimum_cache_info,
     optimum_store,
@@ -34,26 +33,8 @@ from repro.sweeps import (
     run_sweep_cached,
     set_path,
 )
-
-
-def base_spec(**overrides) -> ExperimentSpec:
-    base = dict(app="sockshop", workload=700.0, n_steps=4, seed=0)
-    base.update(overrides)
-    return ExperimentSpec(**base)
-
-
-def small_grid(**grid_overrides) -> SweepGrid:
-    kwargs = dict(
-        name="g",
-        base=base_spec(repeats=2),
-        axes=(
-            {"name": "workload", "path": "workload", "values": [600.0, 700.0]},
-            {"name": "alpha", "path": "autoscaler.params.alpha",
-             "values": [0.4, 0.5]},
-        ),
-    )
-    kwargs.update(grid_overrides)
-    return SweepGrid(**kwargs)
+from tests.conftest import make_small_grid as small_grid
+from tests.conftest import make_sweep_spec as base_spec
 
 
 class TestSetPath:
